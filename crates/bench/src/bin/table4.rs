@@ -1,0 +1,40 @@
+//! Table IV: the evaluated file-system configurations — which write cache,
+//! which backing store, which file system, and the guarantees each provides.
+
+use nvcache_bench::{print_table, Row, SystemKind, SystemSpec};
+use simclock::ActorClock;
+
+fn main() {
+    println!("Table IV — evaluated configurations");
+    let clock = ActorClock::new();
+    let mut rows = Vec::new();
+    for kind in SystemKind::all() {
+        let sys = nvcache_bench::build_system(&SystemSpec::new(kind, 512), &clock);
+        let (write_cache, storage, fs) = match kind {
+            SystemKind::NvcacheSsd => ("NVCache (NVMM)", "SSD", "Ext4"),
+            SystemKind::DmWritecacheSsd => ("kernel page cache + dm-wc", "SSD", "Ext4"),
+            SystemKind::Ext4Dax => ("kernel page cache", "NVMM", "Ext4"),
+            SystemKind::Nova => ("none", "NVMM", "NOVA"),
+            SystemKind::Ssd => ("kernel page cache", "SSD", "Ext4"),
+            SystemKind::Tmpfs => ("kernel page cache", "DDR4", "none"),
+            SystemKind::NvcacheNova => ("NVCache (NVMM)", "NVMM", "NOVA"),
+        };
+        rows.push(Row::new(
+            sys.name,
+            vec![
+                write_cache.to_string(),
+                storage.to_string(),
+                fs.to_string(),
+                if sys.fs.synchronous_durability() { "by default" } else { "O_DIRECT|O_SYNC" }
+                    .to_string(),
+                if sys.fs.durable_linearizability() { "by default" } else { "no" }.to_string(),
+            ],
+        ));
+        sys.shutdown(&clock);
+    }
+    print_table(
+        "Table IV",
+        &["write cache", "storage", "FS", "sync durability", "durable linearizability"],
+        &rows,
+    );
+}

@@ -1,0 +1,49 @@
+//! Benchmark harness for the NVCache reproduction.
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §6):
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table I (system property matrix) |
+//! | `table4` | Table IV (evaluated configurations) |
+//! | `fig3`   | Fig. 3 (db_bench latencies, RocksDB + SQLite stand-ins) |
+//! | `fig4`   | Fig. 4 (FIO randwrite time series, 5 systems) |
+//! | `fig5`   | Fig. 5 (NVMM log-size saturation) |
+//! | `fig6`   | Fig. 6 (cleanup batching sweep) |
+//! | `fig7`   | Fig. 7 (read-cache size sweep) |
+//!
+//! Capacity-bound experiments run at a configurable `--scale N` (default 64,
+//! see DESIGN.md §3): all capacities and dataset sizes divide by N, so the
+//! virtual-time axis compresses by ≈N while per-operation latencies stay at
+//! paper scale. Each binary prints both raw virtual seconds and
+//! "paper-equivalent" seconds (`raw × N`).
+
+pub mod report;
+pub mod systems;
+
+pub use report::{print_series, print_table, Row};
+pub use systems::{build_system, System, SystemKind, SystemSpec};
+
+/// Parses `--key value` style arguments with a default.
+pub fn arg_u64(key: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether a bare flag is present.
+pub fn arg_flag(key: &str) -> bool {
+    std::env::args().any(|a| a == key)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn arg_parsing_defaults() {
+        assert_eq!(super::arg_u64("--definitely-not-passed", 7), 7);
+        assert!(!super::arg_flag("--definitely-not-passed"));
+    }
+}

@@ -1,0 +1,98 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use simclock::ActorClock;
+
+/// A byte-addressed block device under virtual time.
+///
+/// Offsets are raw device offsets ("LBAs" in byte units); file systems map
+/// file extents onto them. Implementations charge latency to the caller's
+/// clock and serialize concurrent requests on an internal device timeline.
+pub trait BlockDevice: Send + Sync {
+    /// Device capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Reads `buf.len()` bytes at `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device capacity.
+    fn read(&self, off: u64, buf: &mut [u8], clock: &ActorClock);
+
+    /// Writes `data` at `off`. The write may be acknowledged from a volatile
+    /// device cache; durability requires [`flush`](BlockDevice::flush).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the device capacity.
+    fn write(&self, off: u64, data: &[u8], clock: &ActorClock);
+
+    /// Durably flushes the device write cache (FUA/flush command).
+    fn flush(&self, clock: &ActorClock);
+
+    /// Operation statistics.
+    fn stats(&self) -> &DeviceStats;
+}
+
+/// Shared operation counters for block devices.
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    /// Total bytes written.
+    pub bytes_written: AtomicU64,
+    /// Total bytes read.
+    pub bytes_read: AtomicU64,
+    /// Write operations classified as sequential.
+    pub seq_writes: AtomicU64,
+    /// Write operations classified as random.
+    pub rand_writes: AtomicU64,
+    /// Read operations.
+    pub reads: AtomicU64,
+    /// Flush commands.
+    pub flushes: AtomicU64,
+}
+
+impl DeviceStats {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> DeviceStatsSnapshot {
+        DeviceStatsSnapshot {
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            seq_writes: self.seq_writes.load(Ordering::Relaxed),
+            rand_writes: self.rand_writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`DeviceStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceStatsSnapshot {
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Write operations classified as sequential.
+    pub seq_writes: u64,
+    /// Write operations classified as random.
+    pub rand_writes: u64,
+    /// Read operations.
+    pub reads: u64,
+    /// Flush commands.
+    pub flushes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = DeviceStats::default();
+        s.bytes_written.store(4096, Ordering::Relaxed);
+        s.flushes.store(2, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_written, 4096);
+        assert_eq!(snap.flushes, 2);
+        assert_eq!(snap.reads, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Simulated block devices for the NVCache reproduction.
+//!
+//! The paper's evaluation (§IV-A) uses Intel DC S4600 SATA SSDs as mass
+//! storage; the key quantities its figures depend on are the SSD's random
+//! 4 KiB write throughput (≈80 MiB/s — paper Fig. 5 observes the saturated
+//! NVCache log draining at exactly this speed), its sequential bandwidth, and
+//! the high fixed cost of a device flush (a write with `fsync` is ≈13× slower
+//! than without, paper §III "Cleanup thread and batching").
+//!
+//! [`SsdDevice`] reproduces those ratios against virtual time. [`HddDevice`]
+//! adds a seek-dominated profile (the paper only mentions hard drives in
+//! passing; it is provided for ablations). [`DmWriteCacheDev`] composes an
+//! SSD with an NVMM region the way the `dm-writecache` device-mapper target
+//! does: writes land in persistent memory first and trickle to the SSD in the
+//! background.
+//!
+//! Content is stored sparsely (4 KiB chunks on demand), so multi-GiB virtual
+//! devices cost only what is actually written. A device can also be created
+//! with content storage disabled for timing-only benchmark runs.
+
+mod device;
+mod dmwc;
+mod hdd;
+mod ssd;
+mod store;
+
+pub use device::{BlockDevice, DeviceStats, DeviceStatsSnapshot};
+pub use dmwc::{DmWriteCacheDev, DmWriteCacheProfile};
+pub use hdd::{HddDevice, HddProfile};
+pub use ssd::{SsdDevice, SsdProfile};
+pub use store::SparseStore;

@@ -1,0 +1,815 @@
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use nvmm::{NvRegion, PmemInts};
+use parking_lot::{Mutex, RwLock};
+use simclock::ActorClock;
+use vfs::{Fd, FileSystem, IoError, IoResult, Metadata, OpenFlags, SeekFrom};
+
+use crate::files::{FileState, OpenedFile, PersistentFdTable};
+use crate::layout::{self, Layout};
+use crate::log::Log;
+use crate::pagedesc::PageDescriptor;
+use crate::readcache::ReadCache;
+use crate::recovery::RecoveryReport;
+use crate::{NvCacheConfig, NvCacheStats, Radix};
+
+/// A closed descriptor whose log entries have not all drained yet: the
+/// persistent fd slot must stay valid until the cleanup thread passes
+/// `drain_target`, otherwise recovery could not resolve those entries.
+pub(crate) struct Zombie {
+    pub opened: Arc<OpenedFile>,
+    pub drain_target: u64,
+}
+
+/// State shared between the application-facing API and the cleanup thread.
+pub(crate) struct Shared {
+    pub cfg: NvCacheConfig,
+    pub inner: Arc<dyn FileSystem>,
+    pub log: Log,
+    pub pool: ReadCache,
+    /// file table: (device, inode) -> file structure (paper §III "Open").
+    pub files: Mutex<HashMap<(u64, u64), Arc<FileState>>>,
+    /// opened table: fd slot -> opened-file structure.
+    pub opened: RwLock<HashMap<u32, Arc<OpenedFile>>>,
+    pub free_slots: Mutex<Vec<u32>>,
+    /// Closed fds awaiting their last log entries to drain.
+    pub zombies: Mutex<Vec<Zombie>>,
+    pub stats: NvCacheStats,
+    /// Graceful stop: drain the log, then exit.
+    pub stop: AtomicBool,
+    /// Immediate stop (crash simulation): exit without draining.
+    pub kill: AtomicBool,
+    pub cleanup_clock: Arc<ActorClock>,
+    pub next_file_id: AtomicU64,
+    /// In-flight intercepted calls per fd slot, for close synchronization.
+    pub in_flight: Box<[AtomicU32]>,
+}
+
+impl Shared {
+    pub fn pages_of(&self, off: u64, len: usize) -> std::ops::Range<u64> {
+        let ps = self.cfg.page_size as u64;
+        if len == 0 {
+            return off / ps..off / ps;
+        }
+        off / ps..(off + len as u64 - 1) / ps + 1
+    }
+
+    pub fn opened_by_slot(&self, slot: u32) -> Option<Arc<OpenedFile>> {
+        self.opened.read().get(&slot).cloned()
+    }
+
+    /// Propagates this file's still-pending log entries into the kernel
+    /// (buffered `pwrite`, **no** fsync): the paper's `close` contract —
+    /// "all the writes in user space are actually flushed to the kernel" —
+    /// durability already lives in the NVMM log.
+    pub fn kernel_flush_file(&self, opened: &Arc<OpenedFile>, clock: &ActorClock) {
+        let tail = self.log.vtail.load(Ordering::Acquire);
+        let head = self.log.head.load(Ordering::Acquire);
+        for seq in tail..head {
+            let hdr = self.log.read_header(seq);
+            if hdr.commit == layout::CommitWord::Free || hdr.fd_slot != opened.slot {
+                continue;
+            }
+            let data = self.log.read_data_cached(seq, hdr.len as usize);
+            let descs: Vec<_> = match opened.file.radix.get() {
+                Some(radix) => self
+                    .pages_of(hdr.file_off, hdr.len as usize)
+                    .map(|p| radix.get_or_create(p))
+                    .collect(),
+                None => Vec::new(),
+            };
+            let guards: Vec<_> = descs.iter().map(|d| d.lock_cleanup()).collect();
+            let _ = self.inner.pwrite(opened.inner_fd, &data, hdr.file_off, clock);
+            drop(guards);
+        }
+    }
+
+    /// Completes a deferred close: releases the inner fd, the persistent fd
+    /// slot and, on last close, the file structure and its cached pages.
+    pub fn finish_close(&self, opened: &Arc<OpenedFile>, clock: &ActorClock) {
+        self.opened.write().remove(&opened.slot);
+        let _ = self.inner.close(opened.inner_fd, clock);
+        PersistentFdTable::clear(&self.log.region, &self.log.layout, opened.slot, clock);
+        self.free_slots.lock().push(opened.slot);
+        if opened.file.open_count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.pool.purge_file(opened.file.file_id);
+            self.files.lock().remove(&opened.file.dev_ino);
+        }
+    }
+
+    /// Finishes all zombies whose entries have drained past the tail.
+    pub fn drain_zombies(&self, clock: &ActorClock) {
+        let vtail = self.log.vtail.load(Ordering::Acquire);
+        let ready: Vec<Zombie> = {
+            let mut z = self.zombies.lock();
+            let (done, keep): (Vec<Zombie>, Vec<Zombie>) =
+                z.drain(..).partition(|zb| zb.drain_target <= vtail);
+            *z = keep;
+            done
+        };
+        for zb in ready {
+            self.finish_close(&zb.opened, clock);
+        }
+    }
+
+    /// The dirty-miss procedure (paper §II-C): reconstruct a fresh page by
+    /// re-applying, in log order, every pending entry that overlaps it.
+    /// Caller holds the page's atomic lock *and* cleanup lock.
+    fn dirty_miss(&self, file: &Arc<FileState>, page: u64, page_buf: &mut [u8], clock: &ActorClock) {
+        let ps = self.cfg.page_size as u64;
+        let page_start = page * ps;
+        let page_end = page_start + ps;
+        let tail = self.log.vtail.load(Ordering::Acquire);
+        let head = self.log.head.load(Ordering::Acquire);
+        for seq in tail..head {
+            let hdr = self.log.read_header(seq);
+            if hdr.commit == layout::CommitWord::Free {
+                continue;
+            }
+            let Some(op) = self.opened_by_slot(hdr.fd_slot) else { continue };
+            if !Arc::ptr_eq(&op.file, file) {
+                continue;
+            }
+            let e_start = hdr.file_off;
+            let e_end = e_start + hdr.len as u64;
+            if e_end <= page_start || e_start >= page_end {
+                continue;
+            }
+            let data = self.log.read_data(seq, hdr.len as usize, clock);
+            let s = e_start.max(page_start);
+            let e = e_end.min(page_end);
+            page_buf[(s - page_start) as usize..(e - page_start) as usize]
+                .copy_from_slice(&data[(s - e_start) as usize..(e - e_start) as usize]);
+        }
+    }
+
+    /// The write path (paper Algorithm 1, generalized to multi-page and
+    /// multi-entry writes): lock pages → append to the NVMM log → commit
+    /// (synchronous durability) → update dirty counters and loaded page
+    /// contents → release.
+    fn do_pwrite(
+        &self,
+        opened: &Arc<OpenedFile>,
+        data: &[u8],
+        off: u64,
+        clock: &ActorClock,
+    ) -> IoResult<usize> {
+        if !opened.flags.writable() {
+            return Err(IoError::PermissionDenied("fd opened read-only".into()));
+        }
+        clock.advance(self.cfg.libc_overhead);
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let es = self.cfg.entry_size;
+        let k = data.len().div_ceil(es) as u64;
+        if k > self.log.layout.nb_entries {
+            return Err(IoError::InvalidArgument(format!(
+                "write of {} bytes cannot fit the {}-entry log",
+                data.len(),
+                self.log.layout.nb_entries
+            )));
+        }
+        let file = &opened.file;
+        let radix = file.radix.get().expect("writable open creates the radix tree");
+        let pages = self.pages_of(off, data.len());
+        let first_page = pages.start;
+        let descs: Vec<Arc<PageDescriptor>> = pages.map(|p| radix.get_or_create(p)).collect();
+        let guards: Vec<_> = descs.iter().map(|d| d.lock()).collect();
+
+        // Append to the write cache (Algorithm 1 ll.14-27).
+        let first_seq = self.log.alloc(k, clock, &self.stats);
+        let leader_slot = self.log.layout.slot_of(first_seq);
+        for i in 0..k as usize {
+            let chunk = &data[i * es..((i + 1) * es).min(data.len())];
+            let member = (i > 0).then_some(leader_slot);
+            self.log.fill_entry(
+                first_seq + i as u64,
+                opened.slot,
+                off + (i * es) as u64,
+                chunk,
+                k as u32,
+                member,
+                clock,
+            );
+        }
+        self.log.commit_group(first_seq, k, clock);
+
+        // Read-cache maintenance (Algorithm 1 ll.29-31): one dirty-counter
+        // increment per (entry, page) overlap, and in-place update of loaded
+        // contents.
+        for i in 0..k as usize {
+            let e_off = off + (i * es) as u64;
+            let e_len = ((i + 1) * es).min(data.len()) - i * es;
+            for p in self.pages_of(e_off, e_len) {
+                descs[(p - first_page) as usize].inc_dirty();
+            }
+        }
+        let ps = self.cfg.page_size as u64;
+        let mut updated_bytes = 0u64;
+        let mut guards = guards;
+        for (j, d) in descs.iter().enumerate() {
+            let slot = &mut *guards[j];
+            if let Some(content) = slot.content.as_mut() {
+                let p = first_page + j as u64;
+                let page_start = p * ps;
+                let s = off.max(page_start);
+                let e = (off + data.len() as u64).min(page_start + ps);
+                content[(s - page_start) as usize..(e - page_start) as usize]
+                    .copy_from_slice(&data[(s - off) as usize..(e - off) as usize]);
+                updated_bytes += e - s;
+            }
+            d.mark_accessed();
+        }
+        if updated_bytes > 0 {
+            clock.advance(self.cfg.copy_bandwidth.time_for(updated_bytes));
+        }
+        file.size.fetch_max(off + data.len() as u64, Ordering::AcqRel);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_logged.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats.entries_logged.fetch_add(k, Ordering::Relaxed);
+        if k > 1 {
+            self.stats.groups_logged.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(data.len())
+    }
+
+    /// The read path (paper §II-C): read cache hit, or miss with optional
+    /// dirty-miss reconciliation; read-only files bypass the cache entirely.
+    fn do_pread(
+        &self,
+        opened: &Arc<OpenedFile>,
+        buf: &mut [u8],
+        off: u64,
+        clock: &ActorClock,
+    ) -> IoResult<usize> {
+        if !opened.flags.readable() {
+            return Err(IoError::PermissionDenied("fd opened write-only".into()));
+        }
+        clock.advance(self.cfg.libc_overhead);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        let file = &opened.file;
+        let size = file.size.load(Ordering::Acquire);
+        if off >= size || buf.is_empty() {
+            return Ok(0);
+        }
+        let n = buf.len().min((size - off) as usize);
+        let Some(radix) = file.radix.get() else {
+            // Never opened for writing: the kernel page cache is fresh.
+            self.stats.bypass_reads.fetch_add(1, Ordering::Relaxed);
+            return self.inner.pread(opened.inner_fd, &mut buf[..n], off, clock);
+        };
+        let ps = self.cfg.page_size as u64;
+        let pages = self.pages_of(off, n);
+        let first_page = pages.start;
+        let descs: Vec<Arc<PageDescriptor>> = pages.map(|p| radix.get_or_create(p)).collect();
+        let mut guards: Vec<_> = descs.iter().map(|d| d.lock()).collect();
+        for (j, d) in descs.iter().enumerate() {
+            let p = first_page + j as u64;
+            if guards[j].content.is_none() {
+                self.stats.read_misses.fetch_add(1, Ordering::Relaxed);
+                self.pool.make_room(&self.stats);
+                let cleanup_guard = d.lock_cleanup();
+                let mut page_buf = vec![0u8; ps as usize];
+                self.inner.pread(opened.inner_fd, &mut page_buf, p * ps, clock)?;
+                if d.dirty_count() > 0 {
+                    self.stats.dirty_misses.fetch_add(1, Ordering::Relaxed);
+                    self.dirty_miss(file, p, &mut page_buf, clock);
+                }
+                drop(cleanup_guard);
+                self.pool.install(d, &mut guards[j], page_buf.into_boxed_slice());
+            } else {
+                self.stats.read_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            d.mark_accessed();
+            let content = guards[j].content.as_ref().expect("just installed");
+            let page_start = p * ps;
+            let s = off.max(page_start);
+            let e = (off + n as u64).min(page_start + ps);
+            buf[(s - off) as usize..(e - off) as usize]
+                .copy_from_slice(&content[(s - page_start) as usize..(e - page_start) as usize]);
+        }
+        clock.advance(self.cfg.copy_bandwidth.time_for(n as u64));
+        Ok(n)
+    }
+}
+
+/// NVCache: a plug-and-play NVMM write cache for legacy applications — the
+/// paper's contribution, as a [`FileSystem`] layer wrapping any inner file
+/// system.
+///
+/// Writes are appended synchronously to a circular NVMM log (synchronous
+/// durability + durable linearizability), then propagated asynchronously by
+/// the cleanup thread through the inner file system. A small volatile read
+/// cache keeps read-your-writes consistency. `fsync` is a no-op by design.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use nvcache::{NvCache, NvCacheConfig};
+/// use nvmm::{NvDimm, NvRegion, NvmmProfile};
+/// use simclock::ActorClock;
+/// use vfs::{FileSystem, MemFs, OpenFlags};
+///
+/// # fn main() -> Result<(), vfs::IoError> {
+/// let clock = ActorClock::new();
+/// let cfg = NvCacheConfig::tiny();
+/// let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
+/// let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+/// let cache = NvCache::format(NvRegion::whole(dimm), inner, cfg, &clock)?;
+/// let fd = cache.open("/hello", OpenFlags::RDWR | OpenFlags::CREATE, &clock)?;
+/// cache.pwrite(fd, b"durable on return", 0, &clock)?;
+/// let mut buf = [0u8; 17];
+/// cache.pread(fd, &mut buf, 0, &clock)?;
+/// assert_eq!(&buf, b"durable on return");
+/// cache.close(fd, &clock)?;
+/// cache.shutdown(&clock);
+/// # Ok(())
+/// # }
+/// ```
+pub struct NvCache {
+    shared: Arc<Shared>,
+    name: String,
+    cleanup: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for NvCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NvCache")
+            .field("name", &self.name)
+            .field("pending_entries", &self.pending_entries())
+            .finish()
+    }
+}
+
+impl NvCache {
+    /// Formats `region` as a fresh NVCache log over `inner` and starts the
+    /// cleanup thread.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::InvalidArgument`] if the region is too small for `cfg`.
+    pub fn format(
+        region: NvRegion,
+        inner: Arc<dyn FileSystem>,
+        cfg: NvCacheConfig,
+        clock: &ActorClock,
+    ) -> IoResult<NvCache> {
+        cfg.validate();
+        let lay = Layout::for_config(&cfg);
+        if region.len() < lay.total_bytes() {
+            return Err(IoError::InvalidArgument(format!(
+                "region of {} bytes cannot hold the configured log ({} bytes)",
+                region.len(),
+                lay.total_bytes()
+            )));
+        }
+        region.write_u64(layout::OFF_MAGIC, layout::MAGIC, clock);
+        region.write_u64(layout::OFF_ENTRY_SIZE, cfg.entry_size as u64, clock);
+        region.write_u64(layout::OFF_NB_ENTRIES, cfg.nb_entries, clock);
+        region.write_u64(layout::OFF_PTAIL, 0, clock);
+        region.write_u64(layout::OFF_FD_SLOTS, cfg.fd_slots as u64, clock);
+        region.write_u64(layout::OFF_PAGE_SIZE, cfg.page_size as u64, clock);
+        region.pwb(0, layout::HEADER_BYTES as usize);
+        for slot in 0..cfg.fd_slots {
+            let base = lay.fd_slot(slot);
+            region.write_u64(base, 0, clock);
+            region.pwb(base, 8);
+        }
+        for slot in 0..cfg.nb_entries {
+            let base = lay.entry(slot);
+            region.write_u64(base + layout::ENT_COMMIT, 0, clock);
+            region.pwb(base + layout::ENT_COMMIT, 8);
+        }
+        region.psync(clock);
+        Ok(Self::start(region, inner, cfg))
+    }
+
+    /// Runs the recovery procedure on a previously formatted region (replay
+    /// committed entries, sync, empty the log) and starts a fresh instance.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::InvalidArgument`] if the region is not a formatted NVCache
+    /// log or its geometry disagrees with `cfg`.
+    pub fn recover(
+        region: NvRegion,
+        inner: Arc<dyn FileSystem>,
+        cfg: NvCacheConfig,
+        clock: &ActorClock,
+    ) -> IoResult<(NvCache, RecoveryReport)> {
+        cfg.validate();
+        if region.read_u64(layout::OFF_ENTRY_SIZE) != cfg.entry_size as u64
+            || region.read_u64(layout::OFF_NB_ENTRIES) != cfg.nb_entries
+            || region.read_u64(layout::OFF_FD_SLOTS) != cfg.fd_slots as u64
+        {
+            return Err(IoError::InvalidArgument(
+                "configuration disagrees with the on-NVMM log geometry".into(),
+            ));
+        }
+        let report = crate::recovery::recover(&region, &inner, clock)?;
+        let cache = Self::start(region, inner, cfg);
+        cache.shared.stats.recovered_entries.store(report.entries_replayed, Ordering::Relaxed);
+        Ok((cache, report))
+    }
+
+    fn start(region: NvRegion, inner: Arc<dyn FileSystem>, cfg: NvCacheConfig) -> NvCache {
+        let lay = Layout::for_config(&cfg);
+        let mut in_flight = Vec::with_capacity(cfg.fd_slots as usize);
+        in_flight.resize_with(cfg.fd_slots as usize, || AtomicU32::new(0));
+        let shared = Arc::new(Shared {
+            pool: ReadCache::new(cfg.read_cache_pages),
+            log: Log::new(region, lay, 0),
+            inner,
+            files: Mutex::new(HashMap::new()),
+            opened: RwLock::new(HashMap::new()),
+            free_slots: Mutex::new((0..cfg.fd_slots).rev().collect()),
+            zombies: Mutex::new(Vec::new()),
+            stats: NvCacheStats::default(),
+            stop: AtomicBool::new(false),
+            kill: AtomicBool::new(false),
+            cleanup_clock: Arc::new(ActorClock::new()),
+            next_file_id: AtomicU64::new(1),
+            in_flight: in_flight.into_boxed_slice(),
+            cfg,
+        });
+        let name = format!("nvcache+{}", shared.inner.name());
+        let worker = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("nvcache-cleanup".into())
+            .spawn(move || crate::cleanup::run_cleanup(worker))
+            .expect("spawn cleanup thread");
+        NvCache { shared, name, cleanup: Mutex::new(Some(handle)) }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NvCacheConfig {
+        &self.shared.cfg
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &NvCacheStats {
+        &self.shared.stats
+    }
+
+    /// The inner (propagation target) file system.
+    pub fn inner(&self) -> &Arc<dyn FileSystem> {
+        &self.shared.inner
+    }
+
+    /// The cleanup thread's virtual clock.
+    pub fn cleanup_clock(&self) -> &ActorClock {
+        &self.shared.cleanup_clock
+    }
+
+    /// Log entries waiting to be propagated.
+    pub fn pending_entries(&self) -> u64 {
+        self.shared.log.in_flight()
+    }
+
+    /// Descriptor-table occupancy: `(free, open, zombie)` slot counts.
+    pub fn fd_slot_usage(&self) -> (usize, usize, usize) {
+        (
+            self.shared.free_slots.lock().len(),
+            self.shared.opened.read().len(),
+            self.shared.zombies.lock().len(),
+        )
+    }
+
+    /// Blocks until every entry currently in the log has been propagated and
+    /// fsync'ed by the cleanup thread.
+    pub fn flush_log(&self, clock: &ActorClock) {
+        let target = self.shared.log.head.load(Ordering::Acquire);
+        self.shared.log.flush_to(target, clock);
+    }
+
+    /// Graceful shutdown: drain the log, stop and join the cleanup thread.
+    pub fn shutdown(&self, clock: &ActorClock) {
+        self.flush_log(clock);
+        self.abort();
+    }
+
+    /// Immediate stop (crash simulation): the cleanup thread exits without
+    /// draining; pending entries stay in NVMM for [`NvCache::recover`].
+    pub fn abort(&self) {
+        self.shared.kill.store(true, Ordering::Release);
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.log.notify_work();
+        if let Some(h) = self.cleanup.lock().take() {
+            let _ = h.join();
+        }
+    }
+
+    fn slot_of(fd: Fd) -> u32 {
+        fd.0 as u32
+    }
+
+    fn opened(&self, fd: Fd) -> IoResult<Arc<OpenedFile>> {
+        self.shared
+            .opened_by_slot(Self::slot_of(fd))
+            .filter(|o| !o.closing.load(Ordering::Acquire))
+            .ok_or(IoError::BadFd(fd.0))
+    }
+
+    /// Cursor-based write (libc `write`): appends at the NVCache-maintained
+    /// cursor, honouring `O_APPEND` against NVCache's own size.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FileSystem::pwrite`].
+    pub fn write(&self, fd: Fd, data: &[u8], clock: &ActorClock) -> IoResult<usize> {
+        let opened = self.opened(fd)?;
+        let mut cursor = opened.cursor.lock();
+        if opened.flags.contains(OpenFlags::APPEND) {
+            *cursor = opened.file.size.load(Ordering::Acquire);
+        }
+        let n = self.pwrite(fd, data, *cursor, clock)?;
+        *cursor += n as u64;
+        Ok(n)
+    }
+
+    /// Cursor-based read (libc `read`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FileSystem::pread`].
+    pub fn read(&self, fd: Fd, buf: &mut [u8], clock: &ActorClock) -> IoResult<usize> {
+        let opened = self.opened(fd)?;
+        let mut cursor = opened.cursor.lock();
+        let n = self.pread(fd, buf, *cursor, clock)?;
+        *cursor += n as u64;
+        Ok(n)
+    }
+
+    /// `lseek`, answered from NVCache's own cursor and size — the kernel's
+    /// values may be stale (paper Table III).
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::InvalidArgument`] when seeking before byte zero.
+    pub fn lseek(&self, fd: Fd, from: SeekFrom, clock: &ActorClock) -> IoResult<u64> {
+        clock.advance(self.shared.cfg.libc_overhead);
+        let opened = self.opened(fd)?;
+        let mut cursor = opened.cursor.lock();
+        let base: i128 = match from {
+            SeekFrom::Start(o) => o as i128,
+            SeekFrom::End(d) => opened.file.size.load(Ordering::Acquire) as i128 + d as i128,
+            SeekFrom::Current(d) => *cursor as i128 + d as i128,
+        };
+        if base < 0 {
+            return Err(IoError::InvalidArgument("seek before start of file".into()));
+        }
+        *cursor = base as u64;
+        Ok(*cursor)
+    }
+
+    /// Current cursor (`ftell`).
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::BadFd`] if the descriptor is not open.
+    pub fn tell(&self, fd: Fd) -> IoResult<u64> {
+        Ok(*self.opened(fd)?.cursor.lock())
+    }
+}
+
+impl Drop for NvCache {
+    fn drop(&mut self) {
+        self.abort();
+    }
+}
+
+struct InFlightGuard<'a>(&'a AtomicU32);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl NvCache {
+    fn enter(&self, fd: Fd) -> IoResult<(Arc<OpenedFile>, InFlightGuard<'_>)> {
+        let opened = self.opened(fd)?;
+        let counter = &self.shared.in_flight[opened.slot as usize];
+        counter.fetch_add(1, Ordering::AcqRel);
+        // Re-check after publication so close() can wait for quiescence.
+        if opened.closing.load(Ordering::Acquire) {
+            counter.fetch_sub(1, Ordering::AcqRel);
+            return Err(IoError::BadFd(fd.0));
+        }
+        Ok((opened, InFlightGuard(counter)))
+    }
+}
+
+impl FileSystem for NvCache {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags, clock: &ActorClock) -> IoResult<Fd> {
+        clock.advance(self.shared.cfg.libc_overhead);
+        let path = vfs::normalize_path(path);
+        if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+            // Pending log entries for the victim content must not resurface.
+            self.flush_log(clock);
+        }
+        // NVCache provides durability itself; the inner file is opened
+        // without O_SYNC (the cleanup thread fsyncs batches explicitly).
+        let inner_flags = flags.without(OpenFlags::SYNC);
+        let inner_fd = self.shared.inner.open(&path, inner_flags, clock)?;
+        let meta = self.shared.inner.fstat(inner_fd, clock)?;
+        let file = {
+            let mut files = self.shared.files.lock();
+            Arc::clone(files.entry((meta.dev, meta.ino)).or_insert_with(|| {
+                Arc::new(FileState {
+                    file_id: self.shared.next_file_id.fetch_add(1, Ordering::Relaxed),
+                    dev_ino: (meta.dev, meta.ino),
+                    path: path.clone(),
+                    size: AtomicU64::new(meta.size),
+                    radix: OnceLock::new(),
+                    open_count: AtomicU32::new(0),
+                })
+            }))
+        };
+        if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+            file.size.store(0, Ordering::Release);
+            self.shared.pool.purge_file(file.file_id);
+        }
+        if flags.writable() {
+            file.radix.get_or_init(Radix::new);
+        }
+        file.open_count.fetch_add(1, Ordering::AcqRel);
+        let slot = {
+            let mut slot = self.shared.free_slots.lock().pop();
+            if slot.is_none() {
+                // Reclaim closed descriptors whose entries already drained.
+                self.shared.drain_zombies(clock);
+                slot = self.shared.free_slots.lock().pop();
+            }
+            if slot.is_none() {
+                // Drain the log so every zombie slot frees up. The cleanup
+                // thread may be finishing the zombies concurrently (it races
+                // our own drain for the list), so retry briefly before
+                // declaring the table full.
+                self.flush_log(clock);
+                for _ in 0..10_000 {
+                    self.shared.drain_zombies(clock);
+                    slot = self.shared.free_slots.lock().pop();
+                    if slot.is_some() {
+                        break;
+                    }
+                    if self.shared.zombies.lock().is_empty()
+                        && self.shared.opened.read().values().all(|o| !o.closing.load(Ordering::Acquire))
+                    {
+                        break; // genuinely out of descriptors
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            match slot {
+                Some(s) => s,
+                None => {
+                    file.open_count.fetch_sub(1, Ordering::AcqRel);
+                    let _ = self.shared.inner.close(inner_fd, clock);
+                    return Err(IoError::Other("NVCache fd table is full".into()));
+                }
+            }
+        };
+        PersistentFdTable::set(&self.shared.log.region, &self.shared.log.layout, slot, &path, clock);
+        let opened = Arc::new(OpenedFile {
+            slot,
+            flags,
+            cursor: Mutex::new(0),
+            file,
+            inner_fd,
+            closing: AtomicBool::new(false),
+        });
+        self.shared.opened.write().insert(slot, opened);
+        Ok(Fd(slot as u64))
+    }
+
+    fn close(&self, fd: Fd, clock: &ActorClock) -> IoResult<()> {
+        clock.advance(self.shared.cfg.libc_overhead);
+        let slot = Self::slot_of(fd);
+        let opened = self.opened(fd)?;
+        if opened.closing.swap(true, Ordering::AcqRel) {
+            return Err(IoError::BadFd(fd.0));
+        }
+        // Wait out in-flight calls on this descriptor, then push this file's
+        // pending writes into the kernel page cache (paper §I: close flushes
+        // all user-space writes *to the kernel* — durability is already in
+        // NVMM, so no fsync and no waiting for the cleanup thread).
+        while self.shared.in_flight[slot as usize].load(Ordering::Acquire) > 0 {
+            std::thread::yield_now();
+        }
+        self.shared.kernel_flush_file(&opened, clock);
+        // The persistent fd slot must outlive the entries that reference it
+        // (recovery resolves paths through it); defer the actual teardown to
+        // the cleanup thread if entries are still in flight.
+        let target = self.shared.log.head.load(Ordering::Acquire);
+        if self.shared.log.vtail.load(Ordering::Acquire) >= target {
+            self.shared.finish_close(&opened, clock);
+        } else {
+            self.shared.zombies.lock().push(Zombie { opened, drain_target: target });
+            self.shared.log.notify_work();
+        }
+        Ok(())
+    }
+
+    fn pread(&self, fd: Fd, buf: &mut [u8], off: u64, clock: &ActorClock) -> IoResult<usize> {
+        let (opened, _guard) = self.enter(fd)?;
+        self.shared.do_pread(&opened, buf, off, clock)
+    }
+
+    fn pwrite(&self, fd: Fd, data: &[u8], off: u64, clock: &ActorClock) -> IoResult<usize> {
+        let (opened, _guard) = self.enter(fd)?;
+        self.shared.do_pwrite(&opened, data, off, clock)
+    }
+
+    fn fsync(&self, fd: Fd, clock: &ActorClock) -> IoResult<()> {
+        // Paper Table III: no operation — the write call already made the
+        // data durable in NVMM.
+        clock.advance(self.shared.cfg.libc_overhead);
+        self.opened(fd).map(|_| ())
+    }
+
+    fn ftruncate(&self, fd: Fd, len: u64, clock: &ActorClock) -> IoResult<()> {
+        let (opened, _guard) = self.enter(fd)?;
+        if !opened.flags.writable() {
+            return Err(IoError::PermissionDenied("fd opened read-only".into()));
+        }
+        clock.advance(self.shared.cfg.libc_overhead);
+        // Rare, non-critical path: drain then delegate, keeping NVCache's
+        // size authoritative.
+        self.flush_log(clock);
+        self.shared.inner.ftruncate(opened.inner_fd, len, clock)?;
+        opened.file.size.store(len, Ordering::Release);
+        self.shared.pool.purge_file(opened.file.file_id);
+        Ok(())
+    }
+
+    fn fstat(&self, fd: Fd, clock: &ActorClock) -> IoResult<Metadata> {
+        clock.advance(self.shared.cfg.libc_overhead);
+        let opened = self.opened(fd)?;
+        Ok(Metadata {
+            dev: opened.file.dev_ino.0,
+            ino: opened.file.dev_ino.1,
+            size: opened.file.size.load(Ordering::Acquire),
+            is_dir: false,
+        })
+    }
+
+    fn stat(&self, path: &str, clock: &ActorClock) -> IoResult<Metadata> {
+        clock.advance(self.shared.cfg.libc_overhead);
+        let mut meta = self.shared.inner.stat(path, clock)?;
+        // The kernel's size may be stale; NVCache's own is authoritative
+        // (paper Table III: stat uses NVCache size).
+        if let Some(file) = self.shared.files.lock().get(&(meta.dev, meta.ino)) {
+            meta.size = file.size.load(Ordering::Acquire);
+        }
+        Ok(meta)
+    }
+
+    fn unlink(&self, path: &str, clock: &ActorClock) -> IoResult<()> {
+        // Pass-through, as in the paper (Table III does not intercept it).
+        // Pending log entries for the victim are neutralized at recovery,
+        // which refuses to recreate files that no longer exist.
+        clock.advance(self.shared.cfg.libc_overhead);
+        self.shared.inner.unlink(path, clock)
+    }
+
+    fn rename(&self, from: &str, to: &str, clock: &ActorClock) -> IoResult<()> {
+        clock.advance(self.shared.cfg.libc_overhead);
+        self.flush_log(clock);
+        self.shared.inner.rename(from, to, clock)
+    }
+
+    fn list_dir(&self, dir: &str, clock: &ActorClock) -> IoResult<Vec<String>> {
+        self.shared.inner.list_dir(dir, clock)
+    }
+
+    fn sync(&self, clock: &ActorClock) -> IoResult<()> {
+        // Paper Table III: sync/syncfs are no-ops.
+        clock.advance(self.shared.cfg.libc_overhead);
+        Ok(())
+    }
+
+    fn simulate_power_failure(&self) {
+        // The faithful crash path goes through `NvDimm::crash_and_restart` +
+        // `NvCache::recover`; this in-place approximation only drops the
+        // volatile state below NVCache.
+        self.shared.inner.simulate_power_failure();
+    }
+
+    fn synchronous_durability(&self) -> bool {
+        true // by design: the write call returns after psync (Algorithm 1)
+    }
+
+    fn durable_linearizability(&self) -> bool {
+        true // the psync precedes the lock release (paper §III)
+    }
+}

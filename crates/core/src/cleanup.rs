@@ -1,0 +1,139 @@
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use simclock::SimTime;
+
+use crate::cache::Shared;
+use crate::layout::CommitWord;
+
+/// Body of the cleanup thread (paper §III "Cleanup thread and batching").
+///
+/// Consumes committed entries from the tail in batches, propagates each to
+/// the inner file system with `pwrite`, issues one `fsync` per batch (per
+/// touched file), then — and only then — clears the commit flags, persists
+/// the new tail index, and finally publishes the space to writers through
+/// the volatile tail. The three-step order guarantees that when a writer
+/// sees a free slot, the slot is also free in NVMM.
+pub(crate) fn run_cleanup(shared: Arc<Shared>) {
+    let clock = Arc::clone(&shared.cleanup_clock);
+    loop {
+        if shared.kill.load(Ordering::Acquire) {
+            // Crash simulation: leave everything in the log for recovery.
+            return;
+        }
+        shared.drain_zombies(&clock);
+        let tail = shared.log.vtail.load(Ordering::Acquire);
+        let head = shared.log.head.load(Ordering::Acquire);
+        let pending = head - tail;
+        let stop = shared.stop.load(Ordering::Acquire);
+        let flush_needed = shared.log.flush_target.load(Ordering::Acquire) > tail;
+        let space_needed = shared.log.space_waiters.load(Ordering::Acquire) > 0;
+
+        let should_run = pending > 0
+            && (pending >= shared.cfg.batch_min as u64 || flush_needed || space_needed || stop);
+        if !should_run {
+            if stop && pending == 0 {
+                shared.drain_zombies(&clock);
+                return;
+            }
+            shared.log.wait_for_work();
+            continue;
+        }
+
+        let budget = (shared.cfg.batch_max as u64).min(pending);
+        let mut consumed = 0u64;
+        let mut touched_fds: Vec<vfs::Fd> = Vec::new();
+
+        while consumed < budget {
+            if shared.kill.load(Ordering::Acquire) {
+                return;
+            }
+            let seq = tail + consumed;
+            // Wait for the in-order commit of the entry at the tail (the
+            // paper's cleanup thread does exactly this).
+            let header = loop {
+                let h = shared.log.read_header(seq);
+                if h.commit != CommitWord::Free {
+                    break h;
+                }
+                if shared.kill.load(Ordering::Acquire) {
+                    return;
+                }
+                if shared.stop.load(Ordering::Acquire) && consumed > 0 {
+                    // A producer died mid-allocation during shutdown; stop at
+                    // the gap and free what we have.
+                    break h;
+                }
+                std::thread::yield_now();
+            };
+            if header.commit == CommitWord::Free {
+                break;
+            }
+            // Stay causal in virtual time: a batch cannot start before its
+            // entries were committed.
+            let slot = shared.log.layout.slot_of(seq) as usize;
+            clock.advance_to(SimTime::from_nanos(
+                shared.log.commit_stamps[slot].load(Ordering::Acquire),
+            ));
+
+            let group_len = match header.commit {
+                CommitWord::Leader => header.group_len.max(1) as u64,
+                // A member at the tail would mean a torn group; the
+                // invariants (groups consumed atomically) forbid it.
+                CommitWord::Member(_) => unreachable!("group member at the tail"),
+                CommitWord::Free => unreachable!("checked above"),
+            };
+
+            for i in 0..group_len {
+                let e = shared.log.read_header(seq + i);
+                let opened = shared
+                    .opened_by_slot(e.fd_slot)
+                    .expect("entry references a closed fd: close must drain first");
+                // Entries at the tail were written recently by the
+                // application; their lines are still in the CPU caches, so
+                // the read is not charged against the NVMM media (which
+                // would otherwise serialize the cleanup thread's far-future
+                // timeline against in-flight application flushes).
+                let data = shared.log.read_data_cached(seq + i, e.len as usize);
+                // Lock out the dirty-miss procedure for the affected pages
+                // while the kernel copy is being updated (paper §II-D).
+                let pages = shared.pages_of(e.file_off, e.len as usize);
+                let descs: Vec<_> = match opened.file.radix.get() {
+                    Some(radix) => pages.map(|p| radix.get_or_create(p)).collect(),
+                    None => Vec::new(),
+                };
+                let guards: Vec<_> = descs.iter().map(|d| d.lock_cleanup()).collect();
+                shared
+                    .inner
+                    .pwrite(opened.inner_fd, &data, e.file_off, &clock)
+                    .expect("inner pwrite during cleanup");
+                for d in &descs {
+                    d.dec_dirty();
+                }
+                drop(guards);
+                if !touched_fds.contains(&opened.inner_fd) {
+                    touched_fds.push(opened.inner_fd);
+                }
+                shared.stats.entries_propagated.fetch_add(1, Ordering::Relaxed);
+            }
+            consumed += group_len;
+        }
+
+        if consumed == 0 {
+            continue;
+        }
+
+        // One fsync per batch per touched file: this is the batching knob of
+        // paper Fig. 6.
+        for fd in touched_fds {
+            // The fd may have raced to close after we propagated its last
+            // entry; a close error here would mean the drain ordering broke.
+            shared.inner.fsync(fd, &clock).expect("inner fsync during cleanup");
+            shared.stats.cleanup_fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+
+        shared.log.free_range(tail, consumed, &clock);
+        shared.stats.cleanup_batches.fetch_add(1, Ordering::Relaxed);
+        shared.drain_zombies(&clock);
+    }
+}

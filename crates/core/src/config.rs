@@ -1,0 +1,172 @@
+use simclock::{Bandwidth, SimTime};
+
+/// Configuration of an [`NvCache`](crate::NvCache) instance.
+///
+/// Defaults follow the paper's evaluation settings (§IV-A): 4 KiB log
+/// entries, 16 M entries (≈64 GiB of NVMM), a 250 k-page (≈1 GiB) read cache,
+/// and cleanup batching between 1 000 and 10 000 entries.
+///
+/// Full-paper capacities need more NVMM than a test machine has RAM, so
+/// [`scaled`](NvCacheConfig::scaled) shrinks every capacity knob by a factor
+/// while keeping per-operation latencies untouched — saturation dynamics are
+/// capacity/rate ratios and survive the scaling (see DESIGN.md §3).
+///
+/// # Example
+///
+/// ```
+/// use nvcache::NvCacheConfig;
+/// let cfg = NvCacheConfig::default().scaled(64);
+/// assert_eq!(cfg.nb_entries, 16 * 1024 * 1024 / 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NvCacheConfig {
+    /// Bytes of data per log entry (fixed-size entries, paper §II-D).
+    pub entry_size: usize,
+    /// Number of entries in the circular log.
+    pub nb_entries: u64,
+    /// Page size of the read cache (powers of two only — radix tree).
+    pub page_size: usize,
+    /// Capacity of the volatile read cache, in pages.
+    pub read_cache_pages: usize,
+    /// Minimum committed entries before the cleanup thread starts a batch.
+    pub batch_min: usize,
+    /// Maximum entries consumed per cleanup batch (one `fsync` per batch).
+    pub batch_max: usize,
+    /// Concurrent open-file slots in the persistent fd table.
+    pub fd_slots: u32,
+    /// User-space bookkeeping cost charged per intercepted call (NVCache
+    /// replaces the syscall with this — the design's core bet).
+    pub libc_overhead: SimTime,
+    /// DRAM copy bandwidth for read-cache hits and buffer copies.
+    pub copy_bandwidth: Bandwidth,
+}
+
+impl Default for NvCacheConfig {
+    fn default() -> Self {
+        NvCacheConfig {
+            entry_size: 4096,
+            nb_entries: 16 * 1024 * 1024,
+            page_size: 4096,
+            read_cache_pages: 250_000,
+            batch_min: 1_000,
+            batch_max: 10_000,
+            // Must comfortably exceed the steady-state population of
+            // closed-but-not-yet-drained descriptors (one cleanup batch's
+            // worth of closes), or opens start forcing log drains.
+            fd_slots: 4096,
+            libc_overhead: SimTime::from_nanos(1_500),
+            copy_bandwidth: Bandwidth::gib_per_sec(8.0),
+        }
+    }
+}
+
+impl NvCacheConfig {
+    /// Shrinks capacity knobs (log length, read cache) by `factor`, keeping
+    /// latencies, entry/page sizes — and the batching *policy* — unchanged:
+    /// the batch size controls fsync amortization (paper Fig. 6), which must
+    /// not vary with the experiment scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn scaled(mut self, factor: u64) -> Self {
+        assert!(factor > 0, "scale factor must be positive");
+        self.nb_entries = (self.nb_entries / factor).max(16);
+        self.read_cache_pages = ((self.read_cache_pages as u64 / factor) as usize).max(16);
+        self
+    }
+
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        NvCacheConfig {
+            nb_entries: 64,
+            read_cache_pages: 16,
+            batch_min: 1,
+            batch_max: 16,
+            fd_slots: 16,
+            ..NvCacheConfig::default()
+        }
+    }
+
+    /// Sets the log length in entries.
+    pub fn with_log_entries(mut self, n: u64) -> Self {
+        self.nb_entries = n;
+        self
+    }
+
+    /// Sets the cleanup batch window.
+    pub fn with_batching(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 1 && max >= min, "invalid batch window {min}..{max}");
+        self.batch_min = min;
+        self.batch_max = max;
+        self
+    }
+
+    /// Sets the read-cache capacity in pages.
+    pub fn with_read_cache_pages(mut self, pages: usize) -> Self {
+        self.read_cache_pages = pages.max(1);
+        self
+    }
+
+    /// NVMM bytes needed for this configuration (header + fd table + log).
+    pub fn required_nvmm_bytes(&self) -> u64 {
+        crate::layout::Layout::for_config(self).total_bytes()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent settings (non-power-of-two page size, zero
+    /// capacities, batch window inversion).
+    pub fn validate(&self) {
+        assert!(self.page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(self.entry_size > 0, "entry size must be positive");
+        assert!(self.nb_entries >= 2, "log needs at least two entries");
+        assert!(self.read_cache_pages >= 1, "read cache needs at least one page");
+        assert!(
+            self.batch_min >= 1 && self.batch_max >= self.batch_min,
+            "invalid batch window"
+        );
+        assert!(self.fd_slots >= 1, "need at least one fd slot");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let cfg = NvCacheConfig::default();
+        assert_eq!(cfg.entry_size, 4096);
+        assert_eq!(cfg.nb_entries, 16 * 1024 * 1024);
+        assert_eq!(cfg.read_cache_pages, 250_000);
+        assert_eq!(cfg.batch_min, 1_000);
+        assert_eq!(cfg.batch_max, 10_000);
+        cfg.validate();
+    }
+
+    #[test]
+    fn scaling_preserves_sizes() {
+        let cfg = NvCacheConfig::default().scaled(64);
+        assert_eq!(cfg.entry_size, 4096);
+        assert_eq!(cfg.page_size, 4096);
+        assert_eq!(cfg.nb_entries, 262_144);
+        cfg.validate();
+    }
+
+    #[test]
+    fn required_bytes_covers_log() {
+        let cfg = NvCacheConfig::tiny();
+        let need = cfg.required_nvmm_bytes();
+        assert!(need > cfg.nb_entries * cfg.entry_size as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_page_size_panics() {
+        let cfg = NvCacheConfig { page_size: 3000, ..NvCacheConfig::tiny() };
+        cfg.validate();
+    }
+}

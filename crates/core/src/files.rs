@@ -1,0 +1,154 @@
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64};
+use std::sync::{Arc, OnceLock};
+
+use nvmm::{NvRegion, PmemInts};
+use parking_lot::Mutex;
+use simclock::ActorClock;
+
+use crate::layout::{Layout, FD_SLOT_BYTES, PATH_MAX};
+use crate::Radix;
+
+/// Volatile per-file state: the *file table* entry of paper §III "Open",
+/// keyed by `(device, inode)` so that two opens of the same file share the
+/// size, the radix tree and the page descriptors.
+#[derive(Debug)]
+pub(crate) struct FileState {
+    /// Process-unique id (tags page descriptors for pool purging).
+    pub file_id: u64,
+    /// Identity on the inner file system.
+    pub dev_ino: (u64, u64),
+    /// Canonical path (used in diagnostics; recovery reads paths from the
+    /// persistent fd table, not from here).
+    #[allow(dead_code)]
+    pub path: String,
+    /// NVCache's own view of the file size — the kernel's may be stale while
+    /// appends sit in the log (paper §II-C).
+    pub size: AtomicU64,
+    /// Read-cache index; created on the first writable open. Files never
+    /// opened for writing have no tree and bypass the read cache entirely.
+    pub radix: OnceLock<Radix>,
+    /// Opens currently referencing this file.
+    pub open_count: AtomicU32,
+}
+
+/// Volatile per-descriptor state: the *opened table* entry of paper §III,
+/// holding the cursor and a pointer to the file structure.
+#[derive(Debug)]
+pub(crate) struct OpenedFile {
+    /// Persistent fd-table slot; doubles as the public descriptor number.
+    pub slot: u32,
+    /// Flags the file was opened with.
+    pub flags: vfs::OpenFlags,
+    /// NVCache-maintained cursor (paper Table III: `lseek`/`ftell` answered
+    /// from here, never from the kernel).
+    pub cursor: Mutex<u64>,
+    /// The shared file structure.
+    pub file: Arc<FileState>,
+    /// Descriptor on the inner (kernel) file system, used by the cleanup
+    /// thread and by read misses.
+    pub inner_fd: vfs::Fd,
+    /// Set once `close` begins; new calls on the descriptor then fail while
+    /// close waits for in-flight calls to drain.
+    pub closing: AtomicBool,
+}
+
+/// Accessors for the persistent fd→path table (paper §II-B: "NVCache stores
+/// in NVMM a table that associates the file path to each file descriptor, in
+/// order to retrieve the state after a crash").
+pub(crate) struct PersistentFdTable;
+
+impl PersistentFdTable {
+    /// Persists `path` into `slot` (write + flush + fence: the slot must be
+    /// durable before any entry referencing it commits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path exceeds [`PATH_MAX`].
+    pub fn set(region: &NvRegion, layout: &Layout, slot: u32, path: &str, clock: &ActorClock) {
+        let bytes = path.as_bytes();
+        assert!(bytes.len() <= PATH_MAX, "path longer than PATH_MAX: {path}");
+        let base = layout.fd_slot(slot);
+        let mut buf = vec![0u8; PATH_MAX];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        region.write(base + 8, &buf, clock);
+        region.write_u64(base, 1, clock);
+        region.pwb(base, FD_SLOT_BYTES as usize);
+        region.pfence(clock);
+    }
+
+    /// Invalidates `slot` (close path — only after the log has been drained,
+    /// so no entry can still reference it).
+    pub fn clear(region: &NvRegion, layout: &Layout, slot: u32, clock: &ActorClock) {
+        let base = layout.fd_slot(slot);
+        region.write_u64(base, 0, clock);
+        region.pwb(base, 8);
+        region.pfence(clock);
+    }
+
+    /// Reads `slot`, returning the stored path if valid. Uses charged reads
+    /// (recovery runs with a cold CPU cache).
+    pub fn get(
+        region: &NvRegion,
+        layout: &Layout,
+        slot: u32,
+        clock: &ActorClock,
+    ) -> Option<String> {
+        let base = layout.fd_slot(slot);
+        let mut head = [0u8; 8];
+        region.read(base, &mut head, clock);
+        if u64::from_le_bytes(head) != 1 {
+            return None;
+        }
+        let mut buf = vec![0u8; PATH_MAX];
+        region.read(base + 8, &mut buf, clock);
+        let end = buf.iter().position(|&b| b == 0).unwrap_or(PATH_MAX);
+        Some(String::from_utf8_lossy(&buf[..end]).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NvCacheConfig;
+    use nvmm::{NvDimm, NvmmProfile};
+
+    fn setup() -> (ActorClock, NvRegion, Layout) {
+        let cfg = NvCacheConfig::tiny();
+        let layout = Layout::for_config(&cfg);
+        let dimm = Arc::new(NvDimm::new(layout.total_bytes(), NvmmProfile::instant()));
+        (ActorClock::new(), NvRegion::whole(dimm), layout)
+    }
+
+    #[test]
+    fn set_get_clear_round_trip() {
+        let (c, region, layout) = setup();
+        assert_eq!(PersistentFdTable::get(&region, &layout, 3, &c), None);
+        PersistentFdTable::set(&region, &layout, 3, "/data/wal.log", &c);
+        assert_eq!(
+            PersistentFdTable::get(&region, &layout, 3, &c).as_deref(),
+            Some("/data/wal.log")
+        );
+        PersistentFdTable::clear(&region, &layout, 3, &c);
+        assert_eq!(PersistentFdTable::get(&region, &layout, 3, &c), None);
+    }
+
+    #[test]
+    fn slots_survive_crash() {
+        let (c, region, layout) = setup();
+        PersistentFdTable::set(&region, &layout, 0, "/survivor", &c);
+        let crashed = region.dimm().crash_and_restart();
+        let region2 = NvRegion::whole(Arc::new(crashed));
+        assert_eq!(
+            PersistentFdTable::get(&region2, &layout, 0, &c).as_deref(),
+            Some("/survivor")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "PATH_MAX")]
+    fn oversized_path_panics() {
+        let (c, region, layout) = setup();
+        let long = "x".repeat(PATH_MAX + 1);
+        PersistentFdTable::set(&region, &layout, 0, &long, &c);
+    }
+}

@@ -1,0 +1,201 @@
+//! The persistent layout of the NVCache NVMM region.
+//!
+//! Everything is addressed by explicit byte offsets in little-endian encoding
+//! — no struct casts, keeping the crate 100% safe Rust while staying faithful
+//! to the paper's layout (Algorithm 1): a header, the fd→path table used only
+//! by recovery, and the circular array of fixed-size entries.
+//!
+//! ```text
+//! +-----------+----------------------+--------------------------------+
+//! |  header   |  fd table            |  entries                       |
+//! |  (4 KiB)  |  fd_slots x 256 B    |  nb_entries x (64 B + entry)   |
+//! +-----------+----------------------+--------------------------------+
+//! ```
+//!
+//! Entry commit words (offset 0 of each entry header) encode the paper's
+//! packed commit-flag/group-index integer:
+//!
+//! * `0` — free or not yet committed;
+//! * `COMMIT_LEADER` (1) — committed; first (or only) entry of a write;
+//! * `MEMBER_BIT | leader_slot` — continuation entry of a multi-entry write;
+//!   valid iff its leader is committed.
+
+use crate::NvCacheConfig;
+
+/// Size of the region header.
+pub const HEADER_BYTES: u64 = 4096;
+/// Bytes per persistent fd slot.
+pub const FD_SLOT_BYTES: u64 = 256;
+/// Maximum stored path length (rest of the slot after the valid word).
+pub const PATH_MAX: usize = (FD_SLOT_BYTES - 8) as usize;
+/// Bytes of each entry header.
+pub const ENTRY_HEADER_BYTES: u64 = 64;
+
+/// Magic value identifying a formatted region ("NVCACHE1").
+pub const MAGIC: u64 = u64::from_le_bytes(*b"NVCACHE1");
+
+/// Commit word of a committed leader entry.
+pub const COMMIT_LEADER: u64 = 1;
+/// Tag bit marking a group-member commit word.
+pub const MEMBER_BIT: u64 = 1 << 63;
+
+// Header field offsets.
+pub const OFF_MAGIC: u64 = 0;
+pub const OFF_ENTRY_SIZE: u64 = 8;
+pub const OFF_NB_ENTRIES: u64 = 16;
+pub const OFF_PTAIL: u64 = 24;
+pub const OFF_FD_SLOTS: u64 = 32;
+pub const OFF_PAGE_SIZE: u64 = 40;
+
+// Entry header field offsets (relative to the entry base).
+pub const ENT_COMMIT: u64 = 0;
+pub const ENT_FD: u64 = 8;
+pub const ENT_LEN: u64 = 12;
+pub const ENT_FILE_OFF: u64 = 16;
+pub const ENT_GROUP_LEN: u64 = 24;
+pub const ENT_SEQ: u64 = 32;
+
+/// Resolved byte offsets for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Entries in the circular log.
+    pub nb_entries: u64,
+    /// Data bytes per entry.
+    pub entry_size: u64,
+    /// Persistent fd slots.
+    pub fd_slots: u64,
+}
+
+impl Layout {
+    /// Layout for a configuration.
+    pub fn for_config(cfg: &NvCacheConfig) -> Layout {
+        Layout {
+            nb_entries: cfg.nb_entries,
+            entry_size: cfg.entry_size as u64,
+            fd_slots: cfg.fd_slots as u64,
+        }
+    }
+
+    /// Start of the fd table.
+    pub fn fd_table_base(&self) -> u64 {
+        HEADER_BYTES
+    }
+
+    /// Offset of fd slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn fd_slot(&self, slot: u32) -> u64 {
+        assert!((slot as u64) < self.fd_slots, "fd slot {slot} out of range");
+        self.fd_table_base() + slot as u64 * FD_SLOT_BYTES
+    }
+
+    /// Start of the entry array.
+    pub fn entries_base(&self) -> u64 {
+        self.fd_table_base() + self.fd_slots * FD_SLOT_BYTES
+    }
+
+    /// Stride between consecutive entries.
+    pub fn entry_stride(&self) -> u64 {
+        ENTRY_HEADER_BYTES + self.entry_size
+    }
+
+    /// Base offset of the entry in `slot` (a *slot*, i.e. a sequence number
+    /// already reduced modulo `nb_entries`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn entry(&self, slot: u64) -> u64 {
+        assert!(slot < self.nb_entries, "entry slot {slot} out of range");
+        self.entries_base() + slot * self.entry_stride()
+    }
+
+    /// Slot index for a monotonically increasing sequence number.
+    pub fn slot_of(&self, seq: u64) -> u64 {
+        seq % self.nb_entries
+    }
+
+    /// Offset of the data area of the entry in `slot`.
+    pub fn entry_data(&self, slot: u64) -> u64 {
+        self.entry(slot) + ENTRY_HEADER_BYTES
+    }
+
+    /// Total NVMM bytes required.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries_base() + self.nb_entries * self.entry_stride()
+    }
+}
+
+/// Encodes a member commit word pointing at `leader_slot`.
+pub fn member_commit_word(leader_slot: u64) -> u64 {
+    MEMBER_BIT | leader_slot
+}
+
+/// Decodes a commit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitWord {
+    /// Free slot or not-yet-committed entry.
+    Free,
+    /// Committed leader (single entry or head of a group).
+    Leader,
+    /// Member of the group led by the given slot.
+    Member(u64),
+}
+
+/// Parses an entry commit word.
+pub fn parse_commit_word(w: u64) -> CommitWord {
+    if w == 0 {
+        CommitWord::Free
+    } else if w & MEMBER_BIT != 0 {
+        CommitWord::Member(w & !MEMBER_BIT)
+    } else {
+        CommitWord::Leader
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Layout {
+        Layout { nb_entries: 8, entry_size: 128, fd_slots: 4 }
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let l = layout();
+        assert_eq!(l.fd_table_base(), 4096);
+        assert_eq!(l.entries_base(), 4096 + 4 * 256);
+        assert_eq!(l.entry(0), l.entries_base());
+        assert_eq!(l.entry(1) - l.entry(0), 64 + 128);
+        assert_eq!(l.total_bytes(), l.entry(7) + l.entry_stride());
+    }
+
+    #[test]
+    fn slots_wrap() {
+        let l = layout();
+        assert_eq!(l.slot_of(0), 0);
+        assert_eq!(l.slot_of(8), 0);
+        assert_eq!(l.slot_of(13), 5);
+    }
+
+    #[test]
+    fn commit_word_round_trip() {
+        assert_eq!(parse_commit_word(0), CommitWord::Free);
+        assert_eq!(parse_commit_word(COMMIT_LEADER), CommitWord::Leader);
+        assert_eq!(parse_commit_word(member_commit_word(5)), CommitWord::Member(5));
+    }
+
+    #[test]
+    fn magic_is_ascii() {
+        assert_eq!(&MAGIC.to_le_bytes(), b"NVCACHE1");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn entry_bounds_checked() {
+        layout().entry(8);
+    }
+}

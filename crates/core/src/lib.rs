@@ -1,0 +1,74 @@
+//! # NVCache — a plug-and-play NVMM-based I/O booster for legacy systems
+//!
+//! Reproduction of *NVCache* (Dulong et al., DSN 2021, arXiv:2105.10397): a
+//! user-space, write-back cache in non-volatile main memory that makes the
+//! writes of unmodified POSIX applications synchronously durable at NVMM
+//! speed, while asynchronously propagating them through the regular kernel
+//! I/O stack to a mass-storage device of arbitrary size.
+//!
+//! The crate implements the paper's §II–III designs in full:
+//!
+//! * the **write cache** — a circular NVMM log of fixed-size entries with
+//!   per-entry commit flags and group commit for large writes ([`log`],
+//!   Algorithm 1);
+//! * the **read cache** — a bounded pool of page contents indexed by
+//!   per-file lock-free radix trees, with approximate LRU eviction and the
+//!   Table II page state machine ([`Radix`], [`PageState`]);
+//! * the **two-lock-per-page concurrency scheme** (atomic lock + cleanup
+//!   lock + dirty counter, §II-D);
+//! * the **cleanup thread** with write batching (§III);
+//! * the **recovery procedure** replaying committed entries after a crash;
+//! * the **interception semantics** of Table III (`fsync` no-ops, NVCache's
+//!   own cursors/sizes) via the [`vfs::FileSystem`] trait plus cursor-based
+//!   [`NvCache::write`]/[`NvCache::read`]/[`NvCache::lseek`].
+//!
+//! Hardware primitives (`pwb`/`pfence`/`psync`) come from the [`nvmm`]
+//! simulator, which also provides crash injection so the durability claims
+//! are *tested*, not assumed.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use nvcache::{NvCache, NvCacheConfig};
+//! use nvmm::{NvDimm, NvRegion, NvmmProfile};
+//! use simclock::ActorClock;
+//! use vfs::{FileSystem, MemFs, OpenFlags};
+//!
+//! # fn main() -> Result<(), vfs::IoError> {
+//! let clock = ActorClock::new();
+//! let cfg = NvCacheConfig::tiny();
+//! let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
+//! let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+//! let cache = NvCache::format(NvRegion::whole(dimm), inner, cfg, &clock)?;
+//!
+//! let fd = cache.open("/db/wal", OpenFlags::RDWR | OpenFlags::CREATE, &clock)?;
+//! cache.pwrite(fd, b"synchronously durable", 0, &clock)?;
+//! cache.fsync(fd, &clock)?; // no-op: already durable
+//! cache.close(fd, &clock)?;
+//! cache.shutdown(&clock);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cache;
+mod cleanup;
+mod config;
+mod files;
+pub mod layout;
+mod log;
+mod pagedesc;
+mod radix;
+mod readcache;
+mod recovery;
+mod stats;
+
+#[cfg(test)]
+mod tests;
+
+pub use cache::NvCache;
+pub use config::NvCacheConfig;
+pub use pagedesc::{PageDescriptor, PageSlot, PageState};
+pub use radix::Radix;
+pub use recovery::RecoveryReport;
+pub use stats::{NvCacheStats, NvCacheStatsSnapshot};

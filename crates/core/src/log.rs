@@ -1,0 +1,478 @@
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use nvmm::{NvRegion, PmemInts};
+use parking_lot::{Condvar, Mutex};
+use simclock::{ActorClock, SimTime};
+
+use crate::layout::{
+    self, CommitWord, Layout, COMMIT_LEADER, ENT_COMMIT, ENT_FD, ENT_FILE_OFF, ENT_GROUP_LEN,
+    ENT_LEN, ENT_SEQ,
+};
+use crate::NvCacheStats;
+
+/// Decoded entry header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EntryHeader {
+    pub commit: CommitWord,
+    pub fd_slot: u32,
+    pub len: u32,
+    pub file_off: u64,
+    pub group_len: u32,
+    pub seq: u64,
+}
+
+/// The circular NVMM write log (paper §II-B, Algorithm 1).
+///
+/// * `head` — volatile allocation index (a monotonically increasing sequence
+///   number; the slot is `seq % nb_entries`). Advanced with CAS by writers.
+/// * `vtail` — volatile tail: everything below it is free for writers.
+/// * persistent tail — stored in the region header, advanced by the cleanup
+///   thread after a batch is fsync'ed; the recovery scan starts there.
+///
+/// Writers that find the log full wait on `space_cv` and, once woken,
+/// synchronize their virtual clock with the cleanup thread's publication
+/// time (`tail_time`) — this is how SSD back-pressure reaches the
+/// application in the simulation, reproducing the saturation collapse of
+/// paper Fig. 5.
+pub(crate) struct Log {
+    pub region: NvRegion,
+    pub layout: Layout,
+    pub head: AtomicU64,
+    pub vtail: AtomicU64,
+    /// Virtual commit time of each slot (keeps the cleanup thread causal).
+    pub commit_stamps: Box<[AtomicU64]>,
+    /// Virtual time at which each slot was last freed by the cleanup thread.
+    /// A producer reusing the slot advances to this time first: this is the
+    /// coupling that makes the log saturate in *virtual* time (paper Fig. 5)
+    /// even though the real cleanup thread may keep up in wall-clock time.
+    pub free_stamps: Box<[AtomicU64]>,
+    /// Virtual time at which the cleanup thread last freed entries.
+    pub tail_time: AtomicU64,
+    /// Writers currently blocked on a full log.
+    pub space_waiters: AtomicUsize,
+    /// Sequence number the cleanup thread must drain to (flush barrier).
+    pub flush_target: AtomicU64,
+    space_lock: Mutex<()>,
+    space_cv: Condvar,
+    work_lock: Mutex<()>,
+    work_cv: Condvar,
+}
+
+impl std::fmt::Debug for Log {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Log")
+            .field("head", &self.head.load(Ordering::Relaxed))
+            .field("vtail", &self.vtail.load(Ordering::Relaxed))
+            .field("nb_entries", &self.layout.nb_entries)
+            .finish()
+    }
+}
+
+impl Log {
+    pub fn new(region: NvRegion, layout: Layout, start_seq: u64) -> Self {
+        let mut stamps = Vec::with_capacity(layout.nb_entries as usize);
+        stamps.resize_with(layout.nb_entries as usize, || AtomicU64::new(0));
+        let mut free_stamps = Vec::with_capacity(layout.nb_entries as usize);
+        free_stamps.resize_with(layout.nb_entries as usize, || AtomicU64::new(0));
+        Log {
+            region,
+            layout,
+            head: AtomicU64::new(start_seq),
+            vtail: AtomicU64::new(start_seq),
+            commit_stamps: stamps.into_boxed_slice(),
+            free_stamps: free_stamps.into_boxed_slice(),
+            tail_time: AtomicU64::new(0),
+            space_waiters: AtomicUsize::new(0),
+            flush_target: AtomicU64::new(start_seq),
+            space_lock: Mutex::new(()),
+            space_cv: Condvar::new(),
+            work_lock: Mutex::new(()),
+            work_cv: Condvar::new(),
+        }
+    }
+
+    /// Entries allocated but not yet freed.
+    pub fn in_flight(&self) -> u64 {
+        self.head.load(Ordering::Acquire) - self.vtail.load(Ordering::Acquire)
+    }
+
+    /// Allocates `k` consecutive entries, waiting while the log is full
+    /// (`next_entry` of Algorithm 1, generalized to groups). Returns the
+    /// first sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the log capacity (such a write can never fit).
+    pub fn alloc(&self, k: u64, clock: &ActorClock, stats: &NvCacheStats) -> u64 {
+        assert!(
+            k <= self.layout.nb_entries,
+            "write of {k} entries exceeds log capacity {}",
+            self.layout.nb_entries
+        );
+        let mut waited = false;
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            let tail = self.vtail.load(Ordering::Acquire);
+            if head + k - tail <= self.layout.nb_entries {
+                if self
+                    .head
+                    .compare_exchange_weak(head, head + k, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // Virtual-time coupling: the claimed slots only became
+                    // free when the cleanup thread freed them — the producer
+                    // cannot be "earlier" than that instant.
+                    let mut free_at = 0u64;
+                    for i in 0..k {
+                        let slot = self.layout.slot_of(head + i) as usize;
+                        free_at = free_at.max(self.free_stamps[slot].load(Ordering::Acquire));
+                    }
+                    if free_at > 0 {
+                        clock.advance_to(SimTime::from_nanos(free_at));
+                    }
+                    if waited {
+                        clock.advance_to(SimTime::from_nanos(
+                            self.tail_time.load(Ordering::Acquire),
+                        ));
+                    }
+                    return head;
+                }
+                continue;
+            }
+            if !waited {
+                stats.log_full_waits.fetch_add(1, Ordering::Relaxed);
+                waited = true;
+            }
+            self.space_waiters.fetch_add(1, Ordering::AcqRel);
+            self.notify_work();
+            {
+                let mut guard = self.space_lock.lock();
+                // Re-check under the lock to avoid a lost wakeup.
+                let head = self.head.load(Ordering::Acquire);
+                let tail = self.vtail.load(Ordering::Acquire);
+                if head + k - tail > self.layout.nb_entries {
+                    self.space_cv.wait_for(&mut guard, Duration::from_millis(1));
+                }
+            }
+            self.space_waiters.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Fills one entry (header + data) without committing it. For group
+    /// members (`member_of == Some(leader_slot)`), the member tag is written
+    /// as part of the fill, as in the paper: the *leader's* flag commits the
+    /// group.
+    pub fn fill_entry(
+        &self,
+        seq: u64,
+        fd_slot: u32,
+        file_off: u64,
+        data: &[u8],
+        group_len: u32,
+        member_of: Option<u64>,
+        clock: &ActorClock,
+    ) {
+        assert!(data.len() <= self.layout.entry_size as usize, "entry data overflow");
+        let slot = self.layout.slot_of(seq);
+        let base = self.layout.entry(slot);
+        debug_assert_eq!(
+            self.region.read_u64(base + ENT_COMMIT),
+            0,
+            "allocated slot must be free"
+        );
+        self.region.write_u32(base + ENT_FD, fd_slot, clock);
+        self.region.write_u32(base + ENT_LEN, data.len() as u32, clock);
+        self.region.write_u64(base + ENT_FILE_OFF, file_off, clock);
+        self.region.write_u32(base + ENT_GROUP_LEN, group_len, clock);
+        self.region.write_u64(base + ENT_SEQ, seq, clock);
+        if let Some(leader_slot) = member_of {
+            self.region
+                .write_u64(base + ENT_COMMIT, layout::member_commit_word(leader_slot), clock);
+        }
+        self.region.write(base + layout::ENTRY_HEADER_BYTES, data, clock);
+        // Send the uncommitted entry towards NVMM (Algorithm 1, l.22).
+        self.region
+            .pwb(base, (layout::ENTRY_HEADER_BYTES as usize) + data.len());
+    }
+
+    /// Commits the group whose leader is `first_seq`: `pfence` (order fills
+    /// before the commit), write the leader's commit flag, flush its cache
+    /// line, `psync` (durable linearizability — Algorithm 1, ll.23–27).
+    pub fn commit_group(&self, first_seq: u64, k: u64, clock: &ActorClock) {
+        self.region.pfence(clock);
+        let slot = self.layout.slot_of(first_seq);
+        let base = self.layout.entry(slot);
+        self.region.write_u64(base + ENT_COMMIT, COMMIT_LEADER, clock);
+        self.region.pwb(base + ENT_COMMIT, 8);
+        self.region.psync(clock);
+        let now = clock.now().as_nanos();
+        for i in 0..k {
+            let s = self.layout.slot_of(first_seq + i) as usize;
+            self.commit_stamps[s].store(now, Ordering::Release);
+        }
+        self.notify_work();
+    }
+
+    /// Reads an entry header (CPU-cache-speed loads: the hot paths touch
+    /// lines their thread recently wrote; recovery uses charged reads).
+    pub fn read_header(&self, seq: u64) -> EntryHeader {
+        let slot = self.layout.slot_of(seq);
+        let base = self.layout.entry(slot);
+        EntryHeader {
+            commit: layout::parse_commit_word(self.region.read_u64(base + ENT_COMMIT)),
+            fd_slot: self.region.read_u32(base + ENT_FD),
+            len: self.region.read_u32(base + ENT_LEN),
+            file_off: self.region.read_u64(base + ENT_FILE_OFF),
+            group_len: self.region.read_u32(base + ENT_GROUP_LEN),
+            seq: self.region.read_u64(base + ENT_SEQ),
+        }
+    }
+
+    /// Reads entry data with a charged (media) read.
+    pub fn read_data(&self, seq: u64, len: usize, clock: &ActorClock) -> Vec<u8> {
+        let slot = self.layout.slot_of(seq);
+        let mut buf = vec![0u8; len];
+        self.region.read(self.layout.entry_data(slot), &mut buf, clock);
+        buf
+    }
+
+    /// Reads entry data at CPU-cache speed (dirty-miss fast path for entries
+    /// the process wrote recently).
+    pub fn read_data_cached(&self, seq: u64, len: usize) -> Vec<u8> {
+        let slot = self.layout.slot_of(seq);
+        let mut buf = vec![0u8; len];
+        self.region.read_cached(self.layout.entry_data(slot), &mut buf);
+        buf
+    }
+
+    /// Cleanup step 2+3: reset commit flags of `[from, from+count)`, persist
+    /// the new tail index, then publish the space to writers (paper §III
+    /// "Cleanup thread": volatile tail only moves after the persistent state
+    /// is consistent).
+    pub fn free_range(&self, from: u64, count: u64, clock: &ActorClock) {
+        for i in 0..count {
+            let slot = self.layout.slot_of(from + i);
+            let base = self.layout.entry(slot);
+            self.region.write_u64(base + ENT_COMMIT, 0, clock);
+            self.region.pwb(base + ENT_COMMIT, 8);
+        }
+        let now = clock.now().as_nanos();
+        for i in 0..count {
+            let slot = self.layout.slot_of(from + i) as usize;
+            self.free_stamps[slot].store(now, Ordering::Release);
+        }
+        self.region.write_u64(layout::OFF_PTAIL, from + count, clock);
+        self.region.pwb(layout::OFF_PTAIL, 8);
+        self.region.pfence(clock);
+        self.tail_time.store(clock.now().as_nanos(), Ordering::Release);
+        self.vtail.store(from + count, Ordering::Release);
+        self.notify_space();
+    }
+
+    /// Wakes the cleanup thread.
+    pub fn notify_work(&self) {
+        let _g = self.work_lock.lock();
+        self.work_cv.notify_all();
+    }
+
+    /// Wakes writers blocked on a full log and flush waiters.
+    pub fn notify_space(&self) {
+        let _g = self.space_lock.lock();
+        self.space_cv.notify_all();
+    }
+
+    /// Blocks the cleanup thread until there is (potential) work.
+    pub fn wait_for_work(&self) {
+        let mut guard = self.work_lock.lock();
+        self.work_cv.wait_for(&mut guard, Duration::from_millis(1));
+    }
+
+    /// Requests a drain to at least `target` and blocks until the volatile
+    /// tail passes it. Used by `close`/`flush` (paper: close pushes all
+    /// user-space writes to the kernel).
+    pub fn flush_to(&self, target: u64, clock: &ActorClock) {
+        self.flush_target.fetch_max(target, Ordering::AcqRel);
+        self.notify_work();
+        loop {
+            if self.vtail.load(Ordering::Acquire) >= target {
+                clock.advance_to(SimTime::from_nanos(self.tail_time.load(Ordering::Acquire)));
+                return;
+            }
+            let mut guard = self.space_lock.lock();
+            if self.vtail.load(Ordering::Acquire) >= target {
+                clock.advance_to(SimTime::from_nanos(self.tail_time.load(Ordering::Acquire)));
+                return;
+            }
+            self.space_cv.wait_for(&mut guard, Duration::from_millis(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NvCacheConfig;
+    use nvmm::{NvDimm, NvmmProfile};
+    use std::sync::Arc;
+
+    fn mk_log(nb: u64) -> (ActorClock, NvCacheStats, Log) {
+        let cfg = NvCacheConfig { nb_entries: nb, entry_size: 128, ..NvCacheConfig::tiny() };
+        let layout = Layout::for_config(&cfg);
+        let dimm = Arc::new(NvDimm::new(layout.total_bytes(), NvmmProfile::instant()));
+        let region = NvRegion::whole(dimm);
+        (ActorClock::new(), NvCacheStats::default(), Log::new(region, layout, 0))
+    }
+
+    #[test]
+    fn alloc_is_monotonic_and_contiguous() {
+        let (c, s, log) = mk_log(16);
+        assert_eq!(log.alloc(1, &c, &s), 0);
+        assert_eq!(log.alloc(3, &c, &s), 1);
+        assert_eq!(log.alloc(1, &c, &s), 4);
+        assert_eq!(log.in_flight(), 5);
+    }
+
+    #[test]
+    fn fill_and_commit_round_trip() {
+        let (c, s, log) = mk_log(16);
+        let seq = log.alloc(1, &c, &s);
+        log.fill_entry(seq, 7, 4096, b"payload", 1, None, &c);
+        let h = log.read_header(seq);
+        assert_eq!(h.commit, CommitWord::Free, "not committed yet");
+        log.commit_group(seq, 1, &c);
+        let h = log.read_header(seq);
+        assert_eq!(h.commit, CommitWord::Leader);
+        assert_eq!(h.fd_slot, 7);
+        assert_eq!(h.len, 7);
+        assert_eq!(h.file_off, 4096);
+        assert_eq!(h.group_len, 1);
+        assert_eq!(log.read_data_cached(seq, 7), b"payload");
+    }
+
+    #[test]
+    fn group_members_point_to_leader() {
+        let (c, s, log) = mk_log(16);
+        let first = log.alloc(3, &c, &s);
+        let leader_slot = log.layout.slot_of(first);
+        for i in 0..3u64 {
+            let member = (i > 0).then_some(leader_slot);
+            log.fill_entry(first + i, 1, i * 128, &[i as u8; 16], 3, member, &c);
+        }
+        log.commit_group(first, 3, &c);
+        assert_eq!(log.read_header(first).commit, CommitWord::Leader);
+        assert_eq!(log.read_header(first + 1).commit, CommitWord::Member(leader_slot));
+        assert_eq!(log.read_header(first + 2).commit, CommitWord::Member(leader_slot));
+    }
+
+    #[test]
+    fn uncommitted_entries_are_lost_on_crash_committed_survive() {
+        let (c, s, log) = mk_log(16);
+        let a = log.alloc(1, &c, &s);
+        log.fill_entry(a, 1, 0, b"committed", 1, None, &c);
+        log.commit_group(a, 1, &c);
+        let b = log.alloc(1, &c, &s);
+        log.fill_entry(b, 1, 0, b"torn!", 1, None, &c);
+        // no commit for b
+        let crashed = log.region.dimm().crash_and_restart();
+        let region = NvRegion::whole(Arc::new(crashed));
+        let recovered = Log::new(region, log.layout, 0);
+        assert_eq!(recovered.read_header(a).commit, CommitWord::Leader);
+        assert_eq!(recovered.read_header(b).commit, CommitWord::Free);
+    }
+
+    #[test]
+    fn free_range_recycles_and_persists_tail() {
+        let (c, s, log) = mk_log(4);
+        for i in 0..4u64 {
+            let seq = log.alloc(1, &c, &s);
+            log.fill_entry(seq, 0, i * 128, &[1; 8], 1, None, &c);
+            log.commit_group(seq, 1, &c);
+        }
+        assert_eq!(log.in_flight(), 4);
+        log.free_range(0, 2, &c);
+        assert_eq!(log.in_flight(), 2);
+        assert_eq!(log.region.read_u64(layout::OFF_PTAIL), 2);
+        // Freed slots are reusable.
+        let seq = log.alloc(2, &c, &s);
+        assert_eq!(seq, 4);
+        assert_eq!(log.read_header(4).commit, CommitWord::Free);
+    }
+
+    #[test]
+    fn alloc_blocks_until_space_is_freed() {
+        let (c, s, log) = mk_log(4);
+        for _ in 0..4 {
+            let seq = log.alloc(1, &c, &s);
+            log.fill_entry(seq, 0, 0, &[0; 8], 1, None, &c);
+            log.commit_group(seq, 1, &c);
+        }
+        let log = Arc::new(log);
+        let log2 = Arc::clone(&log);
+        let waiter = std::thread::spawn(move || {
+            let c2 = ActorClock::new();
+            let s2 = NvCacheStats::default();
+            let seq = log2.alloc(1, &c2, &s2);
+            (seq, s2.log_full_waits.load(Ordering::Relaxed))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let freeing_clock = ActorClock::starting_at(SimTime::from_secs(9));
+        log.free_range(0, 1, &freeing_clock);
+        let (seq, waits) = waiter.join().unwrap();
+        assert_eq!(seq, 4);
+        assert_eq!(waits, 1, "the waiter must record a saturation event");
+    }
+
+    #[test]
+    fn waiter_clock_syncs_to_cleanup_time() {
+        let (c, s, log) = mk_log(2);
+        for _ in 0..2 {
+            let seq = log.alloc(1, &c, &s);
+            log.fill_entry(seq, 0, 0, &[0; 8], 1, None, &c);
+            log.commit_group(seq, 1, &c);
+        }
+        let log = Arc::new(log);
+        let log2 = Arc::clone(&log);
+        let waiter = std::thread::spawn(move || {
+            let c2 = ActorClock::new();
+            let s2 = NvCacheStats::default();
+            log2.alloc(1, &c2, &s2);
+            c2.now()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let cleanup_clock = ActorClock::starting_at(SimTime::from_secs(5));
+        log.free_range(0, 2, &cleanup_clock);
+        let t = waiter.join().unwrap();
+        assert!(
+            t >= SimTime::from_secs(5),
+            "writer resumed at {t}, expected at least the cleanup time"
+        );
+    }
+
+    #[test]
+    fn flush_to_drains() {
+        let (c, s, log) = mk_log(8);
+        for _ in 0..3 {
+            let seq = log.alloc(1, &c, &s);
+            log.fill_entry(seq, 0, 0, &[0; 8], 1, None, &c);
+            log.commit_group(seq, 1, &c);
+        }
+        let log = Arc::new(log);
+        let log2 = Arc::clone(&log);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let cc = ActorClock::new();
+            log2.free_range(0, 3, &cc);
+        });
+        log.flush_to(3, &c);
+        h.join().unwrap();
+        assert_eq!(log.vtail.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds log capacity")]
+    fn oversized_group_panics() {
+        let (c, s, log) = mk_log(4);
+        log.alloc(5, &c, &s);
+    }
+}

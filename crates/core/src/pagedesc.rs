@@ -1,0 +1,198 @@
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// The state of a cached page (paper Table II / Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Present in the DRAM read cache; content always up to date.
+    Loaded,
+    /// Absent from the cache and no pending log entries modify it.
+    UnloadedClean,
+    /// Absent from the cache but the NVMM log holds entries that modify it —
+    /// the kernel's copy is stale (dirty-miss territory).
+    UnloadedDirty,
+}
+
+/// Content slot guarded by the per-page *atomic lock*.
+#[derive(Debug, Default)]
+pub struct PageSlot {
+    /// The cached page content when the page is loaded.
+    pub content: Option<Box<[u8]>>,
+}
+
+/// A page descriptor: one leaf of the per-file radix tree (paper §II-C).
+///
+/// Carries the two locks of the paper's concurrency scheme (§II-D):
+///
+/// * the **atomic lock** (here the mutex around [`PageSlot`]) serializes
+///   writers/readers of the same page and guards the cached content;
+/// * the **cleanup lock** synchronizes the cleanup thread against the
+///   dirty-miss procedure — and nothing else, so the cleanup thread never
+///   blocks writers, and never blocks readers that hit the cache.
+///
+/// The **dirty counter** counts log entries that modify this page; it may go
+/// transiently negative when the cleanup thread's decrement overtakes a
+/// writer's increment (paper footnote 4) — readers can never observe the
+/// unstable value because the dirty-miss procedure requires both locks.
+#[derive(Debug)]
+pub struct PageDescriptor {
+    file_id: u64,
+    page_no: u64,
+    slot: Mutex<PageSlot>,
+    cleanup_lock: Mutex<()>,
+    dirty_counter: AtomicI64,
+    accessed: AtomicBool,
+}
+
+impl PageDescriptor {
+    /// Creates an unloaded-clean descriptor for `page_no`.
+    pub fn new(page_no: u64) -> Self {
+        Self::for_file(0, page_no)
+    }
+
+    /// Creates a descriptor tagged with the owning file's id.
+    pub fn for_file(file_id: u64, page_no: u64) -> Self {
+        PageDescriptor {
+            file_id,
+            page_no,
+            slot: Mutex::new(PageSlot::default()),
+            cleanup_lock: Mutex::new(()),
+            dirty_counter: AtomicI64::new(0),
+            accessed: AtomicBool::new(false),
+        }
+    }
+
+    /// The page number inside the file.
+    pub fn page_no(&self) -> u64 {
+        self.page_no
+    }
+
+    /// The owning file's id (0 for descriptors created outside a file).
+    pub fn file_id(&self) -> u64 {
+        self.file_id
+    }
+
+    /// Acquires the atomic lock.
+    pub fn lock(&self) -> MutexGuard<'_, PageSlot> {
+        self.slot.lock()
+    }
+
+    /// Tries to acquire the atomic lock (used by LRU eviction to avoid
+    /// deadlocking with page locks the evictor already holds).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, PageSlot>> {
+        self.slot.try_lock()
+    }
+
+    /// Acquires the cleanup lock.
+    pub fn lock_cleanup(&self) -> MutexGuard<'_, ()> {
+        self.cleanup_lock.lock()
+    }
+
+    /// Increments the dirty counter (writer path, under the atomic lock).
+    pub fn inc_dirty(&self) {
+        self.dirty_counter.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Decrements the dirty counter (cleanup path, under the cleanup lock).
+    pub fn dec_dirty(&self) {
+        self.dirty_counter.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Current dirty count (may be transiently negative, see type docs).
+    pub fn dirty_count(&self) -> i64 {
+        self.dirty_counter.load(Ordering::Acquire)
+    }
+
+    /// Marks the page as recently accessed (second-chance LRU bit).
+    pub fn mark_accessed(&self) {
+        self.accessed.store(true, Ordering::Release);
+    }
+
+    /// Clears and returns the accessed bit (eviction scan).
+    pub fn take_accessed(&self) -> bool {
+        self.accessed.swap(false, Ordering::AcqRel)
+    }
+
+    /// The page state per paper Table II, derived from residency and the
+    /// dirty counter.
+    pub fn state(&self) -> PageState {
+        let loaded = self.slot.lock().content.is_some();
+        if loaded {
+            PageState::Loaded
+        } else if self.dirty_count() > 0 {
+            PageState::UnloadedDirty
+        } else {
+            PageState::UnloadedClean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_descriptor_is_unloaded_clean() {
+        let d = PageDescriptor::new(9);
+        assert_eq!(d.state(), PageState::UnloadedClean);
+        assert_eq!(d.page_no(), 9);
+        assert_eq!(d.dirty_count(), 0);
+    }
+
+    #[test]
+    fn table_ii_state_matrix() {
+        let d = PageDescriptor::for_file(1, 0);
+        // unloaded-clean -> unloaded-dirty on write (dc > 0)
+        d.inc_dirty();
+        assert_eq!(d.state(), PageState::UnloadedDirty);
+        // load content => loaded regardless of the counter
+        d.lock().content = Some(vec![0u8; 64].into_boxed_slice());
+        assert_eq!(d.state(), PageState::Loaded);
+        // cleanup propagates the entry
+        d.dec_dirty();
+        assert_eq!(d.state(), PageState::Loaded);
+        // eviction -> unloaded-clean (dc == 0)
+        d.lock().content = None;
+        assert_eq!(d.state(), PageState::UnloadedClean);
+    }
+
+    #[test]
+    fn eviction_of_dirty_page_is_unloaded_dirty() {
+        // Fig. 2: loaded --eviction--> unloaded-dirty when dc > 0, i.e. the
+        // design avoids a synchronous write-back at eviction.
+        let d = PageDescriptor::new(0);
+        d.lock().content = Some(vec![1u8; 64].into_boxed_slice());
+        d.inc_dirty();
+        d.lock().content = None; // evict without any I/O
+        assert_eq!(d.state(), PageState::UnloadedDirty);
+    }
+
+    #[test]
+    fn dirty_counter_can_go_transiently_negative() {
+        let d = PageDescriptor::new(0);
+        d.dec_dirty(); // cleanup overtakes the writer (paper footnote 4)
+        assert_eq!(d.dirty_count(), -1);
+        d.inc_dirty();
+        assert_eq!(d.dirty_count(), 0);
+        assert_eq!(d.state(), PageState::UnloadedClean);
+    }
+
+    #[test]
+    fn accessed_bit_is_take_once() {
+        let d = PageDescriptor::new(0);
+        assert!(!d.take_accessed());
+        d.mark_accessed();
+        assert!(d.take_accessed());
+        assert!(!d.take_accessed());
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let d = PageDescriptor::new(0);
+        let g = d.lock();
+        assert!(d.try_lock().is_none());
+        drop(g);
+        assert!(d.try_lock().is_some());
+    }
+}

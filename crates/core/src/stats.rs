@@ -1,0 +1,110 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Operation counters of an [`NvCache`](crate::NvCache) instance.
+#[derive(Debug, Default)]
+pub struct NvCacheStats {
+    /// Intercepted write calls.
+    pub writes: AtomicU64,
+    /// Intercepted read calls.
+    pub reads: AtomicU64,
+    /// Bytes appended to the NVMM log (payload only).
+    pub bytes_logged: AtomicU64,
+    /// Log entries created.
+    pub entries_logged: AtomicU64,
+    /// Multi-entry groups created.
+    pub groups_logged: AtomicU64,
+    /// Reads served entirely from the read cache.
+    pub read_hits: AtomicU64,
+    /// Page faults into the read cache.
+    pub read_misses: AtomicU64,
+    /// Misses that required the dirty-miss reconciliation procedure.
+    pub dirty_misses: AtomicU64,
+    /// Reads that bypassed the read cache (read-only files).
+    pub bypass_reads: AtomicU64,
+    /// Pages evicted from the read cache.
+    pub evictions: AtomicU64,
+    /// Times a writer had to wait for log space (saturation events).
+    pub log_full_waits: AtomicU64,
+    /// Cleanup batches completed.
+    pub cleanup_batches: AtomicU64,
+    /// Entries propagated to the inner file system.
+    pub entries_propagated: AtomicU64,
+    /// `fsync` calls issued by the cleanup thread.
+    pub cleanup_fsyncs: AtomicU64,
+    /// Entries replayed by recovery.
+    pub recovered_entries: AtomicU64,
+}
+
+impl NvCacheStats {
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> NvCacheStatsSnapshot {
+        NvCacheStatsSnapshot {
+            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            bytes_logged: self.bytes_logged.load(Ordering::Relaxed),
+            entries_logged: self.entries_logged.load(Ordering::Relaxed),
+            groups_logged: self.groups_logged.load(Ordering::Relaxed),
+            read_hits: self.read_hits.load(Ordering::Relaxed),
+            read_misses: self.read_misses.load(Ordering::Relaxed),
+            dirty_misses: self.dirty_misses.load(Ordering::Relaxed),
+            bypass_reads: self.bypass_reads.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            log_full_waits: self.log_full_waits.load(Ordering::Relaxed),
+            cleanup_batches: self.cleanup_batches.load(Ordering::Relaxed),
+            entries_propagated: self.entries_propagated.load(Ordering::Relaxed),
+            cleanup_fsyncs: self.cleanup_fsyncs.load(Ordering::Relaxed),
+            recovered_entries: self.recovered_entries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`NvCacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NvCacheStatsSnapshot {
+    /// Intercepted write calls.
+    pub writes: u64,
+    /// Intercepted read calls.
+    pub reads: u64,
+    /// Bytes appended to the NVMM log (payload only).
+    pub bytes_logged: u64,
+    /// Log entries created.
+    pub entries_logged: u64,
+    /// Multi-entry groups created.
+    pub groups_logged: u64,
+    /// Reads served entirely from the read cache.
+    pub read_hits: u64,
+    /// Page faults into the read cache.
+    pub read_misses: u64,
+    /// Misses that required the dirty-miss procedure.
+    pub dirty_misses: u64,
+    /// Reads that bypassed the read cache.
+    pub bypass_reads: u64,
+    /// Pages evicted from the read cache.
+    pub evictions: u64,
+    /// Saturation events (writer waited for space).
+    pub log_full_waits: u64,
+    /// Cleanup batches completed.
+    pub cleanup_batches: u64,
+    /// Entries propagated to the inner file system.
+    pub entries_propagated: u64,
+    /// Cleanup `fsync` calls.
+    pub cleanup_fsyncs: u64,
+    /// Entries replayed by recovery.
+    pub recovered_entries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_mirrors_counters() {
+        let s = NvCacheStats::default();
+        s.writes.store(3, Ordering::Relaxed);
+        s.dirty_misses.store(1, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.writes, 3);
+        assert_eq!(snap.dirty_misses, 1);
+        assert_eq!(snap.reads, 0);
+    }
+}

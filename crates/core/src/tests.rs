@@ -1,0 +1,507 @@
+//! End-to-end tests of the NVCache core over simulated substrates.
+
+use std::sync::Arc;
+
+use nvmm::{NvDimm, NvRegion, NvmmProfile};
+use simclock::{ActorClock, SimTime};
+use vfs::{FileSystem, IoError, MemFs, OpenFlags};
+
+use crate::{NvCache, NvCacheConfig};
+
+fn setup(cfg: NvCacheConfig) -> (ActorClock, Arc<NvDimm>, Arc<dyn FileSystem>, NvCache) {
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+    let cache =
+        NvCache::format(NvRegion::whole(Arc::clone(&dimm)), Arc::clone(&inner), cfg, &clock)
+            .expect("format");
+    (clock, dimm, inner, cache)
+}
+
+#[test]
+fn write_then_read_your_writes() {
+    let (c, _d, _i, cache) = setup(NvCacheConfig::tiny());
+    let fd = cache.open("/f", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    cache.pwrite(fd, b"read your writes", 0, &c).unwrap();
+    let mut buf = [0u8; 16];
+    assert_eq!(cache.pread(fd, &mut buf, 0, &c).unwrap(), 16);
+    assert_eq!(&buf, b"read your writes");
+    cache.shutdown(&c);
+}
+
+#[test]
+fn writes_propagate_to_inner_fs() {
+    let (c, _d, inner, cache) = setup(NvCacheConfig::tiny());
+    let fd = cache.open("/p", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    cache.pwrite(fd, b"propagated", 0, &c).unwrap();
+    cache.flush_log(&c);
+    let ifd = inner.open("/p", OpenFlags::RDONLY, &c).unwrap();
+    let mut buf = [0u8; 10];
+    assert_eq!(inner.pread(ifd, &mut buf, 0, &c).unwrap(), 10);
+    assert_eq!(&buf, b"propagated");
+    cache.shutdown(&c);
+}
+
+#[test]
+fn large_write_spans_multiple_entries_atomically() {
+    let (c, _d, inner, cache) = setup(NvCacheConfig::tiny());
+    let fd = cache.open("/big", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+    assert_eq!(cache.pwrite(fd, &data, 500, &c).unwrap(), data.len());
+    assert!(cache.stats().snapshot().groups_logged >= 1);
+    let mut buf = vec![0u8; data.len()];
+    cache.pread(fd, &mut buf, 500, &c).unwrap();
+    assert_eq!(buf, data);
+    cache.flush_log(&c);
+    let ifd = inner.open("/big", OpenFlags::RDONLY, &c).unwrap();
+    let mut buf2 = vec![0u8; data.len()];
+    inner.pread(ifd, &mut buf2, 500, &c).unwrap();
+    assert_eq!(buf2, data);
+    cache.shutdown(&c);
+}
+
+#[test]
+fn fsync_is_a_noop_and_cheap() {
+    let (c, _d, _i, cache) = setup(NvCacheConfig::tiny());
+    let fd = cache.open("/s", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    cache.pwrite(fd, &[1u8; 4096], 0, &c).unwrap();
+    let before = c.now();
+    cache.fsync(fd, &c).unwrap();
+    assert!(c.now() - before <= SimTime::from_micros(2), "fsync must be a no-op");
+    cache.shutdown(&c);
+}
+
+#[test]
+fn nvcache_size_is_authoritative_before_propagation() {
+    let (c, _d, inner, cache) = setup(NvCacheConfig::default().with_log_entries(64).with_batching(64, 64));
+    // With batch_min = 64 nothing propagates for small counts.
+    let fd = cache.open("/grow", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    cache.pwrite(fd, &[9u8; 100], 4000, &c).unwrap();
+    assert_eq!(cache.fstat(fd, &c).unwrap().size, 4100);
+    assert_eq!(cache.stat("/grow", &c).unwrap().size, 4100);
+    // The kernel still thinks the file is empty.
+    assert_eq!(inner.stat("/grow", &c).unwrap().size, 0);
+    cache.shutdown(&c);
+}
+
+#[test]
+fn cursor_api_and_append_mode() {
+    let (c, _d, _i, cache) = setup(NvCacheConfig::tiny());
+    let fd = cache
+        .open("/cur", OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::APPEND, &c)
+        .unwrap();
+    cache.write(fd, b"aaa", &c).unwrap();
+    cache.lseek(fd, vfs::SeekFrom::Start(0), &c).unwrap();
+    cache.write(fd, b"bbb", &c).unwrap(); // O_APPEND: goes to the end
+    assert_eq!(cache.fstat(fd, &c).unwrap().size, 6);
+    cache.lseek(fd, vfs::SeekFrom::Start(0), &c).unwrap();
+    let mut buf = [0u8; 6];
+    cache.read(fd, &mut buf, &c).unwrap();
+    assert_eq!(&buf, b"aaabbb");
+    assert_eq!(cache.tell(fd).unwrap(), 6);
+    cache.shutdown(&c);
+}
+
+#[test]
+fn read_only_files_bypass_the_read_cache() {
+    let (c, _d, inner, cache) = setup(NvCacheConfig::tiny());
+    // Create content directly on the inner FS.
+    let ifd = inner.open("/ro", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    inner.pwrite(ifd, b"kernel content", 0, &c).unwrap();
+    inner.close(ifd, &c).unwrap();
+    let fd = cache.open("/ro", OpenFlags::RDONLY, &c).unwrap();
+    let mut buf = [0u8; 14];
+    cache.pread(fd, &mut buf, 0, &c).unwrap();
+    assert_eq!(&buf, b"kernel content");
+    let stats = cache.stats().snapshot();
+    assert!(stats.bypass_reads >= 1);
+    assert_eq!(stats.read_misses, 0, "no page should enter the read cache");
+    cache.shutdown(&c);
+}
+
+#[test]
+fn dirty_miss_reconstructs_fresh_state() {
+    // Small read cache forces eviction of a dirty page, then a read must
+    // merge kernel data with pending log entries (paper Fig. 2 dirty miss).
+    let cfg = NvCacheConfig {
+        read_cache_pages: 2,
+        batch_min: 1_000_000, // cleanup effectively disabled
+        batch_max: 1_000_000,
+        nb_entries: 256,
+        ..NvCacheConfig::tiny()
+    };
+    let (c, _d, _i, cache) = setup(cfg);
+    let fd = cache.open("/dm", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    // Write to page 0 (lands in log; page not loaded).
+    cache.pwrite(fd, &[0xAA; 100], 0, &c).unwrap();
+    // Touch other pages to keep the pool busy.
+    for p in 1..=4u64 {
+        cache.pwrite(fd, &[p as u8; 64], p * 4096, &c).unwrap();
+        let mut tmp = [0u8; 64];
+        cache.pread(fd, &mut tmp, p * 4096, &c).unwrap();
+    }
+    // Now read page 0: unloaded + pending entries => dirty miss.
+    let mut buf = [0u8; 100];
+    cache.pread(fd, &mut buf, 0, &c).unwrap();
+    assert_eq!(buf, [0xAA; 100]);
+    assert!(cache.stats().snapshot().dirty_misses >= 1, "expected a dirty miss");
+    cache.shutdown(&c);
+}
+
+#[test]
+fn crash_before_propagation_recovers_all_acked_writes() {
+    let cfg = NvCacheConfig {
+        batch_min: 1_000_000, // never propagate: everything stays in the log
+        batch_max: 1_000_000,
+        nb_entries: 128,
+        ..NvCacheConfig::tiny()
+    };
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+    let cache = NvCache::format(
+        NvRegion::whole(Arc::clone(&dimm)),
+        Arc::clone(&inner),
+        cfg.clone(),
+        &clock,
+    )
+    .unwrap();
+    let fd = cache.open("/crash", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    cache.pwrite(fd, b"first", 0, &clock).unwrap();
+    cache.pwrite(fd, b"second", 100, &clock).unwrap();
+    // Kill the process without draining.
+    cache.abort();
+    drop(cache);
+    // Power failure: NVMM keeps flushed lines; page cache content of the
+    // inner FS is volatile (MemFs loses everything it wasn't told to keep —
+    // here the file itself survives as an empty shell because metadata is
+    // in the simulated kernel namespace).
+    let crashed = Arc::new(dimm.crash_and_restart());
+    let (recovered, report) =
+        NvCache::recover(NvRegion::whole(crashed), Arc::clone(&inner), cfg, &clock).unwrap();
+    assert_eq!(report.entries_replayed, 2);
+    assert_eq!(report.files_reopened, 1);
+    let fd2 = recovered.open("/crash", OpenFlags::RDONLY, &clock).unwrap();
+    let mut a = [0u8; 5];
+    let mut b = [0u8; 6];
+    recovered.pread(fd2, &mut a, 0, &clock).unwrap();
+    recovered.pread(fd2, &mut b, 100, &clock).unwrap();
+    assert_eq!(&a, b"first");
+    assert_eq!(&b, b"second");
+    recovered.shutdown(&clock);
+}
+
+#[test]
+fn torn_write_is_discarded_by_recovery() {
+    // Simulate a crash where an entry was filled but its commit flag never
+    // reached NVMM: hand-craft the torn entry in the region after the kill.
+    use crate::layout::{Layout, ENTRY_HEADER_BYTES, ENT_FD, ENT_FILE_OFF, ENT_LEN};
+    use nvmm::PmemInts;
+
+    let cfg = NvCacheConfig {
+        nb_entries: 64,
+        batch_min: 1_000_000,
+        batch_max: 1_000_000,
+        ..NvCacheConfig::tiny()
+    };
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+    let region = NvRegion::whole(Arc::clone(&dimm));
+    let cache =
+        NvCache::format(region.clone(), Arc::clone(&inner), cfg.clone(), &clock).unwrap();
+    let fd = cache.open("/torn", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    cache.pwrite(fd, b"committed", 0, &clock).unwrap();
+    cache.abort();
+    drop(cache);
+
+    // Torn entry at slot 1: header + data flushed, commit word still 0.
+    let lay = Layout::for_config(&cfg);
+    let base = lay.entry(1);
+    region.write_u32(base + ENT_FD, 0, &clock);
+    region.write_u32(base + ENT_LEN, 4, &clock);
+    region.write_u64(base + ENT_FILE_OFF, 512, &clock);
+    region.write(base + ENTRY_HEADER_BYTES, b"torn", &clock);
+    region.pwb(base, 128);
+    region.pfence(&clock);
+
+    let crashed = Arc::new(dimm.crash_and_restart());
+    let (recovered, report) =
+        NvCache::recover(NvRegion::whole(crashed), Arc::clone(&inner), cfg, &clock).unwrap();
+    assert_eq!(report.entries_replayed, 1, "only the committed entry replays");
+    let fd2 = recovered.open("/torn", OpenFlags::RDONLY, &clock).unwrap();
+    let mut buf = [0u8; 9];
+    recovered.pread(fd2, &mut buf, 0, &clock).unwrap();
+    assert_eq!(&buf, b"committed");
+    // The torn data must not have been applied.
+    assert_eq!(recovered.fstat(fd2, &clock).unwrap().size, 9);
+    recovered.shutdown(&clock);
+}
+
+#[test]
+fn concurrent_writers_to_disjoint_pages_are_all_durable() {
+    let cfg = NvCacheConfig {
+        nb_entries: 4096,
+        read_cache_pages: 512,
+        ..NvCacheConfig::tiny()
+    };
+    let (c, _d, _i, cache) = setup(cfg);
+    let cache = Arc::new(cache);
+    let fd = cache.open("/mt", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let cache = Arc::clone(&cache);
+        handles.push(std::thread::spawn(move || {
+            let clock = ActorClock::new();
+            for i in 0..64u64 {
+                let page = t * 64 + i;
+                cache
+                    .pwrite(fd, &[(t + 1) as u8; 4096], page * 4096, &clock)
+                    .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    for t in 0..4u64 {
+        for i in 0..64u64 {
+            let page = t * 64 + i;
+            let mut buf = [0u8; 4096];
+            cache.pread(fd, &mut buf, page * 4096, &c).unwrap();
+            assert_eq!(buf[0], (t + 1) as u8, "page {page}");
+        }
+    }
+    cache.shutdown(&c);
+}
+
+#[test]
+fn concurrent_same_page_writes_are_atomic() {
+    // POSIX atomicity (paper §II-D): a read may see either value, never a mix.
+    let cfg = NvCacheConfig { nb_entries: 4096, ..NvCacheConfig::tiny() };
+    let (c, _d, _i, cache) = setup(cfg);
+    let cache = Arc::new(cache);
+    let fd = cache.open("/atomic", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    cache.pwrite(fd, &[0u8; 4096], 0, &c).unwrap();
+    let mut handles = Vec::new();
+    for t in 1..=4u8 {
+        let cache = Arc::clone(&cache);
+        handles.push(std::thread::spawn(move || {
+            let clock = ActorClock::new();
+            for _ in 0..32 {
+                cache.pwrite(fd, &[t; 4096], 0, &clock).unwrap();
+            }
+        }));
+    }
+    let reader = {
+        let cache = Arc::clone(&cache);
+        std::thread::spawn(move || {
+            let clock = ActorClock::new();
+            for _ in 0..64 {
+                let mut buf = [0u8; 4096];
+                cache.pread(fd, &mut buf, 0, &clock).unwrap();
+                assert!(
+                    buf.iter().all(|&b| b == buf[0]),
+                    "read observed a torn page: {} vs {}",
+                    buf[0],
+                    buf[4095]
+                );
+            }
+        })
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+    reader.join().unwrap();
+    cache.shutdown(&c);
+}
+
+#[test]
+fn log_saturation_throttles_writers_to_inner_speed() {
+    // A tiny log: the writer must wait for the cleanup thread (Fig. 5).
+    let cfg = NvCacheConfig {
+        nb_entries: 8,
+        batch_min: 1,
+        batch_max: 4,
+        ..NvCacheConfig::tiny()
+    };
+    let (c, _d, _i, cache) = setup(cfg);
+    let fd = cache.open("/sat", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    for i in 0..256u64 {
+        cache.pwrite(fd, &[i as u8; 4096], i * 4096, &c).unwrap();
+    }
+    assert!(
+        cache.stats().snapshot().log_full_waits > 0,
+        "a 8-entry log must saturate under 256 writes"
+    );
+    cache.shutdown(&c);
+}
+
+#[test]
+fn close_flushes_content_to_the_kernel_without_draining() {
+    let cfg = NvCacheConfig {
+        batch_min: 1_000_000,
+        batch_max: 1_000_000,
+        nb_entries: 128,
+        ..NvCacheConfig::tiny()
+    };
+    let (c, _d, inner, cache) = setup(cfg);
+    let fd = cache.open("/cl", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    cache.pwrite(fd, b"flushed by close", 0, &c).unwrap();
+    assert_eq!(inner.stat("/cl", &c).unwrap().size, 0);
+    cache.close(fd, &c).unwrap();
+    // The kernel sees the content (paper: close flushes to the kernel)...
+    assert_eq!(inner.stat("/cl", &c).unwrap().size, 16);
+    // ...but the entries stay in NVMM until the cleanup thread's batch —
+    // close is NOT a durability barrier (durability happened at pwrite).
+    assert!(cache.pending_entries() > 0);
+    cache.shutdown(&c);
+    assert_eq!(cache.pending_entries(), 0);
+}
+
+#[test]
+fn unlinked_file_is_not_resurrected_by_recovery() {
+    let cfg = NvCacheConfig {
+        batch_min: 1_000_000,
+        batch_max: 1_000_000,
+        nb_entries: 128,
+        ..NvCacheConfig::tiny()
+    };
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+    let cache = NvCache::format(
+        NvRegion::whole(Arc::clone(&dimm)),
+        Arc::clone(&inner),
+        cfg.clone(),
+        &clock,
+    )
+    .unwrap();
+    let keep = cache.open("/keep", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    cache.pwrite(keep, b"kept", 0, &clock).unwrap();
+    let gone = cache.open("/gone", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    cache.pwrite(gone, b"doomed", 0, &clock).unwrap();
+    cache.unlink("/gone", &clock).unwrap();
+    cache.abort();
+    drop(cache);
+    let crashed = Arc::new(dimm.crash_and_restart());
+    let (recovered, report) =
+        NvCache::recover(NvRegion::whole(crashed), Arc::clone(&inner), cfg, &clock).unwrap();
+    assert_eq!(report.files_missing, 1, "the unlinked file must be skipped");
+    assert!(report.entries_replayed >= 1);
+    assert!(
+        matches!(recovered.stat("/gone", &clock), Err(IoError::NotFound(_))),
+        "recovery must not resurrect an unlinked file"
+    );
+    let fd = recovered.open("/keep", OpenFlags::RDONLY, &clock).unwrap();
+    let mut buf = [0u8; 4];
+    recovered.pread(fd, &mut buf, 0, &clock).unwrap();
+    assert_eq!(&buf, b"kept");
+    recovered.shutdown(&clock);
+}
+
+#[test]
+fn double_close_and_bad_fd() {
+    let (c, _d, _i, cache) = setup(NvCacheConfig::tiny());
+    let fd = cache.open("/dc", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    cache.close(fd, &c).unwrap();
+    assert!(matches!(cache.close(fd, &c), Err(IoError::BadFd(_))));
+    let mut buf = [0u8; 1];
+    assert!(matches!(cache.pread(fd, &mut buf, 0, &c), Err(IoError::BadFd(_))));
+    cache.shutdown(&c);
+}
+
+#[test]
+fn posix_conformance_through_nvcache() {
+    let (c, _d, _i, cache) = setup(NvCacheConfig::tiny());
+    vfs::check_posix_semantics(&cache);
+    cache.shutdown(&c);
+}
+
+#[test]
+fn guarantees_are_reported() {
+    let (c, _d, _i, cache) = setup(NvCacheConfig::tiny());
+    assert!(cache.synchronous_durability());
+    assert!(cache.durable_linearizability());
+    assert!(cache.name().starts_with("nvcache+"));
+    cache.shutdown(&c);
+}
+
+#[test]
+fn write_latency_is_single_digit_microseconds() {
+    // With the Optane profile, a 4 KiB synchronous write should cost ≈6-8µs
+    // (the paper's ~550 MiB/s single-thread log bandwidth).
+    let cfg = NvCacheConfig::tiny();
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
+    let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+    let cache =
+        NvCache::format(NvRegion::whole(dimm), inner, cfg, &clock).unwrap();
+    let fd = cache.open("/lat", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    cache.pwrite(fd, &[0u8; 4096], 0, &clock).unwrap(); // warm-up (radix alloc)
+    let before = clock.now();
+    cache.pwrite(fd, &[1u8; 4096], 4096, &clock).unwrap();
+    let lat = clock.now() - before;
+    assert!(lat >= SimTime::from_micros(4), "suspiciously fast: {lat}");
+    assert!(lat <= SimTime::from_micros(12), "too slow: {lat}");
+    cache.shutdown(&clock);
+}
+
+#[test]
+fn fd_table_exhaustion_is_reported() {
+    let cfg = NvCacheConfig { fd_slots: 2, ..NvCacheConfig::tiny() };
+    let (c, _d, _i, cache) = setup(cfg);
+    let _a = cache.open("/1", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    let _b = cache.open("/2", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    assert!(cache.open("/3", OpenFlags::RDWR | OpenFlags::CREATE, &c).is_err());
+    cache.shutdown(&c);
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let cfg = NvCacheConfig {
+        batch_min: 1_000_000,
+        batch_max: 1_000_000,
+        nb_entries: 64,
+        ..NvCacheConfig::tiny()
+    };
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+    let cache = NvCache::format(
+        NvRegion::whole(Arc::clone(&dimm)),
+        Arc::clone(&inner),
+        cfg.clone(),
+        &clock,
+    )
+    .unwrap();
+    let fd = cache.open("/idem", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    cache.pwrite(fd, b"once", 0, &clock).unwrap();
+    cache.abort();
+    drop(cache);
+    let crashed = Arc::new(dimm.crash_and_restart());
+    let region = NvRegion::whole(Arc::clone(&crashed));
+    let (first, r1) =
+        NvCache::recover(region.clone(), Arc::clone(&inner), cfg.clone(), &clock).unwrap();
+    assert_eq!(r1.entries_replayed, 1);
+    first.abort();
+    drop(first);
+    // Second recovery over the emptied log: nothing to do, content intact.
+    let (second, r2) = NvCache::recover(region, Arc::clone(&inner), cfg, &clock).unwrap();
+    assert_eq!(r2.entries_replayed, 0);
+    let fd2 = second.open("/idem", OpenFlags::RDONLY, &clock).unwrap();
+    let mut buf = [0u8; 4];
+    second.pread(fd2, &mut buf, 0, &clock).unwrap();
+    assert_eq!(&buf, b"once");
+    second.shutdown(&clock);
+}
+
+#[test]
+fn recover_rejects_unformatted_region() {
+    let cfg = NvCacheConfig::tiny();
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+    let res = NvCache::recover(NvRegion::whole(dimm), inner, cfg, &clock);
+    assert!(matches!(res, Err(IoError::InvalidArgument(_))));
+}

@@ -1,0 +1,481 @@
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simclock::ActorClock;
+
+#[cfg(test)]
+use simclock::SimTime;
+
+use crate::{NvmmProfile, NvmmStats};
+
+/// Size of a CPU cache line; flushes happen at this granularity.
+pub const CACHE_LINE: u64 = 64;
+
+/// Global id source so per-thread flush queues can be keyed per DIMM.
+static NEXT_DIMM_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-thread `pwb` queues (the hardware analogue is the per-CPU flush
+    /// queue drained by `sfence`). Keyed by DIMM id.
+    static PENDING_FLUSHES: RefCell<HashMap<u64, Vec<u64>>> = RefCell::new(HashMap::new());
+}
+
+/// A simulated NVMM module.
+///
+/// Maintains a *live* image (CPU caches + media, what loads observe) and a
+/// *durable* image (what survives [`crash`](NvDimm::crash)). See the crate
+/// docs for the persistency contract.
+///
+/// All methods take `&self` and are safe to call from multiple threads; the
+/// flush queue filled by [`pwb`](NvDimm::pwb) and drained by
+/// [`pfence`](NvDimm::pfence) is per-thread, mirroring per-CPU hardware
+/// queues.
+///
+/// Latency is charged directly to the calling actor's clock rather than
+/// through a shared device timeline: actors at very different virtual times
+/// (the application vs. the far-ahead cleanup thread) would otherwise
+/// serialize against each other's futures. Cross-thread DIMM *bandwidth*
+/// contention is therefore not modelled — the evaluation's single heavy
+/// flusher is always the application thread.
+pub struct NvDimm {
+    id: u64,
+    live: Box<[AtomicU8]>,
+    /// Durable shadow; `None` when the profile disables durability tracking.
+    durable: Option<Mutex<Box<[u8]>>>,
+    /// One bit per cache line: set when live may differ from durable.
+    dirty: Box<[AtomicU64]>,
+    profile: NvmmProfile,
+    stats: NvmmStats,
+}
+
+impl fmt::Debug for NvDimm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NvDimm")
+            .field("id", &self.id)
+            .field("len", &self.len())
+            .field("tracks_durability", &self.durable.is_some())
+            .finish()
+    }
+}
+
+impl NvDimm {
+    /// Creates a zero-filled DIMM of `size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: u64, profile: NvmmProfile) -> Self {
+        assert!(size > 0, "NvDimm size must be positive");
+        let n = size as usize;
+        let mut live = Vec::with_capacity(n);
+        live.resize_with(n, || AtomicU8::new(0));
+        let lines = size.div_ceil(CACHE_LINE);
+        let words = lines.div_ceil(64) as usize;
+        let mut dirty = Vec::with_capacity(words);
+        dirty.resize_with(words, || AtomicU64::new(0));
+        let durable = profile
+            .track_durability
+            .then(|| Mutex::new(vec![0u8; n].into_boxed_slice()));
+        NvDimm {
+            id: NEXT_DIMM_ID.fetch_add(1, Ordering::Relaxed),
+            live: live.into_boxed_slice(),
+            durable,
+            dirty: dirty.into_boxed_slice(),
+            profile,
+            stats: NvmmStats::default(),
+        }
+    }
+
+    /// Creates a DIMM whose live *and* durable images start as `image`.
+    pub fn from_image(image: &[u8], profile: NvmmProfile) -> Self {
+        let dimm = Self::new(image.len() as u64, profile);
+        for (i, b) in image.iter().enumerate() {
+            dimm.live[i].store(*b, Ordering::Relaxed);
+        }
+        if let Some(d) = &dimm.durable {
+            d.lock().copy_from_slice(image);
+        }
+        dimm
+    }
+
+    /// Capacity in bytes.
+    pub fn len(&self) -> u64 {
+        self.live.len() as u64
+    }
+
+    /// Whether the DIMM has zero capacity (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// The latency profile in use.
+    pub fn profile(&self) -> &NvmmProfile {
+        &self.profile
+    }
+
+    /// Aggregate operation statistics.
+    pub fn stats(&self) -> &NvmmStats {
+        &self.stats
+    }
+
+    fn check_range(&self, off: u64, len: usize) {
+        let end = off
+            .checked_add(len as u64)
+            .unwrap_or_else(|| panic!("NVMM range overflow at {off}+{len}"));
+        assert!(
+            end <= self.len(),
+            "NVMM access out of range: {off}..{end} beyond {}",
+            self.len()
+        );
+    }
+
+    fn mark_dirty(&self, off: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = off / CACHE_LINE;
+        let last = (off + len as u64 - 1) / CACHE_LINE;
+        for line in first..=last {
+            let word = (line / 64) as usize;
+            let bit = 1u64 << (line % 64);
+            self.dirty[word].fetch_or(bit, Ordering::Relaxed);
+        }
+    }
+
+    /// Stores `data` at `off` (CPU-cache speed; **not durable** until flushed).
+    pub fn write(&self, off: u64, data: &[u8], clock: &ActorClock) {
+        self.check_range(off, data.len());
+        for (i, b) in data.iter().enumerate() {
+            self.live[off as usize + i].store(*b, Ordering::Relaxed);
+        }
+        self.mark_dirty(off, data.len());
+        self.stats.bytes_stored.fetch_add(data.len() as u64, Ordering::Relaxed);
+        clock.advance(self.profile.store_bandwidth.time_for(data.len() as u64));
+    }
+
+    /// Reads `buf.len()` bytes at `off`, charging media read latency (models a
+    /// load that misses the CPU cache — bulk scans, recovery, dirty-miss).
+    pub fn read(&self, off: u64, buf: &mut [u8], clock: &ActorClock) {
+        self.read_cached(off, buf);
+        self.stats.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        let service =
+            self.profile.read_latency + self.profile.read_bandwidth.time_for(buf.len() as u64);
+        clock.advance(service);
+    }
+
+    /// Reads without charging time (models a load served by the CPU cache,
+    /// e.g. metadata the thread itself wrote moments ago).
+    pub fn read_cached(&self, off: u64, buf: &mut [u8]) {
+        self.check_range(off, buf.len());
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.live[off as usize + i].load(Ordering::Relaxed);
+        }
+    }
+
+    /// Enqueues the cache lines covering `off..off+len` for write-back
+    /// (`clwb`). Durability only takes effect at the next
+    /// [`pfence`](NvDimm::pfence)/[`psync`](NvDimm::psync) on *this thread*.
+    pub fn pwb(&self, off: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.check_range(off, len);
+        let first = off / CACHE_LINE;
+        let last = (off + len as u64 - 1) / CACHE_LINE;
+        PENDING_FLUSHES.with(|p| {
+            let mut map = p.borrow_mut();
+            let queue = map.entry(self.id).or_default();
+            queue.extend(first..=last);
+        });
+    }
+
+    fn drain_pending(&self, clock: &ActorClock) -> usize {
+        let mut lines = PENDING_FLUSHES.with(|p| {
+            let mut map = p.borrow_mut();
+            map.remove(&self.id).unwrap_or_default()
+        });
+        if lines.is_empty() {
+            return 0;
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        if let Some(durable) = &self.durable {
+            let mut image = durable.lock();
+            for &line in &lines {
+                let start = (line * CACHE_LINE) as usize;
+                let end = (start + CACHE_LINE as usize).min(self.live.len());
+                for i in start..end {
+                    image[i] = self.live[i].load(Ordering::Relaxed);
+                }
+            }
+        }
+        for &line in &lines {
+            let word = (line / 64) as usize;
+            let bit = 1u64 << (line % 64);
+            self.dirty[word].fetch_and(!bit, Ordering::Relaxed);
+        }
+        let n = lines.len();
+        self.stats.lines_flushed.fetch_add(n as u64, Ordering::Relaxed);
+        let service = self.profile.write_bandwidth.time_for(n as u64 * CACHE_LINE);
+        clock.advance(service);
+        n
+    }
+
+    /// Store fence: drains this thread's pending `pwb`s to durable media and
+    /// orders them before subsequent stores (`sfence`).
+    pub fn pfence(&self, clock: &ActorClock) {
+        self.stats.fences.fetch_add(1, Ordering::Relaxed);
+        self.drain_pending(clock);
+        clock.advance(self.profile.fence_latency);
+    }
+
+    /// Like [`pfence`](NvDimm::pfence) but additionally waits for the media
+    /// drain; required for durable linearizability (paper Algorithm 1, l.27).
+    pub fn psync(&self, clock: &ActorClock) {
+        self.stats.drains.fetch_add(1, Ordering::Relaxed);
+        self.drain_pending(clock);
+        clock.advance(self.profile.fence_latency + self.profile.drain_latency);
+    }
+
+    /// Convenience: `write` + `pwb` over the same range.
+    pub fn write_and_pwb(&self, off: u64, data: &[u8], clock: &ActorClock) {
+        self.write(off, data, clock);
+        self.pwb(off, data.len());
+    }
+
+    /// Produces the post-crash memory image: the durable image, with each
+    /// still-dirty line independently "evicted" (persisted anyway) with the
+    /// profile's eviction probability, using `seed` for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile disabled durability tracking.
+    pub fn crash_image(&self, seed: u64) -> Vec<u8> {
+        let durable = self
+            .durable
+            .as_ref()
+            .expect("crash semantics unavailable: durability tracking disabled");
+        let mut image = durable.lock().to_vec();
+        let p = self.profile.eviction_probability;
+        if p > 0.0 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let lines = self.len().div_ceil(CACHE_LINE);
+            for line in 0..lines {
+                let word = (line / 64) as usize;
+                let bit = 1u64 << (line % 64);
+                if self.dirty[word].load(Ordering::Relaxed) & bit != 0 && rng.gen_bool(p) {
+                    let start = (line * CACHE_LINE) as usize;
+                    let end = (start + CACHE_LINE as usize).min(self.live.len());
+                    for i in start..end {
+                        image[i] = self.live[i].load(Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        image
+    }
+
+    /// Simulates a power failure followed by reboot: returns a fresh DIMM
+    /// whose content is exactly what was durable (deterministic, seed 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile disabled durability tracking.
+    pub fn crash_and_restart(&self) -> NvDimm {
+        let image = self.crash_image(0);
+        Self::from_image(&image, self.profile.clone())
+    }
+
+    /// Simulates a crash with a seeded eviction draw (see
+    /// [`crash_image`](NvDimm::crash_image)).
+    pub fn crash_and_restart_seeded(&self, seed: u64) -> NvDimm {
+        let image = self.crash_image(seed);
+        Self::from_image(&image, self.profile.clone())
+    }
+
+    /// Alias for [`crash_and_restart`]; reads as "crash" at call sites.
+    pub fn crash(&self) -> NvDimm {
+        self.crash_and_restart()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> ActorClock {
+        ActorClock::new()
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let c = clock();
+        let d = NvDimm::new(1024, NvmmProfile::instant());
+        d.write(100, b"abcdef", &c);
+        let mut buf = [0u8; 6];
+        d.read(100, &mut buf, &c);
+        assert_eq!(&buf, b"abcdef");
+    }
+
+    #[test]
+    fn unflushed_write_is_lost_on_crash() {
+        let c = clock();
+        let d = NvDimm::new(1024, NvmmProfile::instant());
+        d.write(0, b"volatile!", &c);
+        let r = d.crash_and_restart();
+        let mut buf = [0u8; 9];
+        r.read_cached(0, &mut buf);
+        assert_eq!(&buf, &[0u8; 9], "unflushed data must not survive");
+    }
+
+    #[test]
+    fn pwb_without_fence_is_still_volatile() {
+        let c = clock();
+        let d = NvDimm::new(1024, NvmmProfile::instant());
+        d.write(0, b"queued", &c);
+        d.pwb(0, 6);
+        let r = d.crash_and_restart();
+        let mut buf = [0u8; 6];
+        r.read_cached(0, &mut buf);
+        assert_eq!(&buf, &[0u8; 6]);
+    }
+
+    #[test]
+    fn pwb_plus_fence_is_durable() {
+        let c = clock();
+        let d = NvDimm::new(1024, NvmmProfile::instant());
+        d.write(0, b"durable", &c);
+        d.pwb(0, 7);
+        d.pfence(&c);
+        let r = d.crash_and_restart();
+        let mut buf = [0u8; 7];
+        r.read_cached(0, &mut buf);
+        assert_eq!(&buf, b"durable");
+    }
+
+    #[test]
+    fn fence_only_persists_flushed_lines() {
+        let c = clock();
+        let d = NvDimm::new(4096, NvmmProfile::instant());
+        // Two writes on different cache lines; only the first is pwb'd.
+        d.write(0, b"first", &c);
+        d.write(2048, b"second", &c);
+        d.pwb(0, 5);
+        d.pfence(&c);
+        let r = d.crash_and_restart();
+        let mut a = [0u8; 5];
+        let mut b = [0u8; 6];
+        r.read_cached(0, &mut a);
+        r.read_cached(2048, &mut b);
+        assert_eq!(&a, b"first");
+        assert_eq!(&b, &[0u8; 6]);
+    }
+
+    #[test]
+    fn fences_are_per_thread() {
+        let c = clock();
+        let d = std::sync::Arc::new(NvDimm::new(1024, NvmmProfile::instant()));
+        d.write(0, b"mine", &c);
+        d.pwb(0, 4);
+        // A fence on a different thread must not drain this thread's queue.
+        let d2 = std::sync::Arc::clone(&d);
+        std::thread::spawn(move || {
+            let c2 = ActorClock::new();
+            d2.pfence(&c2);
+        })
+        .join()
+        .unwrap();
+        let r = d.crash_and_restart();
+        let mut buf = [0u8; 4];
+        r.read_cached(0, &mut buf);
+        assert_eq!(&buf, &[0u8; 4], "other thread's fence must not persist our lines");
+    }
+
+    #[test]
+    fn rewrite_after_flush_restores_old_value_on_crash() {
+        let c = clock();
+        let d = NvDimm::new(1024, NvmmProfile::instant());
+        d.write(0, b"v1", &c);
+        d.pwb(0, 2);
+        d.psync(&c);
+        d.write(0, b"v2", &c); // not flushed
+        let r = d.crash_and_restart();
+        let mut buf = [0u8; 2];
+        r.read_cached(0, &mut buf);
+        assert_eq!(&buf, b"v1");
+    }
+
+    #[test]
+    fn eviction_probability_one_persists_everything() {
+        let c = clock();
+        let prof = NvmmProfile::instant().with_eviction_probability(1.0);
+        let d = NvDimm::new(1024, prof);
+        d.write(0, b"evicted", &c);
+        let r = d.crash_and_restart();
+        let mut buf = [0u8; 7];
+        r.read_cached(0, &mut buf);
+        assert_eq!(&buf, b"evicted");
+    }
+
+    #[test]
+    fn crash_image_is_seed_deterministic() {
+        let c = clock();
+        let prof = NvmmProfile::instant().with_eviction_probability(0.5);
+        let d = NvDimm::new(8192, prof);
+        for i in 0..32 {
+            d.write(i * 256, &[i as u8 + 1; 64], &c);
+        }
+        assert_eq!(d.crash_image(7), d.crash_image(7));
+        // Different seeds should (overwhelmingly) differ for 32 dirty lines.
+        assert_ne!(d.crash_image(7), d.crash_image(8));
+    }
+
+    #[test]
+    fn write_charges_store_time_and_flush_charges_media_time() {
+        let c = clock();
+        let d = NvDimm::new(1 << 20, NvmmProfile::optane());
+        d.write(0, &[7u8; 4096], &c);
+        let after_store = c.now();
+        assert!(after_store > SimTime::ZERO);
+        d.pwb(0, 4096);
+        d.psync(&c);
+        let after_sync = c.now();
+        // Media flush of 64 lines dominates the store cost.
+        assert!(after_sync - after_store > (after_store) * 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let c = clock();
+        let d = NvDimm::new(4096, NvmmProfile::instant());
+        d.write(0, &[1; 128], &c);
+        d.pwb(0, 128);
+        d.pfence(&c);
+        let mut buf = [0u8; 64];
+        d.read(0, &mut buf, &c);
+        assert_eq!(d.stats().bytes_stored.load(Ordering::Relaxed), 128);
+        assert_eq!(d.stats().lines_flushed.load(Ordering::Relaxed), 2);
+        assert_eq!(d.stats().fences.load(Ordering::Relaxed), 1);
+        assert_eq!(d.stats().bytes_read.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_write_panics() {
+        let c = clock();
+        let d = NvDimm::new(64, NvmmProfile::instant());
+        d.write(60, &[0; 8], &c);
+    }
+
+    #[test]
+    #[should_panic(expected = "durability tracking disabled")]
+    fn crash_without_tracking_panics() {
+        let d = NvDimm::new(64, NvmmProfile::instant().without_durability_tracking());
+        let _ = d.crash_and_restart();
+    }
+}

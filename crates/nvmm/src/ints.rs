@@ -1,0 +1,107 @@
+use simclock::ActorClock;
+
+use crate::{NvDimm, NvRegion};
+
+/// Little-endian integer accessors over persistent memory.
+///
+/// NVCache's log layout is defined as explicit byte offsets (no
+/// `#[repr(C)]`-cast structs — the simulator stays 100% safe Rust); this
+/// trait provides the fixed-width accessors used by that layout. Reads use
+/// the *cached* (uncharged) path because metadata words are part of lines the
+/// owning thread just touched.
+pub trait PmemInts {
+    /// Raw store (see [`NvDimm::write`]).
+    fn pm_write(&self, off: u64, data: &[u8], clock: &ActorClock);
+    /// Raw cached load (see [`NvDimm::read_cached`]).
+    fn pm_read_cached(&self, off: u64, buf: &mut [u8]);
+
+    /// Writes a `u64` (little endian).
+    fn write_u64(&self, off: u64, v: u64, clock: &ActorClock) {
+        self.pm_write(off, &v.to_le_bytes(), clock);
+    }
+
+    /// Reads a `u64` (little endian, cached).
+    fn read_u64(&self, off: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.pm_read_cached(off, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a `u32` (little endian).
+    fn write_u32(&self, off: u64, v: u32, clock: &ActorClock) {
+        self.pm_write(off, &v.to_le_bytes(), clock);
+    }
+
+    /// Reads a `u32` (little endian, cached).
+    fn read_u32(&self, off: u64) -> u32 {
+        let mut b = [0u8; 4];
+        self.pm_read_cached(off, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes an `i64` (little endian).
+    fn write_i64(&self, off: u64, v: i64, clock: &ActorClock) {
+        self.pm_write(off, &v.to_le_bytes(), clock);
+    }
+
+    /// Reads an `i64` (little endian, cached).
+    fn read_i64(&self, off: u64) -> i64 {
+        let mut b = [0u8; 8];
+        self.pm_read_cached(off, &mut b);
+        i64::from_le_bytes(b)
+    }
+}
+
+impl PmemInts for NvDimm {
+    fn pm_write(&self, off: u64, data: &[u8], clock: &ActorClock) {
+        self.write(off, data, clock);
+    }
+    fn pm_read_cached(&self, off: u64, buf: &mut [u8]) {
+        self.read_cached(off, buf);
+    }
+}
+
+impl PmemInts for NvRegion {
+    fn pm_write(&self, off: u64, data: &[u8], clock: &ActorClock) {
+        self.write(off, data, clock);
+    }
+    fn pm_read_cached(&self, off: u64, buf: &mut [u8]) {
+        self.read_cached(off, buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NvmmProfile;
+    use std::sync::Arc;
+
+    #[test]
+    fn u64_round_trip() {
+        let c = ActorClock::new();
+        let d = NvDimm::new(64, NvmmProfile::instant());
+        d.write_u64(8, 0xDEAD_BEEF_CAFE_F00D, &c);
+        assert_eq!(d.read_u64(8), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn u32_and_i64_round_trip_via_region() {
+        let c = ActorClock::new();
+        let d = Arc::new(NvDimm::new(128, NvmmProfile::instant()));
+        let r = NvRegion::new(d, 64, 64);
+        r.write_u32(0, 77, &c);
+        r.write_i64(8, -42, &c);
+        assert_eq!(r.read_u32(0), 77);
+        assert_eq!(r.read_i64(8), -42);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let c = ActorClock::new();
+        let d = NvDimm::new(64, NvmmProfile::instant());
+        d.write_u32(0, 0x0102_0304, &c);
+        let mut b = [0u8; 4];
+        d.read_cached(0, &mut b);
+        assert_eq!(b, [4, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,62 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Operation counters for one [`NvDimm`](crate::NvDimm).
+///
+/// All fields are atomically updated; read them with `Ordering::Relaxed`.
+#[derive(Debug, Default)]
+pub struct NvmmStats {
+    /// Bytes written into the live image.
+    pub bytes_stored: AtomicU64,
+    /// Bytes read with charged (media) reads.
+    pub bytes_read: AtomicU64,
+    /// Cache lines drained to durable media.
+    pub lines_flushed: AtomicU64,
+    /// `pfence` count.
+    pub fences: AtomicU64,
+    /// `psync` count.
+    pub drains: AtomicU64,
+}
+
+impl NvmmStats {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> NvmmStatsSnapshot {
+        NvmmStatsSnapshot {
+            bytes_stored: self.bytes_stored.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            lines_flushed: self.lines_flushed.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            drains: self.drains.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`NvmmStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NvmmStatsSnapshot {
+    /// Bytes written into the live image.
+    pub bytes_stored: u64,
+    /// Bytes read with charged (media) reads.
+    pub bytes_read: u64,
+    /// Cache lines drained to durable media.
+    pub lines_flushed: u64,
+    /// `pfence` count.
+    pub fences: u64,
+    /// `psync` count.
+    pub drains: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = NvmmStats::default();
+        s.bytes_stored.store(10, Ordering::Relaxed);
+        s.fences.store(3, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_stored, 10);
+        assert_eq!(snap.fences, 3);
+        assert_eq!(snap.drains, 0);
+    }
+}

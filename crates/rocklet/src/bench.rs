@@ -1,0 +1,222 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simclock::{ActorClock, SimTime};
+
+use crate::{bench_key, RockResult, RockletDb, WriteOptions};
+
+/// The db_bench workloads the paper evaluates (Fig. 3): the write-heavy
+/// trio under synchronous writes, plus the two read workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RockBench {
+    /// Sequential-key inserts.
+    FillSeq,
+    /// Random-key inserts.
+    FillRandom,
+    /// Random overwrites of an existing key space.
+    Overwrite,
+    /// Random point lookups.
+    ReadRandom,
+    /// Full sequential iteration.
+    ReadSeq,
+}
+
+impl RockBench {
+    /// db_bench-compatible workload name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RockBench::FillSeq => "fillseq",
+            RockBench::FillRandom => "fillrandom",
+            RockBench::Overwrite => "overwrite",
+            RockBench::ReadRandom => "readrandom",
+            RockBench::ReadSeq => "readseq",
+        }
+    }
+
+    /// Whether the workload needs a pre-populated database.
+    pub fn needs_prefill(self) -> bool {
+        matches!(self, RockBench::Overwrite | RockBench::ReadRandom | RockBench::ReadSeq)
+    }
+}
+
+/// db_bench-style run options.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Number of operations (`--num`).
+    pub num: u64,
+    /// Value size in bytes (`--value_size`, db_bench default 100).
+    pub value_size: usize,
+    /// Synchronous writes (`--sync`): the paper's write figures use this.
+    pub sync: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions { num: 10_000, value_size: 100, sync: true, seed: 42 }
+    }
+}
+
+/// Outcome of one workload run.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Workload name.
+    pub name: &'static str,
+    /// Operations executed.
+    pub ops: u64,
+    /// Virtual wall time of the run.
+    pub elapsed: SimTime,
+    /// Mean latency per operation, in microseconds — the unit of Fig. 3.
+    pub mean_latency_us: f64,
+    /// Operations per virtual second.
+    pub ops_per_sec: f64,
+}
+
+fn make_value(size: usize, salt: u64) -> Vec<u8> {
+    (0..size).map(|i| ((i as u64).wrapping_mul(131).wrapping_add(salt) % 251) as u8).collect()
+}
+
+/// Pre-populates `db` with `num` sequential keys (layout phase for the
+/// workloads that need existing data). Charged to `clock`.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn prefill(db: &RockletDb, opts: &BenchOptions, clock: &ActorClock) -> RockResult<()> {
+    let wo = WriteOptions { sync: false };
+    for i in 0..opts.num {
+        db.put(&bench_key(i), &make_value(opts.value_size, i), &wo, clock)?;
+    }
+    Ok(())
+}
+
+/// Runs one db_bench workload and reports latency/throughput.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn run_db_bench(
+    db: &RockletDb,
+    bench: RockBench,
+    opts: &BenchOptions,
+    clock: &ActorClock,
+) -> RockResult<BenchResult> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let wo = WriteOptions { sync: opts.sync };
+    let start = clock.now();
+    let mut ops = 0u64;
+    match bench {
+        RockBench::FillSeq => {
+            for i in 0..opts.num {
+                db.put(&bench_key(i), &make_value(opts.value_size, i), &wo, clock)?;
+                ops += 1;
+            }
+        }
+        RockBench::FillRandom | RockBench::Overwrite => {
+            for _ in 0..opts.num {
+                let i = rng.gen_range(0..opts.num);
+                db.put(&bench_key(i), &make_value(opts.value_size, i), &wo, clock)?;
+                ops += 1;
+            }
+        }
+        RockBench::ReadRandom => {
+            let mut found = 0u64;
+            for _ in 0..opts.num {
+                let i = rng.gen_range(0..opts.num);
+                if db.get(&bench_key(i), clock)?.is_some() {
+                    found += 1;
+                }
+                ops += 1;
+            }
+            debug_assert!(found > 0, "readrandom found nothing — missing prefill?");
+        }
+        RockBench::ReadSeq => {
+            let all = db.scan_all(clock)?;
+            ops = all.len() as u64;
+            // Iterator CPU cost per visited entry (db_bench walks and
+            // validates each one).
+            clock.advance(SimTime::from_nanos(120) * ops);
+        }
+    }
+    let elapsed = clock.now() - start;
+    let secs = elapsed.as_secs_f64();
+    Ok(BenchResult {
+        name: bench.name(),
+        ops,
+        elapsed,
+        mean_latency_us: if ops == 0 { 0.0 } else { elapsed.as_micros_f64() / ops as f64 },
+        ops_per_sec: if secs == 0.0 { 0.0 } else { ops as f64 / secs },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RockletOptions;
+    use std::sync::Arc;
+    use vfs::{FileSystem, MemFs};
+
+    fn db() -> (ActorClock, RockletDb) {
+        let c = ActorClock::new();
+        let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        let db = RockletDb::open(fs, "/bench", RockletOptions::tiny(), &c).unwrap();
+        (c, db)
+    }
+
+    #[test]
+    fn fillseq_then_readrandom() {
+        let (c, db) = db();
+        let opts = BenchOptions { num: 500, ..BenchOptions::default() };
+        let fill = run_db_bench(&db, RockBench::FillSeq, &opts, &c).unwrap();
+        assert_eq!(fill.ops, 500);
+        assert!(fill.mean_latency_us > 0.0);
+        let read = run_db_bench(&db, RockBench::ReadRandom, &opts, &c).unwrap();
+        assert_eq!(read.ops, 500);
+    }
+
+    #[test]
+    fn readseq_scans_everything() {
+        let (c, db) = db();
+        let opts = BenchOptions { num: 300, ..BenchOptions::default() };
+        prefill(&db, &opts, &c).unwrap();
+        let r = run_db_bench(&db, RockBench::ReadSeq, &opts, &c).unwrap();
+        assert_eq!(r.ops, 300);
+    }
+
+    #[test]
+    fn overwrite_runs_over_prefilled_data() {
+        let (c, db) = db();
+        let opts = BenchOptions { num: 400, ..BenchOptions::default() };
+        prefill(&db, &opts, &c).unwrap();
+        let r = run_db_bench(&db, RockBench::Overwrite, &opts, &c).unwrap();
+        assert_eq!(r.ops, 400);
+        assert!(r.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn sync_mode_is_slower_than_async() {
+        let c1 = ActorClock::new();
+        let fs1: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        let db1 = RockletDb::open(fs1, "/a", RockletOptions::default(), &c1).unwrap();
+        let sync = run_db_bench(
+            &db1,
+            RockBench::FillSeq,
+            &BenchOptions { num: 300, sync: true, ..BenchOptions::default() },
+            &c1,
+        )
+        .unwrap();
+        let c2 = ActorClock::new();
+        let fs2: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        let db2 = RockletDb::open(fs2, "/b", RockletOptions::default(), &c2).unwrap();
+        let nosync = run_db_bench(
+            &db2,
+            RockBench::FillSeq,
+            &BenchOptions { num: 300, sync: false, ..BenchOptions::default() },
+            &c2,
+        )
+        .unwrap();
+        // On MemFs fsync is a no-op syscall, so the gap is small but must
+        // not be negative.
+        assert!(sync.elapsed >= nosync.elapsed);
+    }
+}

@@ -1,0 +1,569 @@
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simclock::ActorClock;
+use vfs::{FileSystem, OpenFlags};
+
+use crate::memtable::Memtable;
+use crate::sstable::{Table, TableBuilder};
+use crate::wal::Wal;
+use crate::{RockError, RockResult, RockletOptions, WriteOptions};
+
+struct DbState {
+    mem: Memtable,
+    wal: Wal,
+    wal_number: u64,
+    /// Level 0: overlapping tables, newest first.
+    l0: Vec<Table>,
+    /// Level 1: non-overlapping tables sorted by first key.
+    l1: Vec<Table>,
+    next_file: u64,
+    last_seq: u64,
+}
+
+/// The LSM engine.
+///
+/// See the crate docs for the storage layout. All methods take the caller's
+/// virtual clock; every byte of I/O goes through the injected
+/// [`FileSystem`], which is how the same unmodified "application" runs over
+/// Ext4, NOVA, tmpfs or NVCache in the benchmarks — the paper's core
+/// legacy-transparency claim.
+pub struct RockletDb {
+    fs: Arc<dyn FileSystem>,
+    dir: String,
+    opts: RockletOptions,
+    state: Mutex<DbState>,
+}
+
+impl std::fmt::Debug for RockletDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("RockletDb")
+            .field("dir", &self.dir)
+            .field("mem_bytes", &st.mem.approx_bytes())
+            .field("l0", &st.l0.len())
+            .field("l1", &st.l1.len())
+            .finish()
+    }
+}
+
+impl RockletDb {
+    /// Opens (or creates) a database under `dir`, replaying the WAL and the
+    /// MANIFEST.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the file system; [`RockError::Corruption`] on
+    /// malformed persistent state.
+    pub fn open(
+        fs: Arc<dyn FileSystem>,
+        dir: &str,
+        opts: RockletOptions,
+        clock: &ActorClock,
+    ) -> RockResult<RockletDb> {
+        let dir = vfs::normalize_path(dir);
+        let manifest_path = format!("{dir}/MANIFEST");
+        let mut l0 = Vec::new();
+        let mut l1 = Vec::new();
+        let mut next_file = 1u64;
+        let mut last_seq = 0u64;
+        let mut wal_number = 0u64;
+        match fs.open(&manifest_path, OpenFlags::RDONLY, clock) {
+            Ok(fd) => {
+                let size = fs.fstat(fd, clock)?.size;
+                let mut buf = vec![0u8; size as usize];
+                fs.pread(fd, &mut buf, 0, clock)?;
+                fs.close(fd, clock)?;
+                let mut pos = 0usize;
+                let rd_u64 = |pos: &mut usize| -> RockResult<u64> {
+                    if *pos + 8 > buf.len() {
+                        return Err(RockError::Corruption("manifest truncated".into()));
+                    }
+                    let v = u64::from_le_bytes(buf[*pos..*pos + 8].try_into().expect("8 bytes"));
+                    *pos += 8;
+                    Ok(v)
+                };
+                next_file = rd_u64(&mut pos)?;
+                last_seq = rd_u64(&mut pos)?;
+                wal_number = rd_u64(&mut pos)?;
+                let n_l0 = rd_u64(&mut pos)?;
+                for _ in 0..n_l0 {
+                    let num = rd_u64(&mut pos)?;
+                    l0.push(Table::open(Arc::clone(&fs), &table_path(&dir, num), clock)?);
+                }
+                let n_l1 = rd_u64(&mut pos)?;
+                for _ in 0..n_l1 {
+                    let num = rd_u64(&mut pos)?;
+                    l1.push(Table::open(Arc::clone(&fs), &table_path(&dir, num), clock)?);
+                }
+            }
+            Err(vfs::IoError::NotFound(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+        // Replay the WAL into a fresh memtable.
+        let mut mem = Memtable::new();
+        let mut wal_path = wal_path(&dir, wal_number);
+        if wal_number > 0 {
+            for rec in Wal::replay(&fs, &wal_path, clock)? {
+                last_seq = last_seq.max(rec.seq);
+                mem.insert(rec.key, rec.value);
+            }
+        }
+        // Start a new WAL generation so a half-written tail never grows.
+        wal_number = next_file;
+        next_file += 1;
+        wal_path = crate::db::wal_path(&dir, wal_number);
+        let wal = Wal::create(Arc::clone(&fs), &wal_path, clock)?;
+        let db = RockletDb {
+            fs,
+            dir,
+            opts,
+            state: Mutex::new(DbState { mem, wal, wal_number, l0, l1, next_file, last_seq }),
+        };
+        {
+            let mut st = db.state.lock();
+            db.write_manifest(&mut st, clock)?;
+        }
+        Ok(db)
+    }
+
+    fn write_manifest(&self, st: &mut DbState, clock: &ActorClock) -> RockResult<()> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&st.next_file.to_le_bytes());
+        buf.extend_from_slice(&st.last_seq.to_le_bytes());
+        buf.extend_from_slice(&st.wal_number.to_le_bytes());
+        buf.extend_from_slice(&(st.l0.len() as u64).to_le_bytes());
+        for t in &st.l0 {
+            buf.extend_from_slice(&file_number(&t.path).to_le_bytes());
+        }
+        buf.extend_from_slice(&(st.l1.len() as u64).to_le_bytes());
+        for t in &st.l1 {
+            buf.extend_from_slice(&file_number(&t.path).to_le_bytes());
+        }
+        let tmp = format!("{}/MANIFEST.tmp", self.dir);
+        let fd = self.fs.open(
+            &tmp,
+            OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::TRUNC,
+            clock,
+        )?;
+        self.fs.pwrite(fd, &buf, 0, clock)?;
+        self.fs.fsync(fd, clock)?;
+        self.fs.close(fd, clock)?;
+        self.fs.rename(&tmp, &format!("{}/MANIFEST", self.dir), clock)?;
+        Ok(())
+    }
+
+    /// Inserts or overwrites a key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the WAL, flushes or compactions.
+    pub fn put(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        wo: &WriteOptions,
+        clock: &ActorClock,
+    ) -> RockResult<()> {
+        self.write_internal(key, Some(value), wo, clock)
+    }
+
+    /// Deletes a key (writes a tombstone).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`put`](RockletDb::put).
+    pub fn delete(&self, key: &[u8], wo: &WriteOptions, clock: &ActorClock) -> RockResult<()> {
+        self.write_internal(key, None, wo, clock)
+    }
+
+    fn write_internal(
+        &self,
+        key: &[u8],
+        value: Option<&[u8]>,
+        wo: &WriteOptions,
+        clock: &ActorClock,
+    ) -> RockResult<()> {
+        let mut st = self.state.lock();
+        st.last_seq += 1;
+        let seq = st.last_seq;
+        st.wal.append(seq, key, value, clock)?;
+        if wo.sync {
+            st.wal.sync(clock)?;
+        }
+        st.mem.insert(key.to_vec(), value.map(<[u8]>::to_vec));
+        if st.mem.approx_bytes() >= self.opts.memtable_bytes {
+            self.flush_memtable(&mut st, clock)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup: memtable, then L0 newest-first, then L1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from table reads.
+    pub fn get(&self, key: &[u8], clock: &ActorClock) -> RockResult<Option<Vec<u8>>> {
+        // CPU cost of the engine itself (skiplist probe, bloom hashing);
+        // I/O below is charged by the file system.
+        clock.advance(simclock::SimTime::from_nanos(400));
+        let st = self.state.lock();
+        if let Some(v) = st.mem.get(key) {
+            return Ok(v.clone());
+        }
+        for t in &st.l0 {
+            if let Some(v) = t.get(key, clock)? {
+                return Ok(v);
+            }
+        }
+        let idx = st.l1.partition_point(|t| t.last_key.as_slice() < key);
+        if let Some(t) = st.l1.get(idx) {
+            if t.first_key.as_slice() <= key {
+                if let Some(v) = t.get(key, clock)? {
+                    return Ok(v);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Full sorted scan with tombstones resolved (newest version wins).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from table reads.
+    pub fn scan_all(&self, clock: &ActorClock) -> RockResult<Vec<(Vec<u8>, Vec<u8>)>> {
+        clock.advance(simclock::SimTime::from_nanos(400));
+        let st = self.state.lock();
+        // Sources ordered newest (priority 0) to oldest.
+        let mut sources: Vec<Vec<(Vec<u8>, Option<Vec<u8>>)>> = Vec::new();
+        sources.push(st.mem.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+        for t in &st.l0 {
+            sources.push(t.scan(clock)?);
+        }
+        let mut l1_all = Vec::new();
+        for t in &st.l1 {
+            l1_all.extend(t.scan(clock)?);
+        }
+        sources.push(l1_all);
+        Ok(merge_sources(sources))
+    }
+
+    /// Entries across all levels (diagnostics).
+    pub fn level_summary(&self) -> (usize, usize, usize) {
+        let st = self.state.lock();
+        (st.mem.len(), st.l0.len(), st.l1.len())
+    }
+
+    fn flush_memtable(&self, st: &mut DbState, clock: &ActorClock) -> RockResult<()> {
+        if st.mem.is_empty() {
+            return Ok(());
+        }
+        let num = st.next_file;
+        st.next_file += 1;
+        let path = table_path(&self.dir, num);
+        let mut builder = TableBuilder::create(
+            Arc::clone(&self.fs),
+            &path,
+            self.opts.block_bytes,
+            self.opts.bloom_bits_per_key,
+            clock,
+        )?;
+        for (k, v) in st.mem.iter() {
+            builder.add(k, v.as_deref(), clock)?;
+        }
+        let table = builder.finish(clock)?;
+        st.l0.insert(0, table);
+        st.mem = Memtable::new();
+        // Rotate the WAL: new generation first, manifest records it, then the
+        // old log disappears. A crash in between replays a WAL whose content
+        // is already in a durable table — idempotent.
+        let new_wal_number = st.next_file;
+        st.next_file += 1;
+        let new_wal = Wal::create(Arc::clone(&self.fs), &wal_path(&self.dir, new_wal_number), clock)?;
+        let old_wal = std::mem::replace(&mut st.wal, new_wal);
+        st.wal_number = new_wal_number;
+        self.write_manifest(st, clock)?;
+        old_wal.remove(clock)?;
+        if st.l0.len() >= self.opts.l0_compaction_trigger {
+            self.compact(st, clock)?;
+        }
+        Ok(())
+    }
+
+    /// Merges all of L0 and L1 into a fresh, non-overlapping L1 (size-tiered
+    /// full compaction — the pattern that produces the large sequential
+    /// background writes of a real LSM).
+    fn compact(&self, st: &mut DbState, clock: &ActorClock) -> RockResult<()> {
+        let mut sources: Vec<Vec<(Vec<u8>, Option<Vec<u8>>)>> = Vec::new();
+        for t in &st.l0 {
+            sources.push(t.scan(clock)?);
+        }
+        let mut l1_all = Vec::new();
+        for t in &st.l1 {
+            l1_all.extend(t.scan(clock)?);
+        }
+        sources.push(l1_all);
+        let merged = merge_sources(sources); // tombstones dropped: bottom level
+        let mut new_l1 = Vec::new();
+        let mut builder: Option<TableBuilder> = None;
+        for (k, v) in &merged {
+            if builder.is_none() {
+                let num = st.next_file;
+                st.next_file += 1;
+                builder = Some(TableBuilder::create(
+                    Arc::clone(&self.fs),
+                    &table_path(&self.dir, num),
+                    self.opts.block_bytes,
+                    self.opts.bloom_bits_per_key,
+                    clock,
+                )?);
+            }
+            let b = builder.as_mut().expect("just created");
+            b.add(k, Some(v), clock)?;
+            if b.approx_bytes() >= self.opts.target_table_bytes {
+                new_l1.push(builder.take().expect("present").finish(clock)?);
+            }
+        }
+        if let Some(b) = builder {
+            if b.count() > 0 {
+                new_l1.push(b.finish(clock)?);
+            }
+        }
+        let old_l0 = std::mem::take(&mut st.l0);
+        let old_l1 = std::mem::replace(&mut st.l1, new_l1);
+        self.write_manifest(st, clock)?;
+        for t in old_l0.into_iter().chain(old_l1) {
+            t.delete(clock)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the memtable and closes every file (graceful shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn shutdown(self, clock: &ActorClock) -> RockResult<()> {
+        let mut st = self.state.lock();
+        if !st.mem.is_empty() {
+            self.flush_memtable(&mut st, clock)?;
+        }
+        let DbState { wal, l0, l1, .. } = {
+            // Move tables out for closing.
+            let l0 = std::mem::take(&mut st.l0);
+            let l1 = std::mem::take(&mut st.l1);
+            let wal = std::mem::replace(
+                &mut st.wal,
+                Wal::create(Arc::clone(&self.fs), &format!("{}/wal-dead", self.dir), clock)?,
+            );
+            DbState {
+                mem: Memtable::new(),
+                wal,
+                wal_number: st.wal_number,
+                l0,
+                l1,
+                next_file: st.next_file,
+                last_seq: st.last_seq,
+            }
+        };
+        for t in l0.into_iter().chain(l1) {
+            t.close(clock)?;
+        }
+        wal.remove(clock)?;
+        Ok(())
+    }
+}
+
+fn table_path(dir: &str, num: u64) -> String {
+    format!("{dir}/{num:06}.sst")
+}
+
+fn wal_path(dir: &str, num: u64) -> String {
+    format!("{dir}/wal-{num:06}.log")
+}
+
+fn file_number(path: &str) -> u64 {
+    path.rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".sst"))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+/// K-way merge of sorted sources; earlier sources are newer and win on
+/// duplicate keys; tombstones are dropped from the output.
+fn merge_sources(sources: Vec<Vec<(Vec<u8>, Option<Vec<u8>>)>>) -> Vec<(Vec<u8>, Vec<u8>)> {
+    // Max-heap on Reverse ordering: (key asc, priority asc).
+    #[derive(PartialEq, Eq)]
+    struct Item {
+        key: Vec<u8>,
+        priority: usize,
+        value: Option<Vec<u8>>,
+    }
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reversed for BinaryHeap (min-heap behaviour).
+            other
+                .key
+                .cmp(&self.key)
+                .then_with(|| other.priority.cmp(&self.priority))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let mut iters: Vec<std::vec::IntoIter<(Vec<u8>, Option<Vec<u8>>)>> =
+        sources.into_iter().map(Vec::into_iter).collect();
+    let mut heap = BinaryHeap::new();
+    for (priority, it) in iters.iter_mut().enumerate() {
+        if let Some((key, value)) = it.next() {
+            heap.push(Item { key, priority, value });
+        }
+    }
+    let mut out: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut last_key: Option<Vec<u8>> = None;
+    while let Some(item) = heap.pop() {
+        if let Some((key, value)) = iters[item.priority].next() {
+            heap.push(Item { key, priority: item.priority, value });
+        }
+        if last_key.as_deref() == Some(item.key.as_slice()) {
+            continue; // older version of a key we already emitted/decided on
+        }
+        last_key = Some(item.key.clone());
+        if let Some(v) = item.value {
+            out.push((item.key, v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::MemFs;
+
+    fn open_db() -> (ActorClock, Arc<dyn FileSystem>, RockletDb) {
+        let c = ActorClock::new();
+        let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        let db = RockletDb::open(Arc::clone(&fs), "/db", RockletOptions::tiny(), &c).unwrap();
+        (c, fs, db)
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let (c, _fs, db) = open_db();
+        let wo = WriteOptions { sync: true };
+        db.put(b"k1", b"v1", &wo, &c).unwrap();
+        assert_eq!(db.get(b"k1", &c).unwrap(), Some(b"v1".to_vec()));
+        db.delete(b"k1", &wo, &c).unwrap();
+        assert_eq!(db.get(b"k1", &c).unwrap(), None);
+        assert_eq!(db.get(b"absent", &c).unwrap(), None);
+    }
+
+    #[test]
+    fn many_writes_trigger_flush_and_compaction() {
+        let (c, _fs, db) = open_db();
+        let wo = WriteOptions::default();
+        for i in 0..2000u64 {
+            db.put(&crate::bench_key(i), format!("value-{i}").as_bytes(), &wo, &c).unwrap();
+        }
+        let (_mem, _l0, l1) = db.level_summary();
+        assert!(l1 > 0, "compaction must have produced L1 tables");
+        // All data still visible.
+        for i in (0..2000u64).step_by(97) {
+            assert_eq!(
+                db.get(&crate::bench_key(i), &c).unwrap(),
+                Some(format!("value-{i}").into_bytes()),
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn overwrites_keep_newest_version() {
+        let (c, _fs, db) = open_db();
+        let wo = WriteOptions::default();
+        for round in 0..5u64 {
+            for i in 0..300u64 {
+                db.put(&crate::bench_key(i), format!("r{round}-{i}").as_bytes(), &wo, &c)
+                    .unwrap();
+            }
+        }
+        for i in (0..300u64).step_by(31) {
+            assert_eq!(
+                db.get(&crate::bench_key(i), &c).unwrap(),
+                Some(format!("r4-{i}").into_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn scan_is_sorted_and_complete() {
+        let (c, _fs, db) = open_db();
+        let wo = WriteOptions::default();
+        for i in (0..500u64).rev() {
+            db.put(&crate::bench_key(i), b"x", &wo, &c).unwrap();
+        }
+        db.delete(&crate::bench_key(250), &wo, &c).unwrap();
+        let all = db.scan_all(&c).unwrap();
+        assert_eq!(all.len(), 499);
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(!all.iter().any(|(k, _)| k == &crate::bench_key(250)));
+    }
+
+    #[test]
+    fn reopen_recovers_from_wal_and_manifest() {
+        let c = ActorClock::new();
+        let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        {
+            let db =
+                RockletDb::open(Arc::clone(&fs), "/db", RockletOptions::tiny(), &c).unwrap();
+            let wo = WriteOptions { sync: true };
+            for i in 0..800u64 {
+                db.put(&crate::bench_key(i), format!("v{i}").as_bytes(), &wo, &c).unwrap();
+            }
+            // Drop WITHOUT shutdown: the WAL holds the memtable tail.
+            drop(db);
+        }
+        let db = RockletDb::open(Arc::clone(&fs), "/db", RockletOptions::tiny(), &c).unwrap();
+        for i in (0..800u64).step_by(61) {
+            assert_eq!(
+                db.get(&crate::bench_key(i), &c).unwrap(),
+                Some(format!("v{i}").into_bytes()),
+                "key {i} lost across restart"
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_then_reopen() {
+        let c = ActorClock::new();
+        let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        let db = RockletDb::open(Arc::clone(&fs), "/db", RockletOptions::tiny(), &c).unwrap();
+        db.put(b"persist", b"me", &WriteOptions { sync: true }, &c).unwrap();
+        db.shutdown(&c).unwrap();
+        let db2 = RockletDb::open(fs, "/db", RockletOptions::tiny(), &c).unwrap();
+        assert_eq!(db2.get(b"persist", &c).unwrap(), Some(b"me".to_vec()));
+    }
+
+    #[test]
+    fn merge_prefers_newest_and_drops_tombstones() {
+        let newest = vec![(b"a".to_vec(), None), (b"b".to_vec(), Some(b"new".to_vec()))];
+        let oldest = vec![
+            (b"a".to_vec(), Some(b"old".to_vec())),
+            (b"b".to_vec(), Some(b"old".to_vec())),
+            (b"c".to_vec(), Some(b"keep".to_vec())),
+        ];
+        let merged = merge_sources(vec![newest, oldest]);
+        assert_eq!(
+            merged,
+            vec![(b"b".to_vec(), b"new".to_vec()), (b"c".to_vec(), b"keep".to_vec())]
+        );
+    }
+}

@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+use vfs::IoError;
+
+/// Result alias for rocklet operations.
+pub type RockResult<T> = Result<T, RockError>;
+
+/// Errors surfaced by the LSM engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RockError {
+    /// An underlying file-system error.
+    Io(IoError),
+    /// On-disk data failed validation (bad checksum, truncated record...).
+    Corruption(String),
+}
+
+impl fmt::Display for RockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RockError::Io(e) => write!(f, "i/o error: {e}"),
+            RockError::Corruption(m) => write!(f, "corruption: {m}"),
+        }
+    }
+}
+
+impl Error for RockError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RockError::Io(e) => Some(e),
+            RockError::Corruption(_) => None,
+        }
+    }
+}
+
+impl From<IoError> for RockError {
+    fn from(e: IoError) -> Self {
+        RockError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RockError::from(IoError::NoSpace);
+        assert_eq!(e.to_string(), "i/o error: no space left on device");
+        assert!(std::error::Error::source(&e).is_some());
+        let c = RockError::Corruption("bad crc".into());
+        assert_eq!(c.to_string(), "corruption: bad crc");
+    }
+}

@@ -1,0 +1,75 @@
+//! rocklet — a log-structured merge-tree key-value store.
+//!
+//! The paper's evaluation drives RocksDB v6.8 with `db_bench` (§IV-A); this
+//! crate is the reproduction's stand-in: a complete LSM engine — write-ahead
+//! log, memtable, sorted string tables with block index and bloom filters,
+//! size-tiered compaction, crash-safe MANIFEST — whose only view of storage
+//! is the [`vfs::FileSystem`] trait. Its I/O pattern is the one that matters
+//! for the paper's figures: small synchronous WAL appends on the critical
+//! path (`fsync` per write in sync mode) plus large sequential flush and
+//! compaction writes in the background.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rocklet::{RockletDb, RockletOptions, WriteOptions};
+//! use simclock::ActorClock;
+//! use vfs::{FileSystem, MemFs};
+//!
+//! # fn main() -> Result<(), rocklet::RockError> {
+//! let clock = ActorClock::new();
+//! let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+//! let db = RockletDb::open(fs, "/db", RockletOptions::default(), &clock)?;
+//! db.put(b"key", b"value", &WriteOptions { sync: true }, &clock)?;
+//! assert_eq!(db.get(b"key", &clock)?.as_deref(), Some(&b"value"[..]));
+//! # Ok(())
+//! # }
+//! ```
+
+mod bench;
+mod db;
+mod error;
+mod memtable;
+mod options;
+mod sstable;
+mod wal;
+
+pub use bench::{prefill, run_db_bench, BenchOptions, BenchResult, RockBench};
+pub use db::RockletDb;
+pub use error::{RockError, RockResult};
+pub use options::{RockletOptions, WriteOptions};
+
+/// FNV-1a 64-bit hash — checksums and bloom-filter hashing.
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// db_bench-style zero-padded 16-byte key for index `n`.
+pub fn bench_key(n: u64) -> Vec<u8> {
+    format!("{n:016}").into_bytes()
+}
+
+#[cfg(test)]
+mod hash_tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_spreads() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn bench_keys_sort_numerically() {
+        assert!(bench_key(9) < bench_key(10));
+        assert!(bench_key(999) < bench_key(1000));
+        assert_eq!(bench_key(5).len(), 16);
+    }
+}

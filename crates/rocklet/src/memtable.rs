@@ -1,0 +1,111 @@
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A value in the memtable: `None` is a tombstone.
+pub(crate) type MemValue = Option<Vec<u8>>;
+
+/// The in-memory write buffer: a sorted map plus an approximate byte count
+/// used to decide when to flush to a sorted table.
+#[derive(Debug, Default)]
+pub(crate) struct Memtable {
+    map: BTreeMap<Vec<u8>, MemValue>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    pub fn new() -> Self {
+        Memtable::default()
+    }
+
+    /// Inserts a put (or a tombstone when `value` is `None`).
+    pub fn insert(&mut self, key: Vec<u8>, value: MemValue) {
+        let add = key.len() + value.as_ref().map_or(8, |v| v.len()) + 32;
+        if let Some(old) = self.map.insert(key, value) {
+            self.approx_bytes = self
+                .approx_bytes
+                .saturating_sub(old.map_or(8, |v| v.len()));
+            self.approx_bytes += add.saturating_sub(32);
+        } else {
+            self.approx_bytes += add;
+        }
+    }
+
+    /// Looks a key up; the outer `Option` distinguishes "absent" from the
+    /// inner tombstone.
+    pub fn get(&self, key: &[u8]) -> Option<&MemValue> {
+        self.map.get(key)
+    }
+
+    /// Approximate resident bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Number of entries (including tombstones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memtable holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Sorted iteration over all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &MemValue)> {
+        self.map.iter()
+    }
+
+    /// Sorted iteration starting at `from` (inclusive). Exposed for range
+    /// queries; the full-scan path uses [`Memtable::iter`].
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn range_from<'a>(
+        &'a self,
+        from: &[u8],
+    ) -> impl Iterator<Item = (&'a Vec<u8>, &'a MemValue)> {
+        self.map.range::<[u8], _>((Bound::Included(from), Bound::Unbounded))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m = Memtable::new();
+        m.insert(b"a".to_vec(), Some(b"1".to_vec()));
+        m.insert(b"a".to_vec(), Some(b"2".to_vec()));
+        assert_eq!(m.get(b"a"), Some(&Some(b"2".to_vec())));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn tombstones_are_present_entries() {
+        let mut m = Memtable::new();
+        m.insert(b"k".to_vec(), Some(b"v".to_vec()));
+        m.insert(b"k".to_vec(), None);
+        assert_eq!(m.get(b"k"), Some(&None));
+        assert_eq!(m.get(b"missing"), None);
+    }
+
+    #[test]
+    fn bytes_grow_with_content() {
+        let mut m = Memtable::new();
+        let before = m.approx_bytes();
+        m.insert(vec![0; 100], Some(vec![0; 1000]));
+        assert!(m.approx_bytes() >= before + 1100);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut m = Memtable::new();
+        m.insert(b"c".to_vec(), Some(vec![]));
+        m.insert(b"a".to_vec(), Some(vec![]));
+        m.insert(b"b".to_vec(), Some(vec![]));
+        let keys: Vec<&[u8]> = m.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b", b"c"]);
+        let from_b: Vec<&[u8]> = m.range_from(b"b").map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(from_b, vec![b"b".as_slice(), b"c"]);
+    }
+}

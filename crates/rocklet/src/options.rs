@@ -1,0 +1,65 @@
+/// Engine tuning parameters.
+///
+/// Defaults are scaled-down RocksDB-ish values appropriate for the
+/// simulation (a 4 MiB memtable instead of 64 MiB, etc.); the ratios —
+/// memtable to table size, L0 trigger — match the real engine's defaults.
+#[derive(Debug, Clone)]
+pub struct RockletOptions {
+    /// Flush the memtable once it holds this many bytes.
+    pub memtable_bytes: usize,
+    /// Start a compaction when level 0 holds this many tables.
+    pub l0_compaction_trigger: usize,
+    /// Split compaction output tables at this size.
+    pub target_table_bytes: u64,
+    /// Data block size inside tables.
+    pub block_bytes: usize,
+    /// Bloom filter bits per key (0 disables blooms).
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for RockletOptions {
+    fn default() -> Self {
+        RockletOptions {
+            memtable_bytes: 4 << 20,
+            l0_compaction_trigger: 4,
+            target_table_bytes: 8 << 20,
+            block_bytes: 4096,
+            bloom_bits_per_key: 10,
+        }
+    }
+}
+
+impl RockletOptions {
+    /// A small configuration for unit tests (frequent flush/compaction).
+    pub fn tiny() -> Self {
+        RockletOptions {
+            memtable_bytes: 4 << 10,
+            l0_compaction_trigger: 3,
+            target_table_bytes: 16 << 10,
+            block_bytes: 1024,
+            bloom_bits_per_key: 10,
+        }
+    }
+}
+
+/// Per-write durability options, as in RocksDB's `WriteOptions`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteOptions {
+    /// Fsync the WAL before acknowledging the write (the paper benches run
+    /// with the benchmark's synchronous mode on — §IV-B).
+    pub sync: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let o = RockletOptions::default();
+        assert!(o.memtable_bytes <= o.target_table_bytes as usize * 4);
+        assert!(o.l0_compaction_trigger >= 2);
+        let t = RockletOptions::tiny();
+        assert!(t.memtable_bytes < o.memtable_bytes);
+    }
+}

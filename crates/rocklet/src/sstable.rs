@@ -1,0 +1,479 @@
+use std::sync::Arc;
+
+use simclock::ActorClock;
+use vfs::{FileSystem, OpenFlags};
+
+use crate::{fnv1a, RockError, RockResult};
+
+const MAGIC: u64 = u64::from_le_bytes(*b"ROCKLET1");
+/// Footer: index_off, index_len, bloom_off, bloom_len, count, magic.
+const FOOTER_BYTES: u64 = 48;
+/// Value-length tag for tombstones.
+const TOMBSTONE: u32 = u32::MAX;
+
+/// A bloom filter over the table's keys (double hashing, RocksDB-style).
+#[derive(Debug, Clone)]
+pub(crate) struct Bloom {
+    bits: Vec<u8>,
+    k: u32,
+}
+
+impl Bloom {
+    pub fn build(keys: &[&[u8]], bits_per_key: usize) -> Bloom {
+        if bits_per_key == 0 || keys.is_empty() {
+            return Bloom { bits: Vec::new(), k: 0 };
+        }
+        let nbits = (keys.len() * bits_per_key).max(64);
+        let nbytes = nbits.div_ceil(8);
+        let k = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 30);
+        let mut bits = vec![0u8; nbytes];
+        for key in keys {
+            let h = fnv1a(key);
+            let delta = (h >> 33) | (h << 31);
+            let mut pos = h;
+            for _ in 0..k {
+                let bit = (pos % (nbytes as u64 * 8)) as usize;
+                bits[bit / 8] |= 1 << (bit % 8);
+                pos = pos.wrapping_add(delta);
+            }
+        }
+        Bloom { bits, k }
+    }
+
+    pub fn from_bytes(bytes: Vec<u8>, k: u32) -> Bloom {
+        Bloom { bits: bytes, k }
+    }
+
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        if self.k == 0 || self.bits.is_empty() {
+            return true;
+        }
+        let nbits = self.bits.len() as u64 * 8;
+        let h = fnv1a(key);
+        let delta = (h >> 33) | (h << 31);
+        let mut pos = h;
+        for _ in 0..self.k {
+            let bit = (pos % nbits) as usize;
+            if self.bits[bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            pos = pos.wrapping_add(delta);
+        }
+        true
+    }
+
+    fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.bits.len());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.bits);
+        out
+    }
+}
+
+/// One index entry: the last key of a block and the block's extent.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    last_key: Vec<u8>,
+    off: u64,
+    len: u32,
+}
+
+/// Builds a sorted string table from already-sorted input.
+pub(crate) struct TableBuilder {
+    fs: Arc<dyn FileSystem>,
+    fd: vfs::Fd,
+    path: String,
+    block: Vec<u8>,
+    block_bytes: usize,
+    offset: u64,
+    index: Vec<IndexEntry>,
+    keys: Vec<Vec<u8>>,
+    last_in_block: Vec<u8>,
+    count: u64,
+    bloom_bits_per_key: usize,
+    first_key: Option<Vec<u8>>,
+}
+
+impl TableBuilder {
+    pub fn create(
+        fs: Arc<dyn FileSystem>,
+        path: &str,
+        block_bytes: usize,
+        bloom_bits_per_key: usize,
+        clock: &ActorClock,
+    ) -> RockResult<TableBuilder> {
+        let fd = fs.open(path, OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::TRUNC, clock)?;
+        Ok(TableBuilder {
+            fs,
+            fd,
+            path: path.to_string(),
+            block: Vec::with_capacity(block_bytes * 2),
+            block_bytes,
+            offset: 0,
+            index: Vec::new(),
+            keys: Vec::new(),
+            last_in_block: Vec::new(),
+            count: 0,
+            bloom_bits_per_key,
+            first_key: None,
+        })
+    }
+
+    /// Adds the next entry; keys must arrive in strictly increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on out-of-order keys — the callers merge-sort.
+    pub fn add(
+        &mut self,
+        key: &[u8],
+        value: Option<&[u8]>,
+        clock: &ActorClock,
+    ) -> RockResult<()> {
+        debug_assert!(
+            self.keys.last().map_or(true, |k| k.as_slice() < key),
+            "keys must be added in order"
+        );
+        if self.first_key.is_none() {
+            self.first_key = Some(key.to_vec());
+        }
+        self.block.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        match value {
+            Some(v) => {
+                self.block.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                self.block.extend_from_slice(key);
+                self.block.extend_from_slice(v);
+            }
+            None => {
+                self.block.extend_from_slice(&TOMBSTONE.to_le_bytes());
+                self.block.extend_from_slice(key);
+            }
+        }
+        self.keys.push(key.to_vec());
+        self.last_in_block = key.to_vec();
+        self.count += 1;
+        if self.block.len() >= self.block_bytes {
+            self.flush_block(clock)?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self, clock: &ActorClock) -> RockResult<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        self.fs.pwrite(self.fd, &self.block, self.offset, clock)?;
+        self.index.push(IndexEntry {
+            last_key: self.last_in_block.clone(),
+            off: self.offset,
+            len: self.block.len() as u32,
+        });
+        self.offset += self.block.len() as u64;
+        self.block.clear();
+        Ok(())
+    }
+
+    /// Entries added so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bytes of data blocks written (plus the pending block).
+    pub fn approx_bytes(&self) -> u64 {
+        self.offset + self.block.len() as u64
+    }
+
+    /// Finishes the table: writes index, bloom and footer, fsyncs, and
+    /// returns the reader.
+    pub fn finish(mut self, clock: &ActorClock) -> RockResult<Table> {
+        self.flush_block(clock)?;
+        let index_off = self.offset;
+        let mut index_buf = Vec::new();
+        for e in &self.index {
+            index_buf.extend_from_slice(&(e.last_key.len() as u32).to_le_bytes());
+            index_buf.extend_from_slice(&e.last_key);
+            index_buf.extend_from_slice(&e.off.to_le_bytes());
+            index_buf.extend_from_slice(&e.len.to_le_bytes());
+        }
+        self.fs.pwrite(self.fd, &index_buf, index_off, clock)?;
+        let bloom_off = index_off + index_buf.len() as u64;
+        let key_refs: Vec<&[u8]> = self.keys.iter().map(Vec::as_slice).collect();
+        let bloom = Bloom::build(&key_refs, self.bloom_bits_per_key);
+        let bloom_buf = bloom.encoded();
+        self.fs.pwrite(self.fd, &bloom_buf, bloom_off, clock)?;
+        let mut footer = Vec::with_capacity(FOOTER_BYTES as usize);
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&(index_buf.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&bloom_off.to_le_bytes());
+        footer.extend_from_slice(&(bloom_buf.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&self.count.to_le_bytes());
+        footer.extend_from_slice(&MAGIC.to_le_bytes());
+        let footer_off = bloom_off + bloom_buf.len() as u64;
+        self.fs.pwrite(self.fd, &footer, footer_off, clock)?;
+        self.fs.fsync(self.fd, clock)?;
+        self.fs.close(self.fd, clock)?;
+        Table::open(self.fs, &self.path, clock)
+    }
+}
+
+/// A readable sorted string table.
+pub(crate) struct Table {
+    fs: Arc<dyn FileSystem>,
+    pub path: String,
+    fd: vfs::Fd,
+    index: Vec<IndexEntry>,
+    bloom: Bloom,
+    pub count: u64,
+    pub first_key: Vec<u8>,
+    pub last_key: Vec<u8>,
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("path", &self.path)
+            .field("count", &self.count)
+            .finish()
+    }
+}
+
+impl Table {
+    /// Opens a finished table, loading index and bloom into memory (as
+    /// RocksDB pins them in its table cache).
+    pub fn open(fs: Arc<dyn FileSystem>, path: &str, clock: &ActorClock) -> RockResult<Table> {
+        let fd = fs.open(path, OpenFlags::RDONLY, clock)?;
+        let size = fs.fstat(fd, clock)?.size;
+        if size < FOOTER_BYTES {
+            return Err(RockError::Corruption(format!("{path}: too small for a footer")));
+        }
+        let mut footer = [0u8; FOOTER_BYTES as usize];
+        fs.pread(fd, &mut footer, size - FOOTER_BYTES, clock)?;
+        let index_off = u64::from_le_bytes(footer[0..8].try_into().expect("8 bytes"));
+        let index_len = u64::from_le_bytes(footer[8..16].try_into().expect("8 bytes"));
+        let bloom_off = u64::from_le_bytes(footer[16..24].try_into().expect("8 bytes"));
+        let bloom_len = u64::from_le_bytes(footer[24..32].try_into().expect("8 bytes"));
+        let count = u64::from_le_bytes(footer[32..40].try_into().expect("8 bytes"));
+        let magic = u64::from_le_bytes(footer[40..48].try_into().expect("8 bytes"));
+        if magic != MAGIC {
+            return Err(RockError::Corruption(format!("{path}: bad magic")));
+        }
+        let mut index_buf = vec![0u8; index_len as usize];
+        fs.pread(fd, &mut index_buf, index_off, clock)?;
+        let mut index = Vec::new();
+        let mut pos = 0usize;
+        while pos < index_buf.len() {
+            let klen =
+                u32::from_le_bytes(index_buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            pos += 4;
+            let last_key = index_buf[pos..pos + klen].to_vec();
+            pos += klen;
+            let off = u64::from_le_bytes(index_buf[pos..pos + 8].try_into().expect("8 bytes"));
+            pos += 8;
+            let len = u32::from_le_bytes(index_buf[pos..pos + 4].try_into().expect("4 bytes"));
+            pos += 4;
+            index.push(IndexEntry { last_key, off, len });
+        }
+        let mut bloom_buf = vec![0u8; bloom_len as usize];
+        fs.pread(fd, &mut bloom_buf, bloom_off, clock)?;
+        let bloom = if bloom_buf.len() >= 4 {
+            let k = u32::from_le_bytes(bloom_buf[0..4].try_into().expect("4 bytes"));
+            Bloom::from_bytes(bloom_buf[4..].to_vec(), k)
+        } else {
+            Bloom::from_bytes(Vec::new(), 0)
+        };
+        // First/last keys come from the first block's first record and the
+        // last index entry.
+        let (first_key, last_key) = if index.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            let first_block = Self::read_block_raw(&fs, fd, &index[0], clock)?;
+            let first = decode_block(&first_block)?
+                .into_iter()
+                .next()
+                .map(|(k, _)| k)
+                .unwrap_or_default();
+            (first, index.last().expect("nonempty").last_key.clone())
+        };
+        Ok(Table { fs, path: path.to_string(), fd, index, bloom, count, first_key, last_key })
+    }
+
+    fn read_block_raw(
+        fs: &Arc<dyn FileSystem>,
+        fd: vfs::Fd,
+        e: &IndexEntry,
+        clock: &ActorClock,
+    ) -> RockResult<Vec<u8>> {
+        let mut buf = vec![0u8; e.len as usize];
+        fs.pread(fd, &mut buf, e.off, clock)?;
+        Ok(buf)
+    }
+
+    /// Point lookup: bloom, then binary search in the index, then a block
+    /// scan. Returns `Some(None)` for a tombstone.
+    pub fn get(&self, key: &[u8], clock: &ActorClock) -> RockResult<Option<Option<Vec<u8>>>> {
+        if !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        let idx = self.index.partition_point(|e| e.last_key.as_slice() < key);
+        let Some(entry) = self.index.get(idx) else { return Ok(None) };
+        let block = Self::read_block_raw(&self.fs, self.fd, entry, clock)?;
+        for (k, v) in decode_block(&block)? {
+            if k == key {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Full sorted scan of the table.
+    pub fn scan(&self, clock: &ActorClock) -> RockResult<Vec<(Vec<u8>, Option<Vec<u8>>)>> {
+        let mut out = Vec::with_capacity(self.count as usize);
+        for e in &self.index {
+            let block = Self::read_block_raw(&self.fs, self.fd, e, clock)?;
+            out.extend(decode_block(&block)?);
+        }
+        Ok(out)
+    }
+
+    /// Closes the table's descriptor and removes the file (compaction
+    /// garbage collection).
+    pub fn delete(self, clock: &ActorClock) -> RockResult<()> {
+        self.fs.close(self.fd, clock)?;
+        self.fs.unlink(&self.path, clock)?;
+        Ok(())
+    }
+
+    /// Closes the descriptor, keeping the file (shutdown).
+    pub fn close(self, clock: &ActorClock) -> RockResult<()> {
+        self.fs.close(self.fd, clock)?;
+        Ok(())
+    }
+}
+
+/// Decodes a data block into (key, value-or-tombstone) pairs.
+fn decode_block(block: &[u8]) -> RockResult<Vec<(Vec<u8>, Option<Vec<u8>>)>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= block.len() {
+        let klen = u32::from_le_bytes(block[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let vtag = u32::from_le_bytes(block[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        pos += 8;
+        if pos + klen > block.len() {
+            return Err(RockError::Corruption("truncated key in block".into()));
+        }
+        let key = block[pos..pos + klen].to_vec();
+        pos += klen;
+        if vtag == TOMBSTONE {
+            out.push((key, None));
+        } else {
+            let vlen = vtag as usize;
+            if pos + vlen > block.len() {
+                return Err(RockError::Corruption("truncated value in block".into()));
+            }
+            out.push((key, Some(block[pos..pos + vlen].to_vec())));
+            pos += vlen;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::MemFs;
+
+    fn setup() -> (ActorClock, Arc<dyn FileSystem>) {
+        (ActorClock::new(), Arc::new(MemFs::new()))
+    }
+
+    fn build_table(
+        fs: &Arc<dyn FileSystem>,
+        c: &ActorClock,
+        n: u64,
+    ) -> Table {
+        let mut b = TableBuilder::create(Arc::clone(fs), "/t.sst", 256, 10, c).unwrap();
+        for i in 0..n {
+            let k = crate::bench_key(i);
+            if i % 7 == 3 {
+                b.add(&k, None, c).unwrap();
+            } else {
+                b.add(&k, Some(format!("value-{i}").as_bytes()), c).unwrap();
+            }
+        }
+        b.finish(c).unwrap()
+    }
+
+    #[test]
+    fn build_then_get() {
+        let (c, fs) = setup();
+        let t = build_table(&fs, &c, 100);
+        assert_eq!(t.count, 100);
+        assert_eq!(
+            t.get(&crate::bench_key(42), &c).unwrap(),
+            Some(Some(b"value-42".to_vec()))
+        );
+        assert_eq!(t.get(&crate::bench_key(3), &c).unwrap(), Some(None), "tombstone");
+        assert_eq!(t.get(&crate::bench_key(100), &c).unwrap(), None, "absent");
+    }
+
+    #[test]
+    fn scan_returns_everything_in_order() {
+        let (c, fs) = setup();
+        let t = build_table(&fs, &c, 50);
+        let all = t.scan(&c).unwrap();
+        assert_eq!(all.len(), 50);
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0, "scan must be sorted");
+        }
+    }
+
+    #[test]
+    fn first_and_last_keys() {
+        let (c, fs) = setup();
+        let t = build_table(&fs, &c, 10);
+        assert_eq!(t.first_key, crate::bench_key(0));
+        assert_eq!(t.last_key, crate::bench_key(9));
+    }
+
+    #[test]
+    fn reopen_after_close() {
+        let (c, fs) = setup();
+        let t = build_table(&fs, &c, 20);
+        t.close(&c).unwrap();
+        let t2 = Table::open(Arc::clone(&fs), "/t.sst", &c).unwrap();
+        assert_eq!(t2.count, 20);
+        assert_eq!(t2.get(&crate::bench_key(5), &c).unwrap(), Some(Some(b"value-5".to_vec())));
+    }
+
+    #[test]
+    fn bloom_rejects_most_absent_keys() {
+        let keys: Vec<Vec<u8>> = (0..1000u64).map(crate::bench_key).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(Vec::as_slice).collect();
+        let bloom = Bloom::build(&refs, 10);
+        for k in &keys {
+            assert!(bloom.may_contain(k), "no false negatives allowed");
+        }
+        let mut false_positives = 0;
+        for i in 1000u64..2000 {
+            if bloom.may_contain(&crate::bench_key(i)) {
+                false_positives += 1;
+            }
+        }
+        assert!(false_positives < 50, "false positive rate too high: {false_positives}/1000");
+    }
+
+    #[test]
+    fn corrupt_magic_is_detected() {
+        let (c, fs) = setup();
+        let t = build_table(&fs, &c, 5);
+        t.close(&c).unwrap();
+        let fd = fs.open("/t.sst", OpenFlags::RDWR, &c).unwrap();
+        let size = fs.fstat(fd, &c).unwrap().size;
+        fs.pwrite(fd, b"XXXXXXXX", size - 8, &c).unwrap();
+        fs.close(fd, &c).unwrap();
+        assert!(matches!(
+            Table::open(fs, "/t.sst", &c),
+            Err(RockError::Corruption(_))
+        ));
+    }
+}

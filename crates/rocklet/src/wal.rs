@@ -1,0 +1,229 @@
+use std::sync::Arc;
+
+use simclock::ActorClock;
+use vfs::{Fd, FileSystem, OpenFlags};
+
+use crate::{fnv1a, RockError, RockResult};
+
+/// Operation tags in WAL records.
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WalRecord {
+    pub seq: u64,
+    pub key: Vec<u8>,
+    /// `None` encodes a delete.
+    pub value: Option<Vec<u8>>,
+}
+
+/// The write-ahead log: an append-only file of checksummed records.
+///
+/// This is the file on the *synchronous critical path* of every db_bench
+/// write — the paper's RocksDB numbers are dominated by the `append` +
+/// `fsync` sequence here, which NVCache turns into an NVMM log append plus
+/// a no-op.
+pub(crate) struct Wal {
+    fs: Arc<dyn FileSystem>,
+    path: String,
+    fd: Fd,
+    offset: u64,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal").field("path", &self.path).field("offset", &self.offset).finish()
+    }
+}
+
+fn encode(seq: u64, key: &[u8], value: Option<&[u8]>) -> Vec<u8> {
+    let body_len = 8 + 1 + 4 + key.len() + 4 + value.map_or(0, <[u8]>::len);
+    let mut buf = Vec::with_capacity(8 + body_len);
+    buf.extend_from_slice(&(body_len as u32).to_le_bytes());
+    buf.extend_from_slice(&[0u8; 4]); // crc patched below
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.push(if value.is_some() { OP_PUT } else { OP_DELETE });
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(key);
+    match value {
+        Some(v) => {
+            buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            buf.extend_from_slice(v);
+        }
+        None => buf.extend_from_slice(&u32::MAX.to_le_bytes()),
+    }
+    let crc = (fnv1a(&buf[8..]) as u32).to_le_bytes();
+    buf[4..8].copy_from_slice(&crc);
+    buf
+}
+
+impl Wal {
+    /// Creates (truncating) a WAL at `path`.
+    pub fn create(fs: Arc<dyn FileSystem>, path: &str, clock: &ActorClock) -> RockResult<Wal> {
+        let fd = fs.open(
+            path,
+            OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::TRUNC,
+            clock,
+        )?;
+        Ok(Wal { fs, path: path.to_string(), fd, offset: 0 })
+    }
+
+    /// Appends one record; durable once [`sync`](Wal::sync) returns (or
+    /// immediately on file systems with synchronous durability).
+    pub fn append(
+        &mut self,
+        seq: u64,
+        key: &[u8],
+        value: Option<&[u8]>,
+        clock: &ActorClock,
+    ) -> RockResult<()> {
+        let buf = encode(seq, key, value);
+        self.fs.pwrite(self.fd, &buf, self.offset, clock)?;
+        self.offset += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Forces the log to durable storage.
+    pub fn sync(&self, clock: &ActorClock) -> RockResult<()> {
+        self.fs.fsync(self.fd, clock)?;
+        Ok(())
+    }
+
+    /// Bytes appended so far.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> u64 {
+        self.offset
+    }
+
+    /// Closes and removes the log file (after a successful memtable flush).
+    pub fn remove(self, clock: &ActorClock) -> RockResult<()> {
+        self.fs.close(self.fd, clock)?;
+        self.fs.unlink(&self.path, clock)?;
+        Ok(())
+    }
+
+    /// Replays a WAL file, returning its records in order. Stops cleanly at
+    /// the first torn or corrupt record (crash during append).
+    pub fn replay(
+        fs: &Arc<dyn FileSystem>,
+        path: &str,
+        clock: &ActorClock,
+    ) -> RockResult<Vec<WalRecord>> {
+        let fd = match fs.open(path, OpenFlags::RDONLY, clock) {
+            Ok(fd) => fd,
+            Err(vfs::IoError::NotFound(_)) => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let size = fs.fstat(fd, clock)?.size;
+        let mut data = vec![0u8; size as usize];
+        let n = fs.pread(fd, &mut data, 0, clock)?;
+        data.truncate(n);
+        fs.close(fd, clock)?;
+
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos + 8 <= data.len() {
+            let body_len =
+                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let body_end = pos + 8 + body_len;
+            if body_len < 17 || body_end > data.len() {
+                break; // torn tail
+            }
+            let body = &data[pos + 8..body_end];
+            if fnv1a(body) as u32 != crc {
+                break; // corrupt tail
+            }
+            let seq = u64::from_le_bytes(body[0..8].try_into().expect("8 bytes"));
+            let op = body[8];
+            let klen = u32::from_le_bytes(body[9..13].try_into().expect("4 bytes")) as usize;
+            if 13 + klen + 4 > body.len() {
+                return Err(RockError::Corruption(format!("bad key length in {path}")));
+            }
+            let key = body[13..13 + klen].to_vec();
+            let vlen_raw = u32::from_le_bytes(
+                body[13 + klen..17 + klen].try_into().expect("4 bytes"),
+            );
+            let value = if op == OP_DELETE || vlen_raw == u32::MAX {
+                None
+            } else {
+                let vlen = vlen_raw as usize;
+                if 17 + klen + vlen > body.len() {
+                    return Err(RockError::Corruption(format!("bad value length in {path}")));
+                }
+                Some(body[17 + klen..17 + klen + vlen].to_vec())
+            };
+            out.push(WalRecord { seq, key, value });
+            pos = body_end;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::MemFs;
+
+    fn setup() -> (ActorClock, Arc<dyn FileSystem>) {
+        (ActorClock::new(), Arc::new(MemFs::new()))
+    }
+
+    #[test]
+    fn append_then_replay() {
+        let (c, fs) = setup();
+        let mut wal = Wal::create(Arc::clone(&fs), "/wal", &c).unwrap();
+        wal.append(1, b"alpha", Some(b"one"), &c).unwrap();
+        wal.append(2, b"beta", None, &c).unwrap();
+        wal.sync(&c).unwrap();
+        let records = Wal::replay(&fs, "/wal", &c).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], WalRecord { seq: 1, key: b"alpha".to_vec(), value: Some(b"one".to_vec()) });
+        assert_eq!(records[1], WalRecord { seq: 2, key: b"beta".to_vec(), value: None });
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let (c, fs) = setup();
+        let mut wal = Wal::create(Arc::clone(&fs), "/torn", &c).unwrap();
+        wal.append(1, b"good", Some(b"record"), &c).unwrap();
+        let good_len = wal.len();
+        // Simulate a torn append: write half of a record's worth of garbage.
+        let fd = fs.open("/torn", OpenFlags::RDWR, &c).unwrap();
+        fs.pwrite(fd, &[0xFF; 9], good_len, &c).unwrap();
+        fs.close(fd, &c).unwrap();
+        let records = Wal::replay(&fs, "/torn", &c).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].key, b"good");
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let (c, fs) = setup();
+        let mut wal = Wal::create(Arc::clone(&fs), "/crc", &c).unwrap();
+        wal.append(1, b"a", Some(b"1"), &c).unwrap();
+        wal.append(2, b"b", Some(b"2"), &c).unwrap();
+        // Flip a byte in the second record's body.
+        let first_len = encode(1, b"a", Some(b"1")).len() as u64;
+        let fd = fs.open("/crc", OpenFlags::RDWR, &c).unwrap();
+        fs.pwrite(fd, &[0xAA], first_len + 12, &c).unwrap();
+        fs.close(fd, &c).unwrap();
+        let records = Wal::replay(&fs, "/crc", &c).unwrap();
+        assert_eq!(records.len(), 1, "replay must stop at the corrupt record");
+    }
+
+    #[test]
+    fn missing_wal_replays_empty() {
+        let (c, fs) = setup();
+        assert!(Wal::replay(&fs, "/nope", &c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn remove_unlinks_the_file() {
+        let (c, fs) = setup();
+        let wal = Wal::create(Arc::clone(&fs), "/rm", &c).unwrap();
+        wal.remove(&c).unwrap();
+        assert!(fs.stat("/rm", &c).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+use parking_lot::Mutex;
+
+use crate::SimTime;
+
+/// One raw observation: a (virtual time, value) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Virtual time of the observation.
+    pub t: SimTime,
+    /// Observed value (meaning depends on the series, e.g. cumulative bytes).
+    pub value: f64,
+}
+
+/// One aggregated bin of a time series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesBin {
+    /// Start of the bin.
+    pub t: SimTime,
+    /// Mean of values that fell into the bin.
+    pub mean: f64,
+    /// Last value observed in the bin.
+    pub last: f64,
+    /// Number of samples in the bin.
+    pub count: usize,
+}
+
+/// A thread-safe recorder of (virtual time, value) samples.
+///
+/// Used by the FIO stand-in and the figure harnesses to reconstruct the
+/// paper's "throughput vs. time" style plots: record cumulative bytes after
+/// every operation, then derive per-interval throughput with
+/// [`TimeSeries::throughput_mib_s`].
+///
+/// # Example
+///
+/// ```
+/// use simclock::{SimTime, TimeSeries};
+/// let ts = TimeSeries::new();
+/// ts.record(SimTime::from_secs(1), 1024.0);
+/// ts.record(SimTime::from_secs(2), 4096.0);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.last().unwrap().value, 4096.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct TimeSeries {
+    samples: Mutex<Vec<Sample>>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { samples: Mutex::new(Vec::new()) }
+    }
+
+    /// Appends a sample.
+    pub fn record(&self, t: SimTime, value: f64) {
+        self.samples.lock().push(Sample { t, value });
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.lock().is_empty()
+    }
+
+    /// The most recent sample, if any.
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.lock().last().copied()
+    }
+
+    /// A copy of all samples, sorted by time.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let mut v = self.samples.lock().clone();
+        v.sort_by_key(|s| s.t);
+        v
+    }
+
+    /// Aggregates samples into fixed-width bins.
+    pub fn binned(&self, width: SimTime) -> Vec<SeriesBin> {
+        assert!(width > SimTime::ZERO, "bin width must be positive");
+        let samples = self.snapshot();
+        let mut bins: Vec<SeriesBin> = Vec::new();
+        for s in samples {
+            let idx = s.t.as_nanos() / width.as_nanos();
+            let start = SimTime::from_nanos(idx * width.as_nanos());
+            match bins.last_mut() {
+                Some(b) if b.t == start => {
+                    b.mean += (s.value - b.mean) / (b.count + 1) as f64;
+                    b.last = s.value;
+                    b.count += 1;
+                }
+                _ => bins.push(SeriesBin { t: start, mean: s.value, last: s.value, count: 1 }),
+            }
+        }
+        bins
+    }
+
+    /// Derives per-bin throughput in MiB/s from a series of *cumulative byte*
+    /// samples. Returns `(bin_start, mib_per_s)` pairs.
+    pub fn throughput_mib_s(&self, width: SimTime) -> Vec<(SimTime, f64)> {
+        let bins = self.binned(width);
+        let mut out = Vec::with_capacity(bins.len());
+        let mut prev_bytes = 0.0;
+        for b in &bins {
+            let delta = b.last - prev_bytes;
+            prev_bytes = b.last;
+            let mib = delta / (1u64 << 20) as f64;
+            out.push((b.t, mib / width.as_secs_f64()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_groups_by_interval() {
+        let ts = TimeSeries::new();
+        ts.record(SimTime::from_millis(100), 1.0);
+        ts.record(SimTime::from_millis(200), 3.0);
+        ts.record(SimTime::from_millis(1200), 10.0);
+        let bins = ts.binned(SimTime::from_secs(1));
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].count, 2);
+        assert!((bins[0].mean - 2.0).abs() < 1e-9);
+        assert_eq!(bins[0].last, 3.0);
+        assert_eq!(bins[1].t, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn throughput_from_cumulative_bytes() {
+        let ts = TimeSeries::new();
+        let mib = (1u64 << 20) as f64;
+        ts.record(SimTime::from_millis(500), 100.0 * mib);
+        ts.record(SimTime::from_millis(1500), 300.0 * mib);
+        let tp = ts.throughput_mib_s(SimTime::from_secs(1));
+        assert_eq!(tp.len(), 2);
+        assert!((tp[0].1 - 100.0).abs() < 1e-6);
+        assert!((tp[1].1 - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let ts = TimeSeries::new();
+        ts.record(SimTime::from_secs(2), 2.0);
+        ts.record(SimTime::from_secs(1), 1.0);
+        let snap = ts.snapshot();
+        assert_eq!(snap[0].value, 1.0);
+        assert_eq!(snap[1].value, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn zero_bin_width_panics() {
+        TimeSeries::new().binned(SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        assert!(ts.last().is_none());
+        assert!(ts.binned(SimTime::from_secs(1)).is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simclock::{ActorClock, SimTime};
+
+use crate::{SqlResult, SqlightDb};
+
+/// The db_bench-for-SQLite workloads of paper Fig. 3: synchronous fills
+/// (one transaction per statement — the expensive SQLite pattern) and the
+/// two read workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlBench {
+    /// Sequential-rowid inserts, one synchronous transaction each.
+    FillSeqSync,
+    /// Random-rowid inserts, one synchronous transaction each.
+    FillRandSync,
+    /// Random point lookups.
+    ReadRandom,
+    /// Full table scan.
+    ReadSeq,
+}
+
+impl SqlBench {
+    /// Workload name as it appears in the figure.
+    pub fn name(self) -> &'static str {
+        match self {
+            SqlBench::FillSeqSync => "fillseq-sync",
+            SqlBench::FillRandSync => "fillrand-sync",
+            SqlBench::ReadRandom => "readrandom",
+            SqlBench::ReadSeq => "readseq",
+        }
+    }
+
+    /// Whether the workload needs existing rows.
+    pub fn needs_prefill(self) -> bool {
+        matches!(self, SqlBench::ReadRandom | SqlBench::ReadSeq)
+    }
+}
+
+/// Run options.
+#[derive(Debug, Clone)]
+pub struct SqlBenchOptions {
+    /// Number of operations.
+    pub num: u64,
+    /// Row payload size (db_bench default 100 bytes).
+    pub value_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SqlBenchOptions {
+    fn default() -> Self {
+        SqlBenchOptions { num: 1_000, value_size: 100, seed: 42 }
+    }
+}
+
+/// Outcome of one workload run.
+#[derive(Debug, Clone)]
+pub struct SqlBenchResult {
+    /// Workload name.
+    pub name: &'static str,
+    /// Operations executed.
+    pub ops: u64,
+    /// Virtual time of the run.
+    pub elapsed: SimTime,
+    /// Mean latency per operation in microseconds (the unit of Fig. 3).
+    pub mean_latency_us: f64,
+    /// Operations per virtual second.
+    pub ops_per_sec: f64,
+}
+
+fn row(value_size: usize, salt: u64) -> Vec<u8> {
+    (0..value_size).map(|i| ((i as u64).wrapping_mul(37).wrapping_add(salt) % 251) as u8).collect()
+}
+
+/// Pre-populates `table` with `num` sequential rows in one big transaction
+/// (layout phase; not measured).
+///
+/// # Errors
+///
+/// Propagates database errors.
+pub fn prefill(
+    db: &SqlightDb,
+    table: &str,
+    opts: &SqlBenchOptions,
+    clock: &ActorClock,
+) -> SqlResult<()> {
+    db.begin()?;
+    for i in 0..opts.num {
+        db.insert(table, i as i64, &row(opts.value_size, i), clock)?;
+    }
+    db.commit(clock)
+}
+
+/// Runs one workload against `table` (created on demand).
+///
+/// # Errors
+///
+/// Propagates database errors.
+pub fn run_sql_bench(
+    db: &SqlightDb,
+    table: &str,
+    bench: SqlBench,
+    opts: &SqlBenchOptions,
+    clock: &ActorClock,
+) -> SqlResult<SqlBenchResult> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let start = clock.now();
+    let mut ops = 0u64;
+    match bench {
+        SqlBench::FillSeqSync => {
+            for i in 0..opts.num {
+                db.insert(table, i as i64, &row(opts.value_size, i), clock)?;
+                ops += 1;
+            }
+        }
+        SqlBench::FillRandSync => {
+            let mut next = 0u64;
+            for _ in 0..opts.num {
+                // Random *insertion order* over a permuted key space (fills
+                // must not collide on rowids).
+                let rowid = (next.wrapping_mul(2654435761) % (opts.num * 8)) as i64;
+                next += 1;
+                match db.insert(table, rowid, &row(opts.value_size, rowid as u64), clock) {
+                    Ok(()) | Err(crate::SqlError::DuplicateRow(_)) => {}
+                    Err(e) => return Err(e),
+                }
+                ops += 1;
+            }
+        }
+        SqlBench::ReadRandom => {
+            for _ in 0..opts.num {
+                let rowid = rng.gen_range(0..opts.num) as i64;
+                let _ = db.get(table, rowid, clock)?;
+                ops += 1;
+            }
+        }
+        SqlBench::ReadSeq => {
+            ops = db.scan(table, clock)?.len() as u64;
+            // Cursor-step CPU cost per visited row.
+            clock.advance(SimTime::from_nanos(120) * ops);
+        }
+    }
+    let elapsed = clock.now() - start;
+    let secs = elapsed.as_secs_f64();
+    Ok(SqlBenchResult {
+        name: bench.name(),
+        ops,
+        elapsed,
+        mean_latency_us: if ops == 0 { 0.0 } else { elapsed.as_micros_f64() / ops as f64 },
+        ops_per_sec: if secs == 0.0 { 0.0 } else { ops as f64 / secs },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SqlightOptions;
+    use std::sync::Arc;
+    use vfs::{FileSystem, MemFs};
+
+    fn db() -> (ActorClock, SqlightDb) {
+        let c = ActorClock::new();
+        let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        let db = SqlightDb::open(fs, "/bench.db", SqlightOptions::default(), &c).unwrap();
+        db.create_table("kv", &c).unwrap();
+        (c, db)
+    }
+
+    #[test]
+    fn fillseq_sync_commits_each_op() {
+        let (c, db) = db();
+        let opts = SqlBenchOptions { num: 200, ..SqlBenchOptions::default() };
+        let r = run_sql_bench(&db, "kv", SqlBench::FillSeqSync, &opts, &c).unwrap();
+        assert_eq!(r.ops, 200);
+        assert!(r.mean_latency_us > 0.0);
+        assert_eq!(db.scan("kv", &c).unwrap().len(), 200);
+    }
+
+    #[test]
+    fn fillrand_inserts_distinct_rowids() {
+        let (c, db) = db();
+        let opts = SqlBenchOptions { num: 300, ..SqlBenchOptions::default() };
+        let r = run_sql_bench(&db, "kv", SqlBench::FillRandSync, &opts, &c).unwrap();
+        assert_eq!(r.ops, 300);
+        assert!(db.scan("kv", &c).unwrap().len() >= 290, "rowids should barely collide");
+    }
+
+    #[test]
+    fn read_workloads_after_prefill() {
+        let (c, db) = db();
+        let opts = SqlBenchOptions { num: 400, ..SqlBenchOptions::default() };
+        prefill(&db, "kv", &opts, &c).unwrap();
+        let rr = run_sql_bench(&db, "kv", SqlBench::ReadRandom, &opts, &c).unwrap();
+        assert_eq!(rr.ops, 400);
+        let rs = run_sql_bench(&db, "kv", SqlBench::ReadSeq, &opts, &c).unwrap();
+        assert_eq!(rs.ops, 400);
+    }
+}

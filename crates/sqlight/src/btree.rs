@@ -1,0 +1,376 @@
+use simclock::ActorClock;
+
+use crate::pager::{Pager, PAGE_SIZE};
+use crate::{SqlError, SqlResult};
+
+/// Maximum in-cell value size; larger payloads would need overflow pages,
+/// which the benchmark workloads (100-byte values) never hit.
+pub(crate) const MAX_VALUE: usize = 1024;
+
+const LEAF: u8 = 1;
+const BRANCH: u8 = 2;
+
+/// A decoded B+tree node. Branch entries are `(max_rowid_in_subtree, child)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    Leaf(Vec<(i64, Vec<u8>)>),
+    Branch(Vec<(i64, u32)>),
+}
+
+fn decode(page: &[u8]) -> SqlResult<Node> {
+    let kind = page[0];
+    let n = u16::from_le_bytes(page[1..3].try_into().expect("2 bytes")) as usize;
+    let mut pos = 3usize;
+    match kind {
+        0 | LEAF => {
+            // Kind 0: an untouched page decodes as an empty leaf.
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                if pos + 10 > PAGE_SIZE {
+                    return Err(SqlError::Corruption("leaf cell out of bounds".into()));
+                }
+                let rowid = i64::from_le_bytes(page[pos..pos + 8].try_into().expect("8 bytes"));
+                let vlen =
+                    u16::from_le_bytes(page[pos + 8..pos + 10].try_into().expect("2 bytes"))
+                        as usize;
+                pos += 10;
+                if pos + vlen > PAGE_SIZE {
+                    return Err(SqlError::Corruption("leaf value out of bounds".into()));
+                }
+                entries.push((rowid, page[pos..pos + vlen].to_vec()));
+                pos += vlen;
+            }
+            Ok(Node::Leaf(entries))
+        }
+        BRANCH => {
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                if pos + 12 > PAGE_SIZE {
+                    return Err(SqlError::Corruption("branch cell out of bounds".into()));
+                }
+                let max = i64::from_le_bytes(page[pos..pos + 8].try_into().expect("8 bytes"));
+                let child =
+                    u32::from_le_bytes(page[pos + 8..pos + 12].try_into().expect("4 bytes"));
+                entries.push((max, child));
+                pos += 12;
+            }
+            Ok(Node::Branch(entries))
+        }
+        other => Err(SqlError::Corruption(format!("unknown node kind {other}"))),
+    }
+}
+
+fn encoded_len(node: &Node) -> usize {
+    match node {
+        Node::Leaf(entries) => 3 + entries.iter().map(|(_, v)| 10 + v.len()).sum::<usize>(),
+        Node::Branch(entries) => 3 + entries.len() * 12,
+    }
+}
+
+fn encode(node: &Node, page: &mut [u8]) {
+    page.fill(0);
+    match node {
+        Node::Leaf(entries) => {
+            page[0] = LEAF;
+            page[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+            let mut pos = 3usize;
+            for (rowid, v) in entries {
+                page[pos..pos + 8].copy_from_slice(&rowid.to_le_bytes());
+                page[pos + 8..pos + 10].copy_from_slice(&(v.len() as u16).to_le_bytes());
+                pos += 10;
+                page[pos..pos + v.len()].copy_from_slice(v);
+                pos += v.len();
+            }
+        }
+        Node::Branch(entries) => {
+            page[0] = BRANCH;
+            page[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+            let mut pos = 3usize;
+            for (max, child) in entries {
+                page[pos..pos + 8].copy_from_slice(&max.to_le_bytes());
+                page[pos + 8..pos + 12].copy_from_slice(&child.to_le_bytes());
+                pos += 12;
+            }
+        }
+    }
+}
+
+fn store(pager: &mut Pager, page_no: u32, node: &Node, clock: &ActorClock) -> SqlResult<()> {
+    debug_assert!(encoded_len(node) <= PAGE_SIZE, "node overflows its page");
+    pager.write_page(page_no, clock, |page| encode(node, page))
+}
+
+fn load(pager: &mut Pager, page_no: u32, clock: &ActorClock) -> SqlResult<Node> {
+    decode(pager.read_page(page_no, clock)?)
+}
+
+/// Result of inserting into a subtree: the subtree's new max rowid, plus a
+/// sibling (max, page) if the node split.
+struct InsertOutcome {
+    max: i64,
+    split: Option<(i64, u32)>,
+}
+
+/// Inserts `(rowid, value)` under `page_no`.
+fn insert_rec(
+    pager: &mut Pager,
+    page_no: u32,
+    rowid: i64,
+    value: &[u8],
+    clock: &ActorClock,
+) -> SqlResult<InsertOutcome> {
+    match load(pager, page_no, clock)? {
+        Node::Leaf(mut entries) => {
+            match entries.binary_search_by_key(&rowid, |(r, _)| *r) {
+                Ok(_) => return Err(SqlError::DuplicateRow(rowid)),
+                Err(idx) => entries.insert(idx, (rowid, value.to_vec())),
+            }
+            let node = Node::Leaf(entries);
+            if encoded_len(&node) <= PAGE_SIZE {
+                let max = match &node {
+                    Node::Leaf(e) => e.last().expect("nonempty").0,
+                    Node::Branch(_) => unreachable!(),
+                };
+                store(pager, page_no, &node, clock)?;
+                return Ok(InsertOutcome { max, split: None });
+            }
+            // Split the leaf in half.
+            let Node::Leaf(mut entries) = node else { unreachable!() };
+            let right_entries = entries.split_off(entries.len() / 2);
+            let left_max = entries.last().expect("nonempty").0;
+            let right_max = right_entries.last().expect("nonempty").0;
+            let right_page = pager.alloc_page();
+            store(pager, page_no, &Node::Leaf(entries), clock)?;
+            store(pager, right_page, &Node::Leaf(right_entries), clock)?;
+            Ok(InsertOutcome { max: left_max, split: Some((right_max, right_page)) })
+        }
+        Node::Branch(mut entries) => {
+            if entries.is_empty() {
+                return Err(SqlError::Corruption("empty branch node".into()));
+            }
+            // Child whose max covers the rowid; beyond-all goes to the last.
+            let idx = entries
+                .iter()
+                .position(|(max, _)| rowid <= *max)
+                .unwrap_or(entries.len() - 1);
+            let child = entries[idx].1;
+            let outcome = insert_rec(pager, child, rowid, value, clock)?;
+            entries[idx].0 = outcome.max;
+            if let Some((smax, spage)) = outcome.split {
+                entries.insert(idx + 1, (smax, spage));
+            }
+            let node = Node::Branch(entries);
+            if encoded_len(&node) <= PAGE_SIZE {
+                let max = match &node {
+                    Node::Branch(e) => e.last().expect("nonempty").0,
+                    Node::Leaf(_) => unreachable!(),
+                };
+                store(pager, page_no, &node, clock)?;
+                return Ok(InsertOutcome { max, split: None });
+            }
+            let Node::Branch(mut entries) = node else { unreachable!() };
+            let right_entries = entries.split_off(entries.len() / 2);
+            let left_max = entries.last().expect("nonempty").0;
+            let right_max = right_entries.last().expect("nonempty").0;
+            let right_page = pager.alloc_page();
+            store(pager, page_no, &Node::Branch(entries), clock)?;
+            store(pager, right_page, &Node::Branch(right_entries), clock)?;
+            Ok(InsertOutcome { max: left_max, split: Some((right_max, right_page)) })
+        }
+    }
+}
+
+/// A B+tree rooted at a fixed page (the root page number never changes, so
+/// the table catalog stays valid; splits of the root move its content down).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BTree {
+    pub root: u32,
+}
+
+impl BTree {
+    /// Initializes an empty tree at `root`.
+    pub fn create(pager: &mut Pager, root: u32, clock: &ActorClock) -> SqlResult<BTree> {
+        store(pager, root, &Node::Leaf(Vec::new()), clock)?;
+        Ok(BTree { root })
+    }
+
+    /// Inserts a row.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::DuplicateRow`] / [`SqlError::ValueTooLarge`] / I/O.
+    pub fn insert(
+        &self,
+        pager: &mut Pager,
+        rowid: i64,
+        value: &[u8],
+        clock: &ActorClock,
+    ) -> SqlResult<()> {
+        if value.len() > MAX_VALUE {
+            return Err(SqlError::ValueTooLarge(value.len()));
+        }
+        let outcome = insert_rec(pager, self.root, rowid, value, clock)?;
+        if let Some((smax, spage)) = outcome.split {
+            // Root split: move the current root content to a fresh page and
+            // make the root a two-entry branch.
+            let old_root = load(pager, self.root, clock)?;
+            let moved = pager.alloc_page();
+            store(pager, moved, &old_root, clock)?;
+            let new_root = Node::Branch(vec![(outcome.max, moved), (smax, spage)]);
+            store(pager, self.root, &new_root, clock)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup by rowid.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors.
+    pub fn get(
+        &self,
+        pager: &mut Pager,
+        rowid: i64,
+        clock: &ActorClock,
+    ) -> SqlResult<Option<Vec<u8>>> {
+        let mut page_no = self.root;
+        loop {
+            match load(pager, page_no, clock)? {
+                Node::Leaf(entries) => {
+                    return Ok(entries
+                        .binary_search_by_key(&rowid, |(r, _)| *r)
+                        .ok()
+                        .map(|i| entries[i].1.clone()));
+                }
+                Node::Branch(entries) => {
+                    let Some(idx) = entries.iter().position(|(max, _)| rowid <= *max) else {
+                        return Ok(None);
+                    };
+                    page_no = entries[idx].1;
+                }
+            }
+        }
+    }
+
+    /// In-order scan of all rows.
+    ///
+    /// # Errors
+    ///
+    /// I/O or corruption errors.
+    pub fn scan(&self, pager: &mut Pager, clock: &ActorClock) -> SqlResult<Vec<(i64, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        // Depth-first with children pushed in reverse keeps rowid order.
+        while let Some(page_no) = stack.pop() {
+            match load(pager, page_no, clock)? {
+                Node::Leaf(entries) => out.extend(entries),
+                Node::Branch(entries) => {
+                    for (_, child) in entries.into_iter().rev() {
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vfs::{FileSystem, MemFs};
+
+    fn tree() -> (ActorClock, Pager, BTree) {
+        let c = ActorClock::new();
+        let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        let mut pager = Pager::open(fs, "/bt.db", false, &c).unwrap();
+        pager.begin().unwrap();
+        let root = pager.alloc_page();
+        let bt = BTree::create(&mut pager, root, &c).unwrap();
+        (c, pager, bt)
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let (c, mut p, bt) = tree();
+        bt.insert(&mut p, 5, b"five", &c).unwrap();
+        bt.insert(&mut p, 1, b"one", &c).unwrap();
+        bt.insert(&mut p, 3, b"three", &c).unwrap();
+        assert_eq!(bt.get(&mut p, 3, &c).unwrap(), Some(b"three".to_vec()));
+        assert_eq!(bt.get(&mut p, 4, &c).unwrap(), None);
+    }
+
+    #[test]
+    fn duplicate_rowid_rejected() {
+        let (c, mut p, bt) = tree();
+        bt.insert(&mut p, 1, b"a", &c).unwrap();
+        assert!(matches!(bt.insert(&mut p, 1, b"b", &c), Err(SqlError::DuplicateRow(1))));
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let (c, mut p, bt) = tree();
+        assert!(matches!(
+            bt.insert(&mut p, 1, &vec![0u8; MAX_VALUE + 1], &c),
+            Err(SqlError::ValueTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn thousands_of_rows_split_correctly() {
+        let (c, mut p, bt) = tree();
+        let n: i64 = 5000;
+        // Insert in a scrambled order to exercise splits everywhere.
+        for i in 0..n {
+            let rowid = (i * 2654435761 % n as i64 + n) % n;
+            if bt.get(&mut p, rowid, &c).unwrap().is_none() {
+                bt.insert(&mut p, rowid, format!("row-{rowid}").as_bytes(), &c).unwrap();
+            }
+        }
+        for rowid in (0..n).step_by(37) {
+            if let Some(v) = bt.get(&mut p, rowid, &c).unwrap() {
+                assert_eq!(v, format!("row-{rowid}").into_bytes());
+            }
+        }
+        let all = bt.scan(&mut p, &c).unwrap();
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0, "scan must be sorted");
+        }
+    }
+
+    #[test]
+    fn sequential_fill_and_scan() {
+        let (c, mut p, bt) = tree();
+        for i in 0..3000i64 {
+            bt.insert(&mut p, i, &[7u8; 100], &c).unwrap();
+        }
+        let all = bt.scan(&mut p, &c).unwrap();
+        assert_eq!(all.len(), 3000);
+        assert_eq!(all[0].0, 0);
+        assert_eq!(all[2999].0, 2999);
+        assert_eq!(bt.get(&mut p, 2999, &c).unwrap(), Some(vec![7u8; 100]));
+    }
+
+    #[test]
+    fn persists_across_commit_and_reopen() {
+        let c = ActorClock::new();
+        let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        let root;
+        {
+            let mut pager = Pager::open(Arc::clone(&fs), "/p.db", true, &c).unwrap();
+            pager.begin().unwrap();
+            root = pager.alloc_page();
+            let bt = BTree::create(&mut pager, root, &c).unwrap();
+            for i in 0..500i64 {
+                bt.insert(&mut pager, i, format!("v{i}").as_bytes(), &c).unwrap();
+            }
+            pager.commit(&c).unwrap();
+            pager.close(&c).unwrap();
+        }
+        let mut pager = Pager::open(fs, "/p.db", true, &c).unwrap();
+        let bt = BTree { root };
+        assert_eq!(bt.get(&mut pager, 123, &c).unwrap(), Some(b"v123".to_vec()));
+        assert_eq!(bt.scan(&mut pager, &c).unwrap().len(), 500);
+    }
+}

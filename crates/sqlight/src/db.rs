@@ -1,0 +1,351 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simclock::ActorClock;
+use vfs::FileSystem;
+
+use crate::btree::BTree;
+use crate::pager::{Pager, PAGE_SIZE};
+use crate::{SqlError, SqlResult};
+
+const CATALOG_MAGIC: u64 = u64::from_le_bytes(*b"SQLIGHT1");
+const MAX_TABLE_NAME: usize = 47;
+
+/// Database options.
+#[derive(Debug, Clone)]
+pub struct SqlightOptions {
+    /// `PRAGMA synchronous=FULL`: fsync the journal and the database at every
+    /// commit — the mode the paper's SQLite benchmarks run in.
+    pub synchronous: bool,
+}
+
+impl Default for SqlightOptions {
+    fn default() -> Self {
+        SqlightOptions { synchronous: true }
+    }
+}
+
+/// The embedded database: a table catalog on page 0, one B+tree per table,
+/// rollback-journal transactions.
+///
+/// Auto-commit: `insert`/`get`/`scan` outside an explicit transaction wrap
+/// themselves in one, exactly like SQLite statements do — which is what
+/// makes the fill benchmarks so fsync-heavy.
+pub struct SqlightDb {
+    state: Mutex<DbInner>,
+}
+
+struct DbInner {
+    pager: Pager,
+    tables: HashMap<String, BTree>,
+}
+
+impl std::fmt::Debug for SqlightDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("SqlightDb").field("tables", &st.tables.len()).finish()
+    }
+}
+
+impl SqlightDb {
+    /// Opens (or creates) a database file, recovering from a hot journal if
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`SqlError::Corruption`] on a damaged catalog.
+    pub fn open(
+        fs: Arc<dyn FileSystem>,
+        path: &str,
+        opts: SqlightOptions,
+        clock: &ActorClock,
+    ) -> SqlResult<SqlightDb> {
+        let mut pager = Pager::open(fs, path, opts.synchronous, clock)?;
+        let mut tables = HashMap::new();
+        if pager.page_count() == 0 {
+            // Fresh database: write the catalog page.
+            pager.begin()?;
+            let catalog = pager.alloc_page();
+            debug_assert_eq!(catalog, 0);
+            pager.write_page(0, clock, |page| {
+                page[0..8].copy_from_slice(&CATALOG_MAGIC.to_le_bytes());
+                page[8..10].copy_from_slice(&0u16.to_le_bytes());
+            })?;
+            pager.commit(clock)?;
+        } else {
+            let page = pager.read_page(0, clock)?;
+            let magic = u64::from_le_bytes(page[0..8].try_into().expect("8 bytes"));
+            if magic != CATALOG_MAGIC {
+                return Err(SqlError::Corruption("bad catalog magic".into()));
+            }
+            let n = u16::from_le_bytes(page[8..10].try_into().expect("2 bytes")) as usize;
+            let mut pos = 10usize;
+            for _ in 0..n {
+                let name_len = page[pos] as usize;
+                if name_len == 0 || pos + 1 + name_len + 4 > PAGE_SIZE {
+                    return Err(SqlError::Corruption("bad catalog entry".into()));
+                }
+                let name = String::from_utf8_lossy(&page[pos + 1..pos + 1 + name_len])
+                    .into_owned();
+                let root = u32::from_le_bytes(
+                    page[pos + 1 + name_len..pos + 5 + name_len].try_into().expect("4 bytes"),
+                );
+                tables.insert(name, BTree { root });
+                pos += 5 + name_len;
+            }
+        }
+        Ok(SqlightDb { state: Mutex::new(DbInner { pager, tables }) })
+    }
+
+    fn write_catalog(inner: &mut DbInner, clock: &ActorClock) -> SqlResult<()> {
+        let mut entries: Vec<(String, u32)> =
+            inner.tables.iter().map(|(n, t)| (n.clone(), t.root)).collect();
+        entries.sort();
+        inner.pager.write_page(0, clock, |page| {
+            page[0..8].copy_from_slice(&CATALOG_MAGIC.to_le_bytes());
+            page[8..10].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+            let mut pos = 10usize;
+            for (name, root) in &entries {
+                page[pos] = name.len() as u8;
+                page[pos + 1..pos + 1 + name.len()].copy_from_slice(name.as_bytes());
+                page[pos + 1 + name.len()..pos + 5 + name.len()]
+                    .copy_from_slice(&root.to_le_bytes());
+                pos += 5 + name.len();
+            }
+        })
+    }
+
+    /// Starts an explicit transaction (`BEGIN`).
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::TxnState`] if one is already active.
+    pub fn begin(&self) -> SqlResult<()> {
+        self.state.lock().pager.begin()
+    }
+
+    /// Commits the explicit transaction (`COMMIT`).
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::TxnState`] without a transaction; I/O errors.
+    pub fn commit(&self, clock: &ActorClock) -> SqlResult<()> {
+        self.state.lock().pager.commit(clock)
+    }
+
+    /// Rolls the explicit transaction back (`ROLLBACK`).
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::TxnState`] without a transaction; I/O errors.
+    pub fn rollback(&self, clock: &ActorClock) -> SqlResult<()> {
+        self.state.lock().pager.rollback(clock)
+    }
+
+    /// Creates a table (auto-commits unless inside a transaction).
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::TableExists`]; name longer than 47 bytes is rejected as
+    /// [`SqlError::Corruption`] would be silly — it is `InvalidArgument`-like
+    /// `TxnState`… it returns [`SqlError::ValueTooLarge`].
+    pub fn create_table(&self, name: &str, clock: &ActorClock) -> SqlResult<()> {
+        let mut st = self.state.lock();
+        if name.len() > MAX_TABLE_NAME {
+            return Err(SqlError::ValueTooLarge(name.len()));
+        }
+        if st.tables.contains_key(name) {
+            return Err(SqlError::TableExists(name.to_string()));
+        }
+        let auto = !st.pager.in_txn();
+        if auto {
+            st.pager.begin()?;
+        }
+        let root = st.pager.alloc_page();
+        let tree = BTree::create(&mut st.pager, root, clock)?;
+        st.tables.insert(name.to_string(), tree);
+        Self::write_catalog(&mut st, clock)?;
+        if auto {
+            st.pager.commit(clock)?;
+        }
+        Ok(())
+    }
+
+    /// Table names in the catalog.
+    pub fn tables(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.state.lock().tables.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    fn table(inner: &DbInner, name: &str) -> SqlResult<BTree> {
+        inner.tables.get(name).copied().ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
+    }
+
+    /// Inserts a row (auto-commits unless inside a transaction).
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::NoSuchTable`], [`SqlError::DuplicateRow`], I/O errors.
+    pub fn insert(
+        &self,
+        table: &str,
+        rowid: i64,
+        row: &[u8],
+        clock: &ActorClock,
+    ) -> SqlResult<()> {
+        let mut st = self.state.lock();
+        let tree = Self::table(&st, table)?;
+        let auto = !st.pager.in_txn();
+        if auto {
+            st.pager.begin()?;
+        }
+        match tree.insert(&mut st.pager, rowid, row, clock) {
+            Ok(()) => {
+                if auto {
+                    st.pager.commit(clock)?;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                if auto {
+                    st.pager.rollback(clock)?;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Point lookup by rowid.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::NoSuchTable`], I/O errors.
+    pub fn get(&self, table: &str, rowid: i64, clock: &ActorClock) -> SqlResult<Option<Vec<u8>>> {
+        let mut st = self.state.lock();
+        let tree = Self::table(&st, table)?;
+        tree.get(&mut st.pager, rowid, clock)
+    }
+
+    /// Full scan in rowid order.
+    ///
+    /// # Errors
+    ///
+    /// [`SqlError::NoSuchTable`], I/O errors.
+    pub fn scan(&self, table: &str, clock: &ActorClock) -> SqlResult<Vec<(i64, Vec<u8>)>> {
+        let mut st = self.state.lock();
+        let tree = Self::table(&st, table)?;
+        tree.scan(&mut st.pager, clock)
+    }
+
+    /// Closes the database file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from close.
+    pub fn close(self, clock: &ActorClock) -> SqlResult<()> {
+        self.state.into_inner().pager.close(clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::MemFs;
+
+    fn open_db() -> (ActorClock, Arc<dyn FileSystem>, SqlightDb) {
+        let c = ActorClock::new();
+        let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        let db = SqlightDb::open(Arc::clone(&fs), "/a.db", SqlightOptions::default(), &c)
+            .unwrap();
+        (c, fs, db)
+    }
+
+    #[test]
+    fn create_insert_get() {
+        let (c, _fs, db) = open_db();
+        db.create_table("t", &c).unwrap();
+        db.insert("t", 1, b"row one", &c).unwrap();
+        assert_eq!(db.get("t", 1, &c).unwrap(), Some(b"row one".to_vec()));
+        assert_eq!(db.get("t", 2, &c).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let (c, _fs, db) = open_db();
+        assert!(matches!(db.get("nope", 1, &c), Err(SqlError::NoSuchTable(_))));
+        assert!(matches!(db.insert("nope", 1, b"", &c), Err(SqlError::NoSuchTable(_))));
+        db.create_table("t", &c).unwrap();
+        assert!(matches!(db.create_table("t", &c), Err(SqlError::TableExists(_))));
+    }
+
+    #[test]
+    fn explicit_transaction_batches_commits() {
+        let (c, _fs, db) = open_db();
+        db.create_table("t", &c).unwrap();
+        db.begin().unwrap();
+        for i in 0..100 {
+            db.insert("t", i, b"batched", &c).unwrap();
+        }
+        db.commit(&c).unwrap();
+        assert_eq!(db.scan("t", &c).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn rollback_undoes_inserts() {
+        let (c, _fs, db) = open_db();
+        db.create_table("t", &c).unwrap();
+        db.insert("t", 1, b"keep", &c).unwrap();
+        db.begin().unwrap();
+        db.insert("t", 2, b"discard", &c).unwrap();
+        db.rollback(&c).unwrap();
+        assert_eq!(db.get("t", 1, &c).unwrap(), Some(b"keep".to_vec()));
+        assert_eq!(db.get("t", 2, &c).unwrap(), None);
+    }
+
+    #[test]
+    fn failed_autocommit_insert_rolls_back() {
+        let (c, _fs, db) = open_db();
+        db.create_table("t", &c).unwrap();
+        db.insert("t", 7, b"v", &c).unwrap();
+        assert!(matches!(db.insert("t", 7, b"dup", &c), Err(SqlError::DuplicateRow(7))));
+        assert_eq!(db.get("t", 7, &c).unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn reopen_preserves_catalog_and_rows() {
+        let c = ActorClock::new();
+        let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        {
+            let db = SqlightDb::open(Arc::clone(&fs), "/p.db", SqlightOptions::default(), &c)
+                .unwrap();
+            db.create_table("users", &c).unwrap();
+            db.create_table("orders", &c).unwrap();
+            for i in 0..500 {
+                db.insert("users", i, format!("user-{i}").as_bytes(), &c).unwrap();
+            }
+            db.close(&c).unwrap();
+        }
+        let db =
+            SqlightDb::open(Arc::clone(&fs), "/p.db", SqlightOptions::default(), &c).unwrap();
+        assert_eq!(db.tables(), vec!["orders".to_string(), "users".to_string()]);
+        assert_eq!(db.get("users", 123, &c).unwrap(), Some(b"user-123".to_vec()));
+        assert_eq!(db.scan("users", &c).unwrap().len(), 500);
+    }
+
+    #[test]
+    fn many_tables_round_trip() {
+        let (c, _fs, db) = open_db();
+        for i in 0..20 {
+            db.create_table(&format!("t{i}"), &c).unwrap();
+            db.insert(&format!("t{i}"), 1, format!("data{i}").as_bytes(), &c).unwrap();
+        }
+        for i in 0..20 {
+            assert_eq!(
+                db.get(&format!("t{i}"), 1, &c).unwrap(),
+                Some(format!("data{i}").into_bytes())
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+use vfs::IoError;
+
+/// Result alias for sqlight operations.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+/// Errors surfaced by the embedded database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SqlError {
+    /// An underlying file-system error.
+    Io(IoError),
+    /// Persistent state failed validation.
+    Corruption(String),
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// The table already exists.
+    TableExists(String),
+    /// A row with this rowid already exists.
+    DuplicateRow(i64),
+    /// Value too large for an in-page cell.
+    ValueTooLarge(usize),
+    /// Transaction misuse (nested begin, commit without begin...).
+    TxnState(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Io(e) => write!(f, "i/o error: {e}"),
+            SqlError::Corruption(m) => write!(f, "corruption: {m}"),
+            SqlError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            SqlError::TableExists(t) => write!(f, "table exists: {t}"),
+            SqlError::DuplicateRow(id) => write!(f, "duplicate rowid: {id}"),
+            SqlError::ValueTooLarge(n) => write!(f, "value of {n} bytes exceeds cell limit"),
+            SqlError::TxnState(m) => write!(f, "transaction misuse: {m}"),
+        }
+    }
+}
+
+impl Error for SqlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SqlError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IoError> for SqlError {
+    fn from(e: IoError) -> Self {
+        SqlError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert_eq!(SqlError::NoSuchTable("t".into()).to_string(), "no such table: t");
+        assert_eq!(SqlError::DuplicateRow(9).to_string(), "duplicate rowid: 9");
+        assert!(SqlError::from(IoError::NoSpace).to_string().contains("no space"));
+    }
+}

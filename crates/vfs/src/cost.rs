@@ -1,0 +1,63 @@
+use simclock::{Bandwidth, SimTime};
+
+/// Modelled CPU/kernel overheads charged by the simulated I/O stack.
+///
+/// These are the costs that differentiate the systems in the paper's Table I
+/// and Figure 3/4: a baseline file system pays `syscall` on every operation's
+/// critical path, while NVCache's interposed write path pays only its own
+/// user-space bookkeeping ("NVCache never calls the system during a write",
+/// paper §IV-C).
+#[derive(Debug, Clone)]
+pub struct KernelCosts {
+    /// User→kernel→user transition (trap, vfs dispatch).
+    pub syscall: SimTime,
+    /// Copy bandwidth between user buffers and the page cache / DRAM.
+    pub copy_bandwidth: Bandwidth,
+    /// Page-cache radix lookup per page touched.
+    pub page_lookup: SimTime,
+    /// Per-operation file-system software path (allocation, journaling
+    /// bookkeeping in DRAM — not the device I/O itself).
+    pub fs_overhead: SimTime,
+}
+
+impl KernelCosts {
+    /// Defaults calibrated for a ~2.5 GHz Xeon (paper §IV-A hardware).
+    pub fn default_model() -> Self {
+        KernelCosts {
+            syscall: SimTime::from_nanos(1_800),
+            copy_bandwidth: Bandwidth::gib_per_sec(8.0),
+            page_lookup: SimTime::from_nanos(150),
+            fs_overhead: SimTime::from_nanos(900),
+        }
+    }
+
+    /// Cost of copying `bytes` between user space and the kernel.
+    pub fn copy(&self, bytes: u64) -> SimTime {
+        self.copy_bandwidth.time_for(bytes)
+    }
+}
+
+impl Default for KernelCosts {
+    fn default() -> Self {
+        Self::default_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_cost_scales_with_size() {
+        let k = KernelCosts::default_model();
+        assert!(k.copy(1 << 20) > k.copy(4096) * 200);
+        // 4 KiB at 8 GiB/s is sub-microsecond.
+        assert!(k.copy(4096) < SimTime::from_micros(1));
+    }
+
+    #[test]
+    fn syscall_dominates_small_copies() {
+        let k = KernelCosts::default_model();
+        assert!(k.syscall > k.copy(512));
+    }
+}

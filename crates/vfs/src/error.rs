@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used across the I/O stack.
+pub type IoResult<T> = Result<T, IoError>;
+
+/// Errors returned by [`FileSystem`](crate::FileSystem) operations.
+///
+/// Mirrors the errno values the paper's C implementation would surface
+/// through libc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IoError {
+    /// ENOENT — the path does not exist.
+    NotFound(String),
+    /// EEXIST — the path already exists (with `O_CREAT|O_EXCL`).
+    AlreadyExists(String),
+    /// EBADF — the file descriptor is not open.
+    BadFd(u64),
+    /// EBADF variant — fd open without the required access mode.
+    PermissionDenied(String),
+    /// EINVAL — malformed argument.
+    InvalidArgument(String),
+    /// ENOSPC — backing store exhausted.
+    NoSpace,
+    /// EISDIR — the operation needs a regular file.
+    IsDirectory(String),
+    /// ENOTEMPTY — directory removal with children.
+    NotEmpty(String),
+    /// Any other condition, with context.
+    Other(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            IoError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            IoError::BadFd(fd) => write!(f, "bad file descriptor: {fd}"),
+            IoError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
+            IoError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            IoError::NoSpace => write!(f, "no space left on device"),
+            IoError::IsDirectory(p) => write!(f, "is a directory: {p}"),
+            IoError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            IoError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl Error for IoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        assert_eq!(
+            IoError::NotFound("/a".into()).to_string(),
+            "no such file or directory: /a"
+        );
+        assert_eq!(IoError::BadFd(3).to_string(), "bad file descriptor: 3");
+        assert_eq!(IoError::NoSpace.to_string(), "no space left on device");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(IoError::NoSpace);
+    }
+}

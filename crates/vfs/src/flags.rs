@@ -1,0 +1,172 @@
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Open flags, modelled on the POSIX `O_*` constants.
+///
+/// Hand-rolled rather than via the `bitflags` crate (not in the approved
+/// dependency set); the API follows the same conventions.
+///
+/// # Example
+///
+/// ```
+/// use vfs::OpenFlags;
+/// let f = OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::SYNC;
+/// assert!(f.writable() && f.readable());
+/// assert!(f.contains(OpenFlags::SYNC));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpenFlags(u32);
+
+impl OpenFlags {
+    /// Read-only access (`O_RDONLY`).
+    pub const RDONLY: OpenFlags = OpenFlags(0);
+    /// Write-only access (`O_WRONLY`).
+    pub const WRONLY: OpenFlags = OpenFlags(1);
+    /// Read-write access (`O_RDWR`).
+    pub const RDWR: OpenFlags = OpenFlags(2);
+    /// Create if missing (`O_CREAT`).
+    pub const CREATE: OpenFlags = OpenFlags(1 << 2);
+    /// Fail if it exists (`O_EXCL`, with CREATE).
+    pub const EXCL: OpenFlags = OpenFlags(1 << 3);
+    /// Truncate on open (`O_TRUNC`).
+    pub const TRUNC: OpenFlags = OpenFlags(1 << 4);
+    /// Append mode (`O_APPEND`).
+    pub const APPEND: OpenFlags = OpenFlags(1 << 5);
+    /// Synchronous writes: durable when the call returns (`O_SYNC`).
+    pub const SYNC: OpenFlags = OpenFlags(1 << 6);
+    /// Bypass the page cache where possible (`O_DIRECT`).
+    pub const DIRECT: OpenFlags = OpenFlags(1 << 7);
+
+    const ACCESS_MASK: u32 = 3;
+
+    /// Whether this flag set contains all bits of `other`.
+    pub fn contains(self, other: OpenFlags) -> bool {
+        // Access mode is a 2-bit enum, not independent bits.
+        if other.0 & Self::ACCESS_MASK != 0 || other.0 == 0 {
+            if self.0 & Self::ACCESS_MASK != other.0 & Self::ACCESS_MASK
+                && other.0 & !Self::ACCESS_MASK == 0
+            {
+                return false;
+            }
+        }
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether reads are permitted.
+    pub fn readable(self) -> bool {
+        self.0 & Self::ACCESS_MASK != Self::WRONLY.0
+    }
+
+    /// Whether writes are permitted.
+    pub fn writable(self) -> bool {
+        let m = self.0 & Self::ACCESS_MASK;
+        m == Self::WRONLY.0 || m == Self::RDWR.0
+    }
+
+    /// Whether the file is opened write-only (NVCache skips allocating a
+    /// radix tree for these, paper §III "Open").
+    pub fn write_only(self) -> bool {
+        self.0 & Self::ACCESS_MASK == Self::WRONLY.0
+    }
+
+    /// Whether the file is opened read-only (NVCache bypasses the read cache
+    /// entirely, paper §II-A).
+    pub fn read_only(self) -> bool {
+        self.0 & Self::ACCESS_MASK == Self::RDONLY.0
+    }
+
+    /// Returns these flags with the non-access bits of `other` removed
+    /// (NVCache strips `O_SYNC` before opening the inner file: its own log
+    /// already provides stronger durability).
+    pub fn without(self, other: OpenFlags) -> OpenFlags {
+        OpenFlags((self.0 & !(other.0 & !Self::ACCESS_MASK)) | (self.0 & Self::ACCESS_MASK))
+    }
+}
+
+impl BitOr for OpenFlags {
+    type Output = OpenFlags;
+    fn bitor(self, rhs: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for OpenFlags {
+    fn bitor_assign(&mut self, rhs: OpenFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for OpenFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mode = match self.0 & Self::ACCESS_MASK {
+            0 => "RDONLY",
+            1 => "WRONLY",
+            _ => "RDWR",
+        };
+        write!(f, "{mode}")?;
+        for (bit, name) in [
+            (Self::CREATE, "CREATE"),
+            (Self::EXCL, "EXCL"),
+            (Self::TRUNC, "TRUNC"),
+            (Self::APPEND, "APPEND"),
+            (Self::SYNC, "SYNC"),
+            (Self::DIRECT, "DIRECT"),
+        ] {
+            if self.0 & bit.0 != 0 {
+                write!(f, "|{name}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// File metadata as returned by `stat`/`fstat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Metadata {
+    /// Device identifier.
+    pub dev: u64,
+    /// Inode number.
+    pub ino: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// Whether the path denotes a directory.
+    pub is_dir: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_modes() {
+        assert!(OpenFlags::RDONLY.readable());
+        assert!(!OpenFlags::RDONLY.writable());
+        assert!(OpenFlags::RDONLY.read_only());
+        assert!(OpenFlags::WRONLY.writable());
+        assert!(!OpenFlags::WRONLY.readable());
+        assert!(OpenFlags::WRONLY.write_only());
+        assert!(OpenFlags::RDWR.readable() && OpenFlags::RDWR.writable());
+    }
+
+    #[test]
+    fn combination_and_contains() {
+        let f = OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::SYNC;
+        assert!(f.contains(OpenFlags::CREATE));
+        assert!(f.contains(OpenFlags::SYNC));
+        assert!(!f.contains(OpenFlags::DIRECT));
+        assert!(!OpenFlags::RDONLY.contains(OpenFlags::CREATE));
+    }
+
+    #[test]
+    fn display_lists_flags() {
+        let f = OpenFlags::WRONLY | OpenFlags::CREATE | OpenFlags::DIRECT;
+        assert_eq!(f.to_string(), "WRONLY|CREATE|DIRECT");
+        assert_eq!(OpenFlags::RDONLY.to_string(), "RDONLY");
+    }
+
+    #[test]
+    fn flags_with_mixed_access_are_not_contained() {
+        let f = OpenFlags::WRONLY | OpenFlags::SYNC;
+        assert!(!f.contains(OpenFlags::RDWR));
+    }
+}

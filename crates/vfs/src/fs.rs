@@ -1,0 +1,122 @@
+use std::fmt;
+
+use simclock::ActorClock;
+
+use crate::{IoResult, Metadata, OpenFlags};
+
+/// A file descriptor handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u64);
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// The libc/syscall boundary of the simulation.
+///
+/// Applications (the RocksDB/SQLite/FIO stand-ins) are written against this
+/// trait, exactly as the paper's legacy applications are written against
+/// POSIX. NVCache implements it by interposition: its implementation wraps an
+/// inner `FileSystem` the way the patched musl wraps the kernel (paper §III,
+/// Table III).
+///
+/// All operations are positional (`pread`/`pwrite`); cursor-based access is
+/// layered on top by [`CursorFile`](crate::CursorFile) so that each
+/// implementation doesn't re-implement seek bookkeeping.
+///
+/// Implementations must be thread-safe; POSIX requires `read`/`write` to be
+/// atomic with respect to each other (paper §II-D).
+pub trait FileSystem: Send + Sync {
+    /// Short human-readable name of the configuration (e.g. `"ext4+ssd"`).
+    fn name(&self) -> &str;
+
+    /// Opens `path`, creating it if `flags` contains
+    /// [`CREATE`](OpenFlags::CREATE).
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::NotFound`](crate::IoError) if missing without `CREATE`;
+    /// [`IoError::AlreadyExists`](crate::IoError) with `CREATE|EXCL`.
+    fn open(&self, path: &str, flags: OpenFlags, clock: &ActorClock) -> IoResult<Fd>;
+
+    /// Closes a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::BadFd`](crate::IoError) if `fd` is not open.
+    fn close(&self, fd: Fd, clock: &ActorClock) -> IoResult<()>;
+
+    /// Reads at `off`; returns bytes read (short at end of file).
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::BadFd`](crate::IoError); permission errors for write-only
+    /// descriptors.
+    fn pread(&self, fd: Fd, buf: &mut [u8], off: u64, clock: &ActorClock) -> IoResult<usize>;
+
+    /// Writes at `off`; returns bytes written.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::BadFd`](crate::IoError); permission errors for read-only
+    /// descriptors.
+    fn pwrite(&self, fd: Fd, data: &[u8], off: u64, clock: &ActorClock) -> IoResult<usize>;
+
+    /// Forces file data (and metadata) to durable storage.
+    fn fsync(&self, fd: Fd, clock: &ActorClock) -> IoResult<()>;
+
+    /// Truncates or extends the file to `len` bytes.
+    fn ftruncate(&self, fd: Fd, len: u64, clock: &ActorClock) -> IoResult<()>;
+
+    /// Metadata by descriptor.
+    fn fstat(&self, fd: Fd, clock: &ActorClock) -> IoResult<Metadata>;
+
+    /// Metadata by path.
+    fn stat(&self, path: &str, clock: &ActorClock) -> IoResult<Metadata>;
+
+    /// Removes a file.
+    fn unlink(&self, path: &str, clock: &ActorClock) -> IoResult<()>;
+
+    /// Atomically renames `from` to `to` (replacing `to` if it exists).
+    fn rename(&self, from: &str, to: &str, clock: &ActorClock) -> IoResult<()>;
+
+    /// Lists the files whose parent directory is exactly `dir` (full paths).
+    fn list_dir(&self, dir: &str, clock: &ActorClock) -> IoResult<Vec<String>>;
+
+    /// Flushes everything to durable storage (`syncfs`).
+    fn sync(&self, clock: &ActorClock) -> IoResult<()>;
+
+    /// Simulates a power failure: volatile state (page cache dirty data,
+    /// tmpfs content) is lost; durable state survives. Implementations with
+    /// no volatile state may do nothing.
+    fn simulate_power_failure(&self) {}
+
+    /// Whether a completed `pwrite` is durable without `fsync` (synchronous
+    /// durability, paper Table IV).
+    fn synchronous_durability(&self) -> bool {
+        false
+    }
+
+    /// Whether a read can only observe durable writes (durable
+    /// linearizability, paper Table I / [28]).
+    fn durable_linearizability(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_display() {
+        assert_eq!(Fd(7).to_string(), "fd7");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_fs: &dyn FileSystem) {}
+    }
+}

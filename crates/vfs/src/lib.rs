@@ -1,0 +1,52 @@
+//! POSIX-like file-system layer and kernel I/O-stack simulator.
+//!
+//! NVCache (DSN'21) interposes on the libc I/O functions and forwards them —
+//! eventually — to the regular kernel I/O stack. Applications in this
+//! reproduction are written against the [`FileSystem`] trait, which plays the
+//! role of that libc/syscall boundary. The crate then provides all the
+//! storage configurations of the paper's evaluation (Table IV):
+//!
+//! * [`Ext4`] over an SSD (optionally over a
+//!   [`DmWriteCacheDev`](blockdev::DmWriteCacheDev)) — a journaling,
+//!   page-cached, in-place file system;
+//! * [`MemFs`] — tmpfs, DRAM only, no durability;
+//! * [`DaxFs`] — Ext4-DAX: the Ext4 code paths with data access directly to
+//!   NVMM, bypassing the page cache;
+//! * [`NovaFs`] — NOVA: a log-structured NVMM file system with per-inode
+//!   logs and copy-on-write data pages (`cow_data` semantics, hence durable
+//!   linearizability).
+//!
+//! `NVCache` itself (crate `nvcache`) implements the same trait by wrapping
+//! any of these as its propagation target.
+//!
+//! Every operation charges modelled kernel costs ([`KernelCosts`]) against
+//! the caller's virtual clock; syscall-free user-space paths (the whole point
+//! of NVCache's write path) simply skip those charges.
+
+mod conformance;
+mod cost;
+mod cursor;
+mod dax;
+mod error;
+mod ext4;
+mod fdmap;
+mod flags;
+mod fs;
+mod memfs;
+mod nova;
+mod pagecache;
+mod path;
+
+pub use conformance::check_posix_semantics;
+pub use cost::KernelCosts;
+pub use cursor::{CursorFile, SeekFrom};
+pub use dax::{DaxFs, DaxProfile};
+pub use error::{IoError, IoResult};
+pub use ext4::{Ext4, Ext4Profile};
+pub use fdmap::FdTable;
+pub use flags::{Metadata, OpenFlags};
+pub use fs::{Fd, FileSystem};
+pub use memfs::MemFs;
+pub use nova::{NovaFs, NovaProfile};
+pub use pagecache::{PageCache, PageCacheConfig, PageCacheStats};
+pub use path::normalize_path;

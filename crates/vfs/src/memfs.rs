@@ -1,0 +1,366 @@
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use simclock::ActorClock;
+
+use crate::path::parent_of;
+use crate::{
+    normalize_path, Fd, FdTable, FileSystem, IoError, IoResult, KernelCosts, Metadata, OpenFlags,
+};
+
+#[derive(Debug)]
+struct MemInode {
+    ino: u64,
+    data: RwLock<Vec<u8>>,
+}
+
+#[derive(Clone)]
+struct MemFd {
+    inode: Arc<MemInode>,
+    flags: OpenFlags,
+}
+
+/// tmpfs: files live entirely in DRAM inside the kernel page cache.
+///
+/// The fastest baseline of the paper's evaluation (Table IV, last row) and
+/// the only one with **no durability whatsoever** — a crash loses everything,
+/// which [`simulate_power_failure`](FileSystem::simulate_power_failure)
+/// reproduces by discarding all content.
+///
+/// # Example
+///
+/// ```
+/// use simclock::ActorClock;
+/// use vfs::{FileSystem, MemFs, OpenFlags};
+///
+/// # fn main() -> Result<(), vfs::IoError> {
+/// let clock = ActorClock::new();
+/// let fs = MemFs::new();
+/// let fd = fs.open("/tmp/x", OpenFlags::RDWR | OpenFlags::CREATE, &clock)?;
+/// fs.pwrite(fd, b"data", 0, &clock)?;
+/// let mut buf = [0u8; 4];
+/// fs.pread(fd, &mut buf, 0, &clock)?;
+/// assert_eq!(&buf, b"data");
+/// # Ok(())
+/// # }
+/// ```
+pub struct MemFs {
+    costs: KernelCosts,
+    files: RwLock<HashMap<String, Arc<MemInode>>>,
+    fds: FdTable<MemFd>,
+    next_ino: AtomicU64,
+    dev_id: u64,
+}
+
+impl std::fmt::Debug for MemFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemFs").field("files", &self.files.read().len()).finish()
+    }
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemFs {
+    /// Creates an empty tmpfs with default kernel costs.
+    pub fn new() -> Self {
+        Self::with_costs(KernelCosts::default_model())
+    }
+
+    /// Creates an empty tmpfs with explicit kernel costs.
+    pub fn with_costs(costs: KernelCosts) -> Self {
+        MemFs {
+            costs,
+            files: RwLock::new(HashMap::new()),
+            fds: FdTable::new(),
+            next_ino: AtomicU64::new(1),
+            dev_id: 0xEE,
+        }
+    }
+
+    fn lookup(&self, path: &str) -> Option<Arc<MemInode>> {
+        self.files.read().get(path).cloned()
+    }
+
+    fn is_dir(&self, path: &str) -> bool {
+        if path == "/" {
+            return true;
+        }
+        let prefix = format!("{path}/");
+        self.files.read().keys().any(|k| k.starts_with(&prefix))
+    }
+}
+
+impl FileSystem for MemFs {
+    fn name(&self) -> &str {
+        "tmpfs"
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags, clock: &ActorClock) -> IoResult<Fd> {
+        clock.advance(self.costs.syscall + self.costs.fs_overhead);
+        let path = normalize_path(path);
+        let inode = match self.lookup(&path) {
+            Some(inode) => {
+                if flags.contains(OpenFlags::CREATE) && flags.contains(OpenFlags::EXCL) {
+                    return Err(IoError::AlreadyExists(path));
+                }
+                if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+                    inode.data.write().clear();
+                }
+                inode
+            }
+            None => {
+                if !flags.contains(OpenFlags::CREATE) {
+                    return Err(IoError::NotFound(path));
+                }
+                let inode = Arc::new(MemInode {
+                    ino: self.next_ino.fetch_add(1, Ordering::Relaxed),
+                    data: RwLock::new(Vec::new()),
+                });
+                self.files.write().insert(path, Arc::clone(&inode));
+                inode
+            }
+        };
+        Ok(self.fds.insert(MemFd { inode, flags }))
+    }
+
+    fn close(&self, fd: Fd, clock: &ActorClock) -> IoResult<()> {
+        clock.advance(self.costs.syscall);
+        self.fds.remove(fd).map(|_| ())
+    }
+
+    fn pread(&self, fd: Fd, buf: &mut [u8], off: u64, clock: &ActorClock) -> IoResult<usize> {
+        let entry = self.fds.get(fd)?;
+        if !entry.flags.readable() {
+            return Err(IoError::PermissionDenied("fd opened write-only".into()));
+        }
+        clock.advance(self.costs.syscall + self.costs.fs_overhead);
+        let data = entry.inode.data.read();
+        let size = data.len() as u64;
+        if off >= size {
+            return Ok(0);
+        }
+        let n = buf.len().min((size - off) as usize);
+        buf[..n].copy_from_slice(&data[off as usize..off as usize + n]);
+        clock.advance(self.costs.copy(n as u64));
+        Ok(n)
+    }
+
+    fn pwrite(&self, fd: Fd, data: &[u8], off: u64, clock: &ActorClock) -> IoResult<usize> {
+        let entry = self.fds.get(fd)?;
+        if !entry.flags.writable() {
+            return Err(IoError::PermissionDenied("fd opened read-only".into()));
+        }
+        clock.advance(self.costs.syscall + self.costs.fs_overhead);
+        let mut content = entry.inode.data.write();
+        let end = off as usize + data.len();
+        if content.len() < end {
+            content.resize(end, 0);
+        }
+        content[off as usize..end].copy_from_slice(data);
+        clock.advance(self.costs.copy(data.len() as u64));
+        Ok(data.len())
+    }
+
+    fn fsync(&self, fd: Fd, clock: &ActorClock) -> IoResult<()> {
+        clock.advance(self.costs.syscall);
+        self.fds.get(fd).map(|_| ()) // nothing durable to do
+    }
+
+    fn ftruncate(&self, fd: Fd, len: u64, clock: &ActorClock) -> IoResult<()> {
+        let entry = self.fds.get(fd)?;
+        if !entry.flags.writable() {
+            return Err(IoError::PermissionDenied("fd opened read-only".into()));
+        }
+        clock.advance(self.costs.syscall + self.costs.fs_overhead);
+        entry.inode.data.write().resize(len as usize, 0);
+        Ok(())
+    }
+
+    fn fstat(&self, fd: Fd, clock: &ActorClock) -> IoResult<Metadata> {
+        clock.advance(self.costs.syscall);
+        let entry = self.fds.get(fd)?;
+        let size = entry.inode.data.read().len() as u64;
+        Ok(Metadata { dev: self.dev_id, ino: entry.inode.ino, size, is_dir: false })
+    }
+
+    fn stat(&self, path: &str, clock: &ActorClock) -> IoResult<Metadata> {
+        clock.advance(self.costs.syscall);
+        let path = normalize_path(path);
+        if let Some(inode) = self.lookup(&path) {
+            return Ok(Metadata {
+                dev: self.dev_id,
+                ino: inode.ino,
+                size: inode.data.read().len() as u64,
+                is_dir: false,
+            });
+        }
+        if self.is_dir(&path) {
+            return Ok(Metadata { dev: self.dev_id, ino: 0, size: 0, is_dir: true });
+        }
+        Err(IoError::NotFound(path))
+    }
+
+    fn unlink(&self, path: &str, clock: &ActorClock) -> IoResult<()> {
+        clock.advance(self.costs.syscall + self.costs.fs_overhead);
+        let path = normalize_path(path);
+        self.files.write().remove(&path).map(|_| ()).ok_or(IoError::NotFound(path))
+    }
+
+    fn rename(&self, from: &str, to: &str, clock: &ActorClock) -> IoResult<()> {
+        clock.advance(self.costs.syscall + self.costs.fs_overhead);
+        let from = normalize_path(from);
+        let to = normalize_path(to);
+        let mut files = self.files.write();
+        let inode = files.remove(&from).ok_or(IoError::NotFound(from))?;
+        files.insert(to, inode);
+        Ok(())
+    }
+
+    fn list_dir(&self, dir: &str, clock: &ActorClock) -> IoResult<Vec<String>> {
+        clock.advance(self.costs.syscall + self.costs.fs_overhead);
+        let dir = normalize_path(dir);
+        let mut out: Vec<String> = self
+            .files
+            .read()
+            .keys()
+            .filter(|k| parent_of(k) == dir)
+            .cloned()
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    fn sync(&self, clock: &ActorClock) -> IoResult<()> {
+        clock.advance(self.costs.syscall);
+        Ok(())
+    }
+
+    fn simulate_power_failure(&self) {
+        self.files.write().clear();
+    }
+
+    fn synchronous_durability(&self) -> bool {
+        false
+    }
+
+    fn durable_linearizability(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> (ActorClock, MemFs) {
+        (ActorClock::new(), MemFs::new())
+    }
+
+    #[test]
+    fn create_write_read() {
+        let (c, fs) = fs();
+        let fd = fs.open("/a", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+        assert_eq!(fs.pwrite(fd, b"hello", 0, &c).unwrap(), 5);
+        let mut buf = [0u8; 5];
+        assert_eq!(fs.pread(fd, &mut buf, 0, &c).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let (c, fs) = fs();
+        let fd = fs.open("/s", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+        fs.pwrite(fd, b"x", 100, &c).unwrap();
+        assert_eq!(fs.fstat(fd, &c).unwrap().size, 101);
+        let mut buf = [9u8; 3];
+        fs.pread(fd, &mut buf, 0, &c).unwrap();
+        assert_eq!(buf, [0, 0, 0]);
+    }
+
+    #[test]
+    fn crash_loses_everything() {
+        let (c, fs) = fs();
+        let fd = fs.open("/gone", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+        fs.pwrite(fd, b"data", 0, &c).unwrap();
+        fs.fsync(fd, &c).unwrap(); // tmpfs fsync is a no-op
+        fs.simulate_power_failure();
+        assert!(matches!(fs.stat("/gone", &c), Err(IoError::NotFound(_))));
+    }
+
+    #[test]
+    fn open_missing_without_create_fails() {
+        let (c, fs) = fs();
+        assert!(matches!(
+            fs.open("/missing", OpenFlags::RDONLY, &c),
+            Err(IoError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn excl_create_conflicts() {
+        let (c, fs) = fs();
+        fs.open("/e", OpenFlags::WRONLY | OpenFlags::CREATE, &c).unwrap();
+        assert!(matches!(
+            fs.open("/e", OpenFlags::WRONLY | OpenFlags::CREATE | OpenFlags::EXCL, &c),
+            Err(IoError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn trunc_clears_content() {
+        let (c, fs) = fs();
+        let fd = fs.open("/t", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+        fs.pwrite(fd, b"old content", 0, &c).unwrap();
+        fs.close(fd, &c).unwrap();
+        let fd2 = fs.open("/t", OpenFlags::RDWR | OpenFlags::TRUNC, &c).unwrap();
+        assert_eq!(fs.fstat(fd2, &c).unwrap().size, 0);
+    }
+
+    #[test]
+    fn rename_and_list_dir() {
+        let (c, fs) = fs();
+        fs.open("/d/a", OpenFlags::WRONLY | OpenFlags::CREATE, &c).unwrap();
+        fs.open("/d/b", OpenFlags::WRONLY | OpenFlags::CREATE, &c).unwrap();
+        fs.open("/other", OpenFlags::WRONLY | OpenFlags::CREATE, &c).unwrap();
+        assert_eq!(fs.list_dir("/d", &c).unwrap(), vec!["/d/a", "/d/b"]);
+        fs.rename("/d/a", "/d2/a", &c).unwrap();
+        assert_eq!(fs.list_dir("/d", &c).unwrap(), vec!["/d/b"]);
+        assert!(fs.stat("/d2/a", &c).is_ok());
+    }
+
+    #[test]
+    fn dir_stat_is_implicit() {
+        let (c, fs) = fs();
+        fs.open("/x/y/z", OpenFlags::WRONLY | OpenFlags::CREATE, &c).unwrap();
+        assert!(fs.stat("/x/y", &c).unwrap().is_dir);
+        assert!(fs.stat("/x", &c).unwrap().is_dir);
+        assert!(!fs.stat("/x/y/z", &c).unwrap().is_dir);
+    }
+
+    #[test]
+    fn permission_checks() {
+        let (c, fs) = fs();
+        let ro = fs.open("/p", OpenFlags::RDONLY | OpenFlags::CREATE, &c).unwrap();
+        assert!(matches!(fs.pwrite(ro, b"x", 0, &c), Err(IoError::PermissionDenied(_))));
+        let wo = fs.open("/p", OpenFlags::WRONLY, &c).unwrap();
+        let mut b = [0u8; 1];
+        assert!(matches!(fs.pread(wo, &mut b, 0, &c), Err(IoError::PermissionDenied(_))));
+    }
+
+    #[test]
+    fn unlinked_file_remains_readable_via_open_fd() {
+        let (c, fs) = fs();
+        let fd = fs.open("/u", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+        fs.pwrite(fd, b"still here", 0, &c).unwrap();
+        fs.unlink("/u", &c).unwrap();
+        let mut buf = [0u8; 10];
+        assert_eq!(fs.pread(fd, &mut buf, 0, &c).unwrap(), 10);
+        assert_eq!(&buf, b"still here");
+    }
+}

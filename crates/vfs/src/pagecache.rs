@@ -1,0 +1,368 @@
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Configuration of a [`PageCache`].
+#[derive(Debug, Clone)]
+pub struct PageCacheConfig {
+    /// Maximum resident pages before eviction kicks in.
+    pub capacity_pages: usize,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Whether page content is retained (off = timing-only benchmarks).
+    pub keep_content: bool,
+}
+
+impl Default for PageCacheConfig {
+    fn default() -> Self {
+        PageCacheConfig { capacity_pages: 262_144, page_size: 4096, keep_content: true }
+    }
+}
+
+/// Counters exported by the page cache.
+#[derive(Debug, Default)]
+pub struct PageCacheStats {
+    /// Lookups that found the page resident.
+    pub hits: AtomicU64,
+    /// Lookups that missed.
+    pub misses: AtomicU64,
+    /// Pages evicted to make room.
+    pub evictions: AtomicU64,
+    /// Dirty pages handed back for writeback.
+    pub writebacks: AtomicU64,
+}
+
+/// A page evicted while dirty; the caller must write it back to the device.
+#[derive(Debug)]
+pub struct EvictedPage {
+    /// Inode the page belongs to.
+    pub ino: u64,
+    /// Page number within the file.
+    pub page: u64,
+    /// Page content (zeroes when content retention is disabled).
+    pub data: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct Page {
+    data: Option<Box<[u8]>>,
+    dirty: bool,
+    accessed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    pages: HashMap<(u64, u64), Page>,
+    /// Second-chance eviction queue (may contain stale keys).
+    queue: VecDeque<(u64, u64)>,
+}
+
+/// The kernel's volatile write-back page cache.
+///
+/// This is the component NVCache deliberately keeps *behind* its NVMM write
+/// log: the paper's design retains it to combine writes in volatile memory
+/// before they reach the mass storage ("the kernel naturally combines the
+/// writes by updating the modified page in the volatile page cache before
+/// flushing the modified page to disk only once", §I). Overwrites of a dirty
+/// resident page therefore cost one device write, not two — the effect the
+/// batching experiment (Fig. 6) depends on.
+///
+/// Eviction is second-chance (CLOCK), the standard approximation of LRU used
+/// by Linux. Dirty pages evicted or flushed are returned to the caller — the
+/// file system owns the device and the journal.
+#[derive(Debug)]
+pub struct PageCache {
+    cfg: PageCacheConfig,
+    inner: Mutex<Inner>,
+    stats: PageCacheStats,
+}
+
+impl PageCache {
+    /// Creates a cache with the given configuration.
+    pub fn new(cfg: PageCacheConfig) -> Self {
+        PageCache { cfg, inner: Mutex::new(Inner::default()), stats: PageCacheStats::default() }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PageCacheConfig {
+        &self.cfg
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> &PageCacheStats {
+        &self.stats
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().pages.len()
+    }
+
+    /// Whether the page is resident.
+    pub fn contains(&self, ino: u64, page: u64) -> bool {
+        self.inner.lock().pages.contains_key(&(ino, page))
+    }
+
+    fn make_buf(&self) -> Option<Box<[u8]>> {
+        self.cfg
+            .keep_content
+            .then(|| vec![0u8; self.cfg.page_size].into_boxed_slice())
+    }
+
+    fn evict_if_needed(inner: &mut Inner, cfg: &PageCacheConfig, stats: &PageCacheStats) -> Vec<EvictedPage> {
+        let mut out = Vec::new();
+        while inner.pages.len() > cfg.capacity_pages {
+            let Some(key) = inner.queue.pop_front() else { break };
+            let Some(p) = inner.pages.get_mut(&key) else { continue };
+            if p.accessed {
+                p.accessed = false;
+                inner.queue.push_back(key);
+                continue;
+            }
+            let p = inner.pages.remove(&key).expect("page present");
+            stats.evictions.fetch_add(1, Ordering::Relaxed);
+            if p.dirty {
+                stats.writebacks.fetch_add(1, Ordering::Relaxed);
+                out.push(EvictedPage {
+                    ino: key.0,
+                    page: key.1,
+                    data: p.data.map_or_else(|| vec![0u8; cfg.page_size], |d| d.to_vec()),
+                });
+            }
+        }
+        out
+    }
+
+    /// Inserts (or replaces) a whole page. Returns dirty pages evicted to
+    /// make room; the caller must write them back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one page.
+    pub fn insert(&self, ino: u64, page: u64, data: &[u8], dirty: bool) -> Vec<EvictedPage> {
+        assert_eq!(data.len(), self.cfg.page_size, "insert expects a whole page");
+        let mut inner = self.inner.lock();
+        let mut buf = self.make_buf();
+        if let Some(b) = &mut buf {
+            b.copy_from_slice(data);
+        }
+        let fresh = inner
+            .pages
+            .insert((ino, page), Page { data: buf, dirty, accessed: true })
+            .is_none();
+        if fresh {
+            inner.queue.push_back((ino, page));
+        }
+        Self::evict_if_needed(&mut inner, &self.cfg, &self.stats)
+    }
+
+    /// Updates part of a resident page, marking it dirty. Returns `false` on
+    /// a miss (the caller must fill the page first).
+    pub fn update(&self, ino: u64, page: u64, in_page: usize, bytes: &[u8]) -> bool {
+        assert!(in_page + bytes.len() <= self.cfg.page_size, "update exceeds page");
+        let mut inner = self.inner.lock();
+        match inner.pages.get_mut(&(ino, page)) {
+            Some(p) => {
+                if let Some(d) = &mut p.data {
+                    d[in_page..in_page + bytes.len()].copy_from_slice(bytes);
+                }
+                p.dirty = true;
+                p.accessed = true;
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Copies part of a resident page into `buf`. Returns `false` on a miss.
+    pub fn read(&self, ino: u64, page: u64, in_page: usize, buf: &mut [u8]) -> bool {
+        assert!(in_page + buf.len() <= self.cfg.page_size, "read exceeds page");
+        let mut inner = self.inner.lock();
+        match inner.pages.get_mut(&(ino, page)) {
+            Some(p) => {
+                match &p.data {
+                    Some(d) => buf.copy_from_slice(&d[in_page..in_page + buf.len()]),
+                    None => buf.fill(0),
+                }
+                p.accessed = true;
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Removes and returns all dirty pages of `ino` (sorted by page number),
+    /// marking them clean but leaving them resident. Used by `fsync`.
+    pub fn take_dirty(&self, ino: u64) -> Vec<(u64, Vec<u8>)> {
+        let mut inner = self.inner.lock();
+        let mut out = Vec::new();
+        let page_size = self.cfg.page_size;
+        for (&(i, page), p) in inner.pages.iter_mut() {
+            if i == ino && p.dirty {
+                p.dirty = false;
+                let data = p
+                    .data
+                    .as_ref()
+                    .map_or_else(|| vec![0u8; page_size], |d| d.to_vec());
+                out.push((page, data));
+            }
+        }
+        out.sort_by_key(|(page, _)| *page);
+        self.stats.writebacks.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Removes and returns every dirty page (sorted by inode then page).
+    pub fn take_all_dirty(&self) -> Vec<EvictedPage> {
+        let mut inner = self.inner.lock();
+        let mut out = Vec::new();
+        let page_size = self.cfg.page_size;
+        for (&(ino, page), p) in inner.pages.iter_mut() {
+            if p.dirty {
+                p.dirty = false;
+                out.push(EvictedPage {
+                    ino,
+                    page,
+                    data: p.data.as_ref().map_or_else(|| vec![0u8; page_size], |d| d.to_vec()),
+                });
+            }
+        }
+        out.sort_by_key(|e| (e.ino, e.page));
+        self.stats.writebacks.fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Drops every page of `ino` (unlink / truncate).
+    pub fn drop_inode(&self, ino: u64) {
+        self.inner.lock().pages.retain(|&(i, _), _| i != ino);
+    }
+
+    /// Power failure: the cache is volatile, everything vanishes.
+    pub fn drop_all(&self) {
+        let mut inner = self.inner.lock();
+        inner.pages.clear();
+        inner.queue.clear();
+    }
+
+    /// Number of currently dirty pages.
+    pub fn dirty_count(&self) -> usize {
+        self.inner.lock().pages.values().filter(|p| p.dirty).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize) -> PageCache {
+        PageCache::new(PageCacheConfig { capacity_pages: capacity, page_size: 64, keep_content: true })
+    }
+
+    #[test]
+    fn insert_read_update_round_trip() {
+        let pc = cache(8);
+        pc.insert(1, 0, &[7u8; 64], false);
+        let mut buf = [0u8; 16];
+        assert!(pc.read(1, 0, 8, &mut buf));
+        assert_eq!(buf, [7u8; 16]);
+        assert!(pc.update(1, 0, 0, &[9u8; 4]));
+        let mut head = [0u8; 4];
+        pc.read(1, 0, 0, &mut head);
+        assert_eq!(head, [9u8; 4]);
+    }
+
+    #[test]
+    fn miss_returns_false() {
+        let pc = cache(8);
+        let mut buf = [0u8; 4];
+        assert!(!pc.read(1, 0, 0, &mut buf));
+        assert!(!pc.update(1, 0, 0, &[1]));
+        assert_eq!(pc.stats().misses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn eviction_returns_dirty_pages_only() {
+        let pc = cache(2);
+        pc.insert(1, 0, &[1u8; 64], true);
+        pc.insert(1, 1, &[2u8; 64], false);
+        // Third insert overflows; CLOCK clears accessed bits first, so insert
+        // a fourth to force a real eviction.
+        let mut evicted: Vec<EvictedPage> = Vec::new();
+        evicted.extend(pc.insert(1, 2, &[3u8; 64], false));
+        evicted.extend(pc.insert(1, 3, &[4u8; 64], false));
+        assert!(pc.resident() <= 3);
+        for e in &evicted {
+            assert_eq!(e.data[0], 1, "only the dirty page should need writeback");
+        }
+    }
+
+    #[test]
+    fn take_dirty_is_sorted_and_clears_dirty() {
+        let pc = cache(16);
+        pc.insert(5, 3, &[3u8; 64], true);
+        pc.insert(5, 1, &[1u8; 64], true);
+        pc.insert(5, 2, &[2u8; 64], false);
+        pc.insert(6, 0, &[6u8; 64], true);
+        let dirty = pc.take_dirty(5);
+        assert_eq!(dirty.iter().map(|(p, _)| *p).collect::<Vec<_>>(), vec![1, 3]);
+        assert!(pc.take_dirty(5).is_empty(), "second take sees nothing dirty");
+        // Pages remain resident and readable.
+        let mut buf = [0u8; 1];
+        assert!(pc.read(5, 3, 0, &mut buf));
+        assert_eq!(buf[0], 3);
+    }
+
+    #[test]
+    fn write_combining_one_page_many_updates() {
+        let pc = cache(16);
+        pc.insert(1, 0, &[0u8; 64], true);
+        for i in 0..32 {
+            assert!(pc.update(1, 0, (i % 64) as usize, &[i as u8]));
+        }
+        // 33 logical writes, one dirty page to flush: that is the combining
+        // effect the paper's Fig. 6 relies on.
+        assert_eq!(pc.take_dirty(1).len(), 1);
+    }
+
+    #[test]
+    fn drop_all_loses_everything() {
+        let pc = cache(8);
+        pc.insert(1, 0, &[1u8; 64], true);
+        pc.drop_all();
+        assert_eq!(pc.resident(), 0);
+        assert_eq!(pc.dirty_count(), 0);
+    }
+
+    #[test]
+    fn drop_inode_is_selective() {
+        let pc = cache(8);
+        pc.insert(1, 0, &[1u8; 64], false);
+        pc.insert(2, 0, &[2u8; 64], false);
+        pc.drop_inode(1);
+        assert!(!pc.contains(1, 0));
+        assert!(pc.contains(2, 0));
+    }
+
+    #[test]
+    fn content_free_mode_tracks_dirtiness_without_bytes() {
+        let pc = PageCache::new(PageCacheConfig {
+            capacity_pages: 4,
+            page_size: 64,
+            keep_content: false,
+        });
+        pc.insert(1, 0, &[9u8; 64], true);
+        let mut buf = [1u8; 8];
+        assert!(pc.read(1, 0, 0, &mut buf));
+        assert_eq!(buf, [0u8; 8], "content-free mode reads zeroes");
+        assert_eq!(pc.take_dirty(1).len(), 1);
+    }
+}

@@ -1,0 +1,58 @@
+/// Normalizes a path to the canonical form used by the simulated file
+/// systems: leading `/`, no trailing `/` (except the root itself), no empty
+/// or `.` components.
+///
+/// The namespace is flat — directories exist implicitly as path prefixes —
+/// which matches how the benchmarked applications use the API (they never
+/// `mkdir` and always address files by full path).
+///
+/// # Example
+///
+/// ```
+/// use vfs::normalize_path;
+/// assert_eq!(normalize_path("db//wal/./000.log"), "/db/wal/000.log");
+/// assert_eq!(normalize_path("/"), "/");
+/// ```
+pub fn normalize_path(path: &str) -> String {
+    let mut out = String::with_capacity(path.len() + 1);
+    for comp in path.split('/') {
+        if comp.is_empty() || comp == "." {
+            continue;
+        }
+        out.push('/');
+        out.push_str(comp);
+    }
+    if out.is_empty() {
+        out.push('/');
+    }
+    out
+}
+
+/// The parent prefix of a normalized path (`/a/b` → `/a`, `/a` → `/`).
+pub(crate) fn parent_of(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(0) | None => "/",
+        Some(i) => &path[..i],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_cases() {
+        assert_eq!(normalize_path("a/b"), "/a/b");
+        assert_eq!(normalize_path("/a/b/"), "/a/b");
+        assert_eq!(normalize_path("//a///b"), "/a/b");
+        assert_eq!(normalize_path("./x"), "/x");
+        assert_eq!(normalize_path(""), "/");
+    }
+
+    #[test]
+    fn parents() {
+        assert_eq!(parent_of("/a/b"), "/a");
+        assert_eq!(parent_of("/a"), "/");
+        assert_eq!(parent_of("/"), "/");
+    }
+}

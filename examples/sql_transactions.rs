@@ -1,0 +1,61 @@
+//! SQLite-style synchronous transactions over three storage stacks: the
+//! journal + double-fsync commit dance is where NVCache's no-op `fsync`
+//! pays off most (paper Fig. 3, SQLite columns).
+//!
+//! Run with: `cargo run --example sql_transactions`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use nvcache_repro::blockdev::{SsdDevice, SsdProfile};
+use nvcache_repro::nvcache::{NvCache, NvCacheConfig};
+use nvcache_repro::nvmm::{NvDimm, NvRegion, NvmmProfile};
+use nvcache_repro::simclock::ActorClock;
+use nvcache_repro::sqlight::{SqlightDb, SqlightOptions};
+use nvcache_repro::vfs::{Ext4, Ext4Profile, FileSystem, NovaFs, NovaProfile};
+
+fn run_txns(name: &str, fs: Arc<dyn FileSystem>) -> Result<(), Box<dyn Error>> {
+    let clock = ActorClock::new();
+    let db = SqlightDb::open(fs, "/bank.db", SqlightOptions::default(), &clock)?;
+    db.create_table("accounts", &clock)?;
+
+    let txns = 500i64;
+    let start = clock.now();
+    for i in 0..txns {
+        // One synchronous transaction per transfer, like an OLTP app.
+        db.begin()?;
+        db.insert("accounts", i, format!("balance-{i}").as_bytes(), &clock)?;
+        db.commit(&clock)?;
+    }
+    let per_txn = (clock.now() - start) / txns as u64;
+    assert_eq!(db.scan("accounts", &clock)?.len(), txns as usize);
+    println!("  {name:<14} {per_txn} per committed transaction");
+    db.close(&clock)?;
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("500 synchronous OLTP transactions (journal commit per txn):");
+
+    // Plain SSD.
+    let ssd = Arc::new(SsdDevice::new(SsdProfile::s4600()));
+    run_txns("SSD", Arc::new(Ext4::new("ext4+ssd", ssd, Ext4Profile::default())))?;
+
+    // NOVA in NVMM.
+    let dimm = Arc::new(NvDimm::new(512 << 20, NvmmProfile::optane()));
+    run_txns("NOVA", Arc::new(NovaFs::new(NvRegion::whole(dimm), NovaProfile::default())))?;
+
+    // NVCache in front of the SSD.
+    let clock = ActorClock::new();
+    let ssd = Arc::new(SsdDevice::new(SsdProfile::s4600()));
+    let ext4: Arc<dyn FileSystem> = Arc::new(Ext4::new("ext4+ssd", ssd, Ext4Profile::default()));
+    let cfg = NvCacheConfig::default().scaled(256);
+    let log = Arc::new(NvDimm::new(
+        cfg.required_nvmm_bytes(),
+        NvmmProfile::optane().without_durability_tracking(),
+    ));
+    let cache = Arc::new(NvCache::format(NvRegion::whole(log), ext4, cfg, &clock)?);
+    run_txns("NVCache+SSD", Arc::clone(&cache) as Arc<dyn FileSystem>)?;
+    cache.shutdown(&clock);
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! NVCache reproduction — umbrella crate.
+//!
+//! Re-exports every workspace crate so examples and integration tests can
+//! address the full stack through one dependency. See the crate-level docs of
+//! each member for details:
+//!
+//! * [`nvcache`] — the paper's contribution (NVMM write log + read cache).
+//! * [`vfs`] — the POSIX boundary and baseline file systems.
+//! * [`nvmm`], [`blockdev`] — the hardware simulators.
+//! * [`rocklet`], [`sqlight`], [`fiosim`] — the legacy-application stand-ins.
+//! * [`simclock`] — virtual time.
+
+pub use blockdev;
+pub use fiosim;
+pub use nvcache;
+pub use nvmm;
+pub use rocklet;
+pub use simclock;
+pub use sqlight;
+pub use vfs;

@@ -1,0 +1,132 @@
+//! Property-based crash testing: random operation sequences, random crash
+//! points, random cache-line eviction draws — every acknowledged write must
+//! be recovered, byte for byte.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use nvcache_repro::blockdev::{SsdDevice, SsdProfile};
+use nvcache_repro::nvcache::{NvCache, NvCacheConfig};
+use nvcache_repro::nvmm::{NvDimm, NvRegion, NvmmProfile};
+use nvcache_repro::simclock::ActorClock;
+use nvcache_repro::vfs::{Ext4, Ext4Profile, FileSystem, OpenFlags};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// (file index 0..3, offset, payload byte, length)
+    Write(u8, u16, u8, u16),
+    /// (file index, offset, length)
+    Read(u8, u16, u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..3u8, 0..8192u16, 1..255u8, 1..2048u16)
+            .prop_map(|(f, o, b, l)| Op::Write(f, o, b, l)),
+        (0..3u8, 0..8192u16, 1..2048u16).prop_map(|(f, o, l)| Op::Read(f, o, l)),
+    ]
+}
+
+/// An in-memory model of what the files must contain.
+#[derive(Default)]
+struct Model {
+    files: BTreeMap<u8, Vec<u8>>,
+}
+
+impl Model {
+    fn write(&mut self, f: u8, off: usize, byte: u8, len: usize) {
+        let content = self.files.entry(f).or_default();
+        if content.len() < off + len {
+            content.resize(off + len, 0);
+        }
+        content[off..off + len].fill(byte);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn recovery_restores_every_acknowledged_write(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        crash_seed in 0..1000u64,
+        eviction in prop_oneof![Just(0.0f64), Just(0.3), Just(0.9)],
+    ) {
+        let clock = ActorClock::new();
+        let cfg = NvCacheConfig {
+            nb_entries: 512,
+            batch_min: usize::MAX >> 1, // keep everything in the log
+            batch_max: usize::MAX >> 1,
+            fd_slots: 8,
+            read_cache_pages: 4,
+            ..NvCacheConfig::default()
+        };
+        let profile = NvmmProfile::instant().with_eviction_probability(eviction);
+        let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), profile));
+        let ssd = Arc::new(SsdDevice::new(SsdProfile::s4600()));
+        let inner: Arc<dyn FileSystem> =
+            Arc::new(Ext4::new("ext4+ssd", ssd, Ext4Profile::default()));
+        let cache = NvCache::format(
+            NvRegion::whole(Arc::clone(&dimm)),
+            Arc::clone(&inner),
+            cfg.clone(),
+            &clock,
+        ).expect("format");
+
+        let mut model = Model::default();
+        let mut fds = BTreeMap::new();
+        for f in 0..3u8 {
+            let fd = cache
+                .open(&format!("/f{f}"), OpenFlags::RDWR | OpenFlags::CREATE, &clock)
+                .expect("open");
+            fds.insert(f, fd);
+        }
+        for op in &ops {
+            match *op {
+                Op::Write(f, off, byte, len) => {
+                    let buf = vec![byte; len as usize];
+                    cache.pwrite(fds[&f], &buf, off as u64, &clock).expect("pwrite");
+                    model.write(f, off as usize, byte, len as usize);
+                }
+                Op::Read(f, off, len) => {
+                    let mut buf = vec![0u8; len as usize];
+                    let n = cache.pread(fds[&f], &mut buf, off as u64, &clock).expect("pread");
+                    // Read-your-writes against the model.
+                    let expect = model.files.get(&f).cloned().unwrap_or_default();
+                    let lo = (off as usize).min(expect.len());
+                    let hi = (off as usize + len as usize).min(expect.len());
+                    prop_assert_eq!(n, hi - lo, "short read mismatch");
+                    prop_assert_eq!(&buf[..n], &expect[lo..hi], "read-your-writes violated");
+                }
+            }
+        }
+
+        // Crash + recover.
+        cache.abort();
+        drop(cache);
+        let crashed = Arc::new(dimm.crash_and_restart_seeded(crash_seed));
+        inner.simulate_power_failure();
+        let (recovered, _report) = NvCache::recover(
+            NvRegion::whole(crashed),
+            Arc::clone(&inner),
+            cfg,
+            &clock,
+        ).expect("recover");
+
+        for (f, expect) in &model.files {
+            let fd = recovered
+                .open(&format!("/f{f}"), OpenFlags::RDONLY, &clock)
+                .expect("reopen");
+            prop_assert_eq!(
+                recovered.fstat(fd, &clock).expect("fstat").size,
+                expect.len() as u64,
+                "file {} size lost", f
+            );
+            let mut buf = vec![0u8; expect.len()];
+            recovered.pread(fd, &mut buf, 0, &clock).expect("pread");
+            prop_assert_eq!(&buf, expect, "file {} content lost", f);
+        }
+        recovered.shutdown(&clock);
+    }
+}
