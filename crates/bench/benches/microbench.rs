@@ -26,9 +26,8 @@ fn mk_cache(cfg: NvCacheConfig) -> (ActorClock, Arc<NvCache>) {
         NvmmProfile::optane().without_durability_tracking(),
     ));
     let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
-    let cache = Arc::new(
-        NvCache::format(NvRegion::whole(dimm), inner, cfg, &clock).expect("format"),
-    );
+    let cache =
+        Arc::new(NvCache::format(NvRegion::whole(dimm), inner, cfg, &clock).expect("format"));
     (clock, cache)
 }
 
@@ -69,9 +68,7 @@ fn bench_read_path(c: &mut Criterion) {
         cache.pwrite(fd, &[1u8; 4096], 0, &clock).unwrap();
         let mut buf = [0u8; 4096];
         cache.pread(fd, &mut buf, 0, &clock).unwrap(); // load it
-        g.bench_function("hit_4k", |b| {
-            b.iter(|| cache.pread(fd, &mut buf, 0, &clock).unwrap())
-        });
+        g.bench_function("hit_4k", |b| b.iter(|| cache.pread(fd, &mut buf, 0, &clock).unwrap()));
         cache.shutdown(&clock);
     }
     // Dirty miss: unloaded page with pending entries (tiny pool forces
@@ -141,10 +138,7 @@ fn bench_recovery(c: &mut Criterion) {
                     batch_max: usize::MAX >> 1,
                     ..NvCacheConfig::tiny()
                 };
-                let dimm = Arc::new(NvDimm::new(
-                    cfg.required_nvmm_bytes(),
-                    NvmmProfile::instant(),
-                ));
+                let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
                 let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
                 let cache = NvCache::format(
                     NvRegion::whole(Arc::clone(&dimm)),
@@ -153,8 +147,7 @@ fn bench_recovery(c: &mut Criterion) {
                     &clock,
                 )
                 .unwrap();
-                let fd =
-                    cache.open("/r", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+                let fd = cache.open("/r", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
                 for i in 0..1024u64 {
                     cache.pwrite(fd, &[i as u8; 512], i * 512, &clock).unwrap();
                 }
@@ -179,13 +172,8 @@ fn bench_engines(c: &mut Criterion) {
     {
         let clock = ActorClock::new();
         let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
-        let db = rocklet::RockletDb::open(
-            fs,
-            "/rock",
-            rocklet::RockletOptions::default(),
-            &clock,
-        )
-        .unwrap();
+        let db = rocklet::RockletDb::open(fs, "/rock", rocklet::RockletOptions::default(), &clock)
+            .unwrap();
         let wo = rocklet::WriteOptions { sync: true };
         let mut i = 0u64;
         g.bench_function("rocklet_put_sync", |b| {
@@ -198,13 +186,9 @@ fn bench_engines(c: &mut Criterion) {
     {
         let clock = ActorClock::new();
         let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
-        let db = sqlight::SqlightDb::open(
-            fs,
-            "/sql.db",
-            sqlight::SqlightOptions::default(),
-            &clock,
-        )
-        .unwrap();
+        let db =
+            sqlight::SqlightDb::open(fs, "/sql.db", sqlight::SqlightOptions::default(), &clock)
+                .unwrap();
         db.create_table("kv", &clock).unwrap();
         let mut i = 0i64;
         g.bench_function("sqlight_insert_txn", |b| {

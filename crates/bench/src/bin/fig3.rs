@@ -7,7 +7,10 @@
 //! RocksDB; NVCache ≈1.6× faster than NOVA on SQLite; NVCache+NOVA matches
 //! or beats NOVA. Read panel: all systems roughly equal.
 //!
-//! Usage: `fig3 [--scale N] [--rocks-num N] [--sql-num N] [--reads]`
+//! Usage: `fig3 [--scale N] [--rocks-num N] [--sql-num N] [--shards S] [--reads]`
+//!
+//! `--shards S` splits the NVCache write log into `S` striped sub-logs with
+//! one cleanup worker each (1 = the paper's single log).
 
 use nvcache_bench::{arg_u64, print_table, Row, SystemKind, SystemSpec};
 use rocklet::{run_db_bench, BenchOptions, RockBench, RockletDb, RockletOptions};
@@ -18,8 +21,9 @@ fn main() {
     let scale = arg_u64("--scale", 64);
     let rocks_num = arg_u64("--rocks-num", 20_000);
     let sql_num = arg_u64("--sql-num", 3_000);
+    let shards = arg_u64("--shards", 1).max(1) as usize;
     println!(
-        "Fig. 3 — db_bench mean latency [µs/op], sync writes (RocksDB stand-in: {rocks_num} ops, SQLite stand-in: {sql_num} ops)"
+        "Fig. 3 — db_bench mean latency [µs/op], sync writes (RocksDB stand-in: {rocks_num} ops, SQLite stand-in: {sql_num} ops, {shards} log shard(s))"
     );
 
     let rock_writes = [RockBench::FillRandom, RockBench::FillSeq, RockBench::Overwrite];
@@ -35,7 +39,10 @@ fn main() {
         let mut cells = Vec::new();
         for bench in rock_writes.iter().chain(rock_reads.iter()) {
             let clock = ActorClock::new();
-            let sys = nvcache_bench::build_system(&SystemSpec::new(kind, scale), &clock);
+            let sys = nvcache_bench::build_system(
+                &SystemSpec::new(kind, scale).with_log_shards(shards),
+                &clock,
+            );
             // Scale the engine's buffer capacities with the experiment so
             // flushes and compactions happen at the paper's relative
             // frequency (RocksDB: 64 MiB memtables at full scale).
@@ -44,13 +51,8 @@ fn main() {
                 target_table_bytes: ((128u64 << 20) / scale).max(16 << 10),
                 ..RockletOptions::default()
             };
-            let db = RockletDb::open(
-                std::sync::Arc::clone(&sys.fs),
-                "/rocksdb",
-                rock_opts,
-                &clock,
-            )
-            .expect("open rocklet");
+            let db = RockletDb::open(std::sync::Arc::clone(&sys.fs), "/rocksdb", rock_opts, &clock)
+                .expect("open rocklet");
             let opts = BenchOptions { num: rocks_num, sync: true, ..BenchOptions::default() };
             if bench.needs_prefill() {
                 rocklet::prefill(&db, &opts, &clock).expect("prefill");
@@ -67,7 +69,10 @@ fn main() {
         let mut cells = Vec::new();
         for bench in sql_writes.iter().chain(sql_reads.iter()) {
             let clock = ActorClock::new();
-            let sys = nvcache_bench::build_system(&SystemSpec::new(kind, scale), &clock);
+            let sys = nvcache_bench::build_system(
+                &SystemSpec::new(kind, scale).with_log_shards(shards),
+                &clock,
+            );
             let db = SqlightDb::open(
                 std::sync::Arc::clone(&sys.fs),
                 "/sqlite.db",

@@ -58,9 +58,5 @@ fn main() {
         }
         sys.shutdown(&clock);
     }
-    print_table(
-        "Fig. 4 summary",
-        &["MiB/s", "lat µs", "raw s", "paper-equiv s"],
-        &rows,
-    );
+    print_table("Fig. 4 summary", &["MiB/s", "lat µs", "raw s", "paper-equiv s"], &rows);
 }

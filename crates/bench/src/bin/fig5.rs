@@ -5,7 +5,11 @@
 //! until saturation at ≈18 s, then collapses to ≈78 MiB/s — the SSD's random
 //! write speed; smaller logs saturate earlier and land on the same floor.
 //!
-//! Usage: `fig5 [--scale N] [--gib G] [--series]`
+//! Usage: `fig5 [--scale N] [--gib G] [--shards S] [--series]`
+//!
+//! `--shards S` splits the NVMM log into `S` striped sub-logs (each with its
+//! own cleanup worker and its own Fig. 5 back-pressure coupling); the
+//! summary then also prints the per-stripe saturation events.
 
 use fiosim::{run_job, JobSpec, RwMode};
 use nvcache::NvCacheConfig;
@@ -15,24 +19,27 @@ use simclock::{ActorClock, SimTime};
 fn main() {
     let scale = arg_u64("--scale", 64);
     let gib = arg_u64("--gib", 20);
+    let shards = arg_u64("--shards", 1).max(1) as usize;
     let io_total = (gib << 30) / scale;
     let want_series = arg_flag("--series");
-    println!("Fig. 5 — NVCache+SSD randwrite {gib} GiB with variable log size (scale 1/{scale})");
+    println!(
+        "Fig. 5 — NVCache+SSD randwrite {gib} GiB with variable log size (scale 1/{scale}, {shards} log shard(s))"
+    );
 
-    let log_sizes: [(&str, u64); 4] = [
-        ("100MB", 100 << 20),
-        ("1G", 1 << 30),
-        ("8G", 8 << 30),
-        ("32G", 32 << 30),
-    ];
+    let log_sizes: [(&str, u64); 4] =
+        [("100MB", 100 << 20), ("1G", 1 << 30), ("8G", 8 << 30), ("32G", 32 << 30)];
     let mut rows = Vec::new();
     for (label, bytes) in log_sizes {
         let clock = ActorClock::new();
-        let cfg = NvCacheConfig::default()
+        let mut cfg = NvCacheConfig::default()
             .scaled(scale)
             .with_log_entries((bytes / 4096 / scale).max(64));
-        let spec =
-            SystemSpec::new(SystemKind::NvcacheSsd, scale).with_nvcache_cfg(cfg).timing_only();
+        if shards > 1 {
+            cfg = cfg.with_log_shards(shards);
+        }
+        let spec = SystemSpec::new(SystemKind::NvcacheSsd, scale)
+            .with_nvcache_cfg(cfg)
+            .timing_only();
         let sys = nvcache_bench::build_system(&spec, &clock);
         let job = JobSpec {
             name: format!("log-{label}"),
@@ -56,6 +63,12 @@ fn main() {
             .find(|&&(_, v)| v < plateau * 0.6)
             .map(|&(t, _)| t.as_secs_f64());
         let raw_s = result.elapsed.as_secs_f64();
+        let per_stripe_waits = stats
+            .per_shard
+            .iter()
+            .map(|s| s.log_full_waits.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
         rows.push(Row::new(
             format!("log {label}"),
             vec![
@@ -63,6 +76,7 @@ fn main() {
                 sat.map_or("never".into(), |s| format!("{:.1}", s * scale as f64)),
                 format!("{:.0}", raw_s * scale as f64),
                 format!("{}", stats.log_full_waits),
+                per_stripe_waits,
             ],
         ));
         if want_series {
@@ -72,7 +86,13 @@ fn main() {
     }
     print_table(
         "Fig. 5 summary",
-        &["mean MiB/s", "saturation @s (paper-equiv)", "total s (paper-equiv)", "full-log waits"],
+        &[
+            "mean MiB/s",
+            "saturation @s (paper-equiv)",
+            "total s (paper-equiv)",
+            "full-log waits",
+            "waits/stripe",
+        ],
         &rows,
     );
 }

@@ -29,8 +29,9 @@ fn main() {
             .scaled(scale)
             .with_log_entries(((8u64 << 30) / 4096 / scale).max(64))
             .with_batching(scaled_batch, scaled_batch);
-        let spec =
-            SystemSpec::new(SystemKind::NvcacheSsd, scale).with_nvcache_cfg(cfg).timing_only();
+        let spec = SystemSpec::new(SystemKind::NvcacheSsd, scale)
+            .with_nvcache_cfg(cfg)
+            .timing_only();
         let sys = nvcache_bench::build_system(&spec, &clock);
         let job = JobSpec {
             name: format!("batch-{batch}"),
@@ -49,11 +50,7 @@ fn main() {
         // everything after the first interval that dropped below 60% of the
         // initial plateau (robust to the burst/stall cycles of big batches).
         let plateau = result.throughput.first().map_or(0.0, |&(_, v)| v);
-        let sat_t = result
-            .throughput
-            .iter()
-            .find(|&&(_, v)| v < plateau * 0.6)
-            .map(|&(t, _)| t);
+        let sat_t = result.throughput.iter().find(|&&(_, v)| v < plateau * 0.6).map(|&(t, _)| t);
         let tail_tput = match sat_t {
             Some(t0) => {
                 let at = |t: SimTime| {

@@ -21,13 +21,8 @@ fn main() {
     let want_series = arg_flag("--series");
     println!("Fig. 7 — NVCache+SSD randrw 50/50 on {gib} GiB, read-cache sweep (scale 1/{scale})");
 
-    let cache_sizes: [(&str, usize); 5] = [
-        ("100", 100),
-        ("10K", 10_000),
-        ("100K", 100_000),
-        ("250K", 250_000),
-        ("1M", 1_000_000),
-    ];
+    let cache_sizes: [(&str, usize); 5] =
+        [("100", 100), ("10K", 10_000), ("100K", 100_000), ("250K", 250_000), ("1M", 1_000_000)];
     let mut rows = Vec::new();
     for (label, pages) in cache_sizes {
         let clock = ActorClock::new();

@@ -15,15 +15,11 @@ fn main() {
     let mut rows = Vec::new();
     for kind in SystemKind::all() {
         let sys = nvcache_bench::build_system(&SystemSpec::new(kind, 512), &clock);
-        let large_storage = matches!(
-            kind,
-            SystemKind::NvcacheSsd | SystemKind::DmWritecacheSsd | SystemKind::Ssd
-        );
+        let large_storage =
+            matches!(kind, SystemKind::NvcacheSsd | SystemKind::DmWritecacheSsd | SystemKind::Ssd);
         let stock_kernel = !matches!(kind, SystemKind::Nova | SystemKind::NvcacheNova);
-        let reuse_legacy_fs = !matches!(
-            kind,
-            SystemKind::Nova | SystemKind::NvcacheNova | SystemKind::Tmpfs
-        );
+        let reuse_legacy_fs =
+            !matches!(kind, SystemKind::Nova | SystemKind::NvcacheNova | SystemKind::Tmpfs);
         rows.push(Row::new(
             sys.name,
             vec![

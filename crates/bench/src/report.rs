@@ -78,7 +78,7 @@ mod tests {
 
     #[test]
     fn us_formatting() {
-        assert_eq!(us(3.14159), "3.1");
+        assert_eq!(us(3.15159), "3.2");
         assert_eq!(us(250.7), "251");
     }
 }

@@ -6,7 +6,9 @@ use blockdev::{BlockDevice, DmWriteCacheDev, DmWriteCacheProfile, SsdDevice, Ssd
 use nvcache::{NvCache, NvCacheConfig};
 use nvmm::{NvDimm, NvRegion, NvmmProfile};
 use simclock::ActorClock;
-use vfs::{DaxFs, DaxProfile, Ext4, Ext4Profile, FileSystem, MemFs, NovaFs, NovaProfile, PageCacheConfig};
+use vfs::{
+    DaxFs, DaxProfile, Ext4, Ext4Profile, FileSystem, MemFs, NovaFs, NovaProfile, PageCacheConfig,
+};
 
 /// The seven systems of the evaluation (paper Table IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +83,9 @@ pub struct SystemSpec {
     pub nvcache_cfg: Option<NvCacheConfig>,
     /// Retain file content (disable for timing-only FIO sweeps).
     pub keep_content: bool,
+    /// NVCache log stripes (`1` = the paper's single log; applied on top of
+    /// whatever configuration the spec resolves to).
+    pub log_shards: usize,
 }
 
 impl SystemSpec {
@@ -92,6 +97,7 @@ impl SystemSpec {
             nvmm_bytes_full: 128 << 30, // one Optane DIMM
             nvcache_cfg: None,
             keep_content: true,
+            log_shards: 1,
         }
     }
 
@@ -104,6 +110,13 @@ impl SystemSpec {
     /// Overrides the NVCache configuration.
     pub fn with_nvcache_cfg(mut self, cfg: NvCacheConfig) -> Self {
         self.nvcache_cfg = Some(cfg);
+        self
+    }
+
+    /// Splits the NVCache log into `shards` stripes (one cleanup worker
+    /// each). No effect on systems without an NVCache layer.
+    pub fn with_log_shards(mut self, shards: usize) -> Self {
+        self.log_shards = shards.max(1);
         self
     }
 }
@@ -133,11 +146,8 @@ fn nvmm_profile() -> NvmmProfile {
 }
 
 fn ssd(keep_content: bool) -> Arc<SsdDevice> {
-    let profile = if keep_content {
-        SsdProfile::s4600()
-    } else {
-        SsdProfile::s4600().timing_only()
-    };
+    let profile =
+        if keep_content { SsdProfile::s4600() } else { SsdProfile::s4600().timing_only() };
     Arc::new(SsdDevice::new(profile))
 }
 
@@ -179,11 +189,9 @@ pub fn build_system(spec: &SystemSpec, clock: &ActorClock) -> System {
                 nvcache: None,
             }
         }
-        SystemKind::Tmpfs => System {
-            name: spec.kind.label(),
-            fs: Arc::new(MemFs::new()),
-            nvcache: None,
-        },
+        SystemKind::Tmpfs => {
+            System { name: spec.kind.label(), fs: Arc::new(MemFs::new()), nvcache: None }
+        }
         SystemKind::Ext4Dax => {
             let dimm = Arc::new(NvDimm::new(nvmm_bytes, nvmm_profile()));
             System {
@@ -226,10 +234,13 @@ pub fn build_system(spec: &SystemSpec, clock: &ActorClock) -> System {
                 let dimm = Arc::new(NvDimm::new(nvmm_bytes, nvmm_profile()));
                 Arc::new(NovaFs::new(NvRegion::whole(dimm), NovaProfile::default()))
             };
-            let cfg = spec
+            let mut cfg = spec
                 .nvcache_cfg
                 .clone()
                 .unwrap_or_else(|| NvCacheConfig::default().scaled(scale));
+            if spec.log_shards > 1 {
+                cfg = cfg.with_log_shards(spec.log_shards);
+            }
             let log_dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), nvmm_profile()));
             let cache = NvCache::format(NvRegion::whole(log_dimm), inner, cfg, clock)
                 .expect("NVCache format");
@@ -264,6 +275,28 @@ mod tests {
             sys.fs.close(fd, &clock).expect("close");
             sys.shutdown(&clock);
         }
+    }
+
+    #[test]
+    fn sharded_nvcache_system_builds_and_does_io() {
+        let clock = ActorClock::new();
+        let spec = SystemSpec::new(SystemKind::NvcacheSsd, 512).with_log_shards(4);
+        let sys = build_system(&spec, &clock);
+        let nc = sys.nvcache.as_ref().expect("nvcache system");
+        assert_eq!(nc.config().log_shards, 4);
+        let fd = sys
+            .fs
+            .open("/sharded-smoke", OpenFlags::RDWR | OpenFlags::CREATE, &clock)
+            .expect("open");
+        for p in 0..8u64 {
+            sys.fs.pwrite(fd, &[p as u8 + 1; 4096], p * 4096, &clock).expect("pwrite");
+        }
+        let mut buf = [0u8; 4096];
+        sys.fs.pread(fd, &mut buf, 3 * 4096, &clock).expect("pread");
+        assert_eq!(buf[0], 4);
+        assert_eq!(nc.stats().snapshot().per_shard.len(), 4);
+        sys.fs.close(fd, &clock).expect("close");
+        sys.shutdown(&clock);
     }
 
     #[test]

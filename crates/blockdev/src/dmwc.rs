@@ -82,9 +82,14 @@ impl DmWriteCacheDev {
     pub fn new(ssd: Arc<dyn BlockDevice>, cache: NvRegion, profile: DmWriteCacheProfile) -> Self {
         let slots = cache.len() / profile.block_size;
         assert!(slots > 0, "dm-writecache region smaller than one block");
-        let state =
-            DmState { free_slots: (0..slots).rev().collect(), ..DmState::default() };
-        DmWriteCacheDev { ssd, cache, profile, state: Mutex::new(state), stats: DeviceStats::default() }
+        let state = DmState { free_slots: (0..slots).rev().collect(), ..DmState::default() };
+        DmWriteCacheDev {
+            ssd,
+            cache,
+            profile,
+            state: Mutex::new(state),
+            stats: DeviceStats::default(),
+        }
     }
 
     /// Number of cache slots.
@@ -145,10 +150,7 @@ impl DmWriteCacheDev {
                         // Cache completely full of dirty blocks: release the
                         // lock and force writeback, then retry.
                         drop(st);
-                        self.writeback_to(
-                            (self.slot_count() as usize).saturating_sub(1),
-                            clock,
-                        );
+                        self.writeback_to((self.slot_count() as usize).saturating_sub(1), clock);
                         st = self.state.lock();
                     };
                     st.map.insert(block, slot);
@@ -161,8 +163,7 @@ impl DmWriteCacheDev {
             self.cache.write_and_pwb(self.slot_off(slot), data, clock);
         } else if was_cached {
             // Partial update of a cached block: modify the slot in place.
-            self.cache
-                .write_and_pwb(self.slot_off(slot) + in_block as u64, data, clock);
+            self.cache.write_and_pwb(self.slot_off(slot) + in_block as u64, data, clock);
         } else {
             // Partial write of an uncached block: read-modify-write from SSD.
             let mut old = vec![0u8; bs];
@@ -178,8 +179,7 @@ impl DmWriteCacheDev {
             st.dirty.push_back(block);
         }
         drop(st);
-        let high =
-            (self.slot_count() as f64 * self.profile.high_watermark) as usize;
+        let high = (self.slot_count() as f64 * self.profile.high_watermark) as usize;
         let low = (self.slot_count() as f64 * self.profile.low_watermark) as usize;
         if self.dirty_blocks() > high {
             self.writeback_to(low, clock);
@@ -293,10 +293,7 @@ mod tests {
         for i in 0..64u64 {
             dev.write(i * 4096, &[i as u8; 4096], &clock);
         }
-        assert!(
-            ssd.stats().snapshot().bytes_written > 0,
-            "writeback should have drained blocks"
-        );
+        assert!(ssd.stats().snapshot().bytes_written > 0, "writeback should have drained blocks");
         let high = (64.0 * 0.50) as usize;
         assert!(dev.dirty_blocks() <= high);
     }

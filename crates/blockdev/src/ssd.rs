@@ -109,7 +109,7 @@ impl SsdDevice {
     }
 
     fn chunks_4k(len: usize) -> u64 {
-        ((len as u64) + 4095) / 4096
+        (len as u64).div_ceil(4096)
     }
 }
 

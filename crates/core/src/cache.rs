@@ -17,14 +17,16 @@ use crate::recovery::RecoveryReport;
 use crate::{NvCacheConfig, NvCacheStats, Radix};
 
 /// A closed descriptor whose log entries have not all drained yet: the
-/// persistent fd slot must stay valid until the cleanup thread passes
-/// `drain_target`, otherwise recovery could not resolve those entries.
+/// persistent fd slot must stay valid until every stripe's cleanup worker
+/// passes the corresponding drain target, otherwise recovery could not
+/// resolve those entries.
 pub(crate) struct Zombie {
     pub opened: Arc<OpenedFile>,
-    pub drain_target: u64,
+    /// Per-stripe head snapshot taken at close time.
+    pub drain_targets: Box<[u64]>,
 }
 
-/// State shared between the application-facing API and the cleanup thread.
+/// State shared between the application-facing API and the cleanup workers.
 pub(crate) struct Shared {
     pub cfg: NvCacheConfig,
     pub inner: Arc<dyn FileSystem>,
@@ -42,7 +44,8 @@ pub(crate) struct Shared {
     pub stop: AtomicBool,
     /// Immediate stop (crash simulation): exit without draining.
     pub kill: AtomicBool,
-    pub cleanup_clock: Arc<ActorClock>,
+    /// One virtual clock per cleanup worker (stripe).
+    pub cleanup_clocks: Box<[Arc<ActorClock>]>,
     pub next_file_id: AtomicU64,
     /// In-flight intercepted calls per fd slot, for close synchronization.
     pub in_flight: Box<[AtomicU32]>,
@@ -61,19 +64,38 @@ impl Shared {
         self.opened.read().get(&slot).cloned()
     }
 
+    /// Collects this file's still-pending log entries from every stripe,
+    /// sorted by global sequence number. The commit-word filter also skips
+    /// entries still being filled (their page locks are held by the writer,
+    /// and callers hold either the page locks or fd quiescence).
+    fn pending_entries_for(
+        &self,
+        filter: impl Fn(&crate::log::EntryHeader) -> bool,
+    ) -> Vec<(usize, u64, crate::log::EntryHeader)> {
+        let mut pending: Vec<(usize, u64, crate::log::EntryHeader)> = Vec::new();
+        for (si, stripe) in self.log.stripes.iter().enumerate() {
+            let tail = stripe.vtail.load(Ordering::Acquire);
+            let head = stripe.head.load(Ordering::Acquire);
+            for seq in tail..head {
+                let hdr = stripe.read_header(seq);
+                if hdr.commit == layout::CommitWord::Free || !filter(&hdr) {
+                    continue;
+                }
+                pending.push((si, seq, hdr));
+            }
+        }
+        // Replay order must be the global commit order, not stripe order.
+        pending.sort_by_key(|(_, _, hdr)| hdr.seq);
+        pending
+    }
+
     /// Propagates this file's still-pending log entries into the kernel
     /// (buffered `pwrite`, **no** fsync): the paper's `close` contract —
     /// "all the writes in user space are actually flushed to the kernel" —
     /// durability already lives in the NVMM log.
     pub fn kernel_flush_file(&self, opened: &Arc<OpenedFile>, clock: &ActorClock) {
-        let tail = self.log.vtail.load(Ordering::Acquire);
-        let head = self.log.head.load(Ordering::Acquire);
-        for seq in tail..head {
-            let hdr = self.log.read_header(seq);
-            if hdr.commit == layout::CommitWord::Free || hdr.fd_slot != opened.slot {
-                continue;
-            }
-            let data = self.log.read_data_cached(seq, hdr.len as usize);
+        for (si, seq, hdr) in self.pending_entries_for(|h| h.fd_slot == opened.slot) {
+            let data = self.log.stripes[si].read_data_cached(seq, hdr.len as usize);
             let descs: Vec<_> = match opened.file.radix.get() {
                 Some(radix) => self
                     .pages_of(hdr.file_off, hdr.len as usize)
@@ -100,13 +122,13 @@ impl Shared {
         }
     }
 
-    /// Finishes all zombies whose entries have drained past the tail.
+    /// Finishes all zombies whose entries have drained past every stripe's
+    /// tail.
     pub fn drain_zombies(&self, clock: &ActorClock) {
-        let vtail = self.log.vtail.load(Ordering::Acquire);
         let ready: Vec<Zombie> = {
             let mut z = self.zombies.lock();
             let (done, keep): (Vec<Zombie>, Vec<Zombie>) =
-                z.drain(..).partition(|zb| zb.drain_target <= vtail);
+                z.drain(..).partition(|zb| self.log.drained_to(&zb.drain_targets));
             *z = keep;
             done
         };
@@ -116,29 +138,34 @@ impl Shared {
     }
 
     /// The dirty-miss procedure (paper §II-C): reconstruct a fresh page by
-    /// re-applying, in log order, every pending entry that overlaps it.
-    /// Caller holds the page's atomic lock *and* cleanup lock.
-    fn dirty_miss(&self, file: &Arc<FileState>, page: u64, page_buf: &mut [u8], clock: &ActorClock) {
+    /// re-applying, in *global commit order* across all stripes, every
+    /// pending entry that overlaps it. Caller holds the page's atomic lock
+    /// *and* cleanup lock.
+    fn dirty_miss(
+        &self,
+        file: &Arc<FileState>,
+        page: u64,
+        page_buf: &mut [u8],
+        clock: &ActorClock,
+    ) {
         let ps = self.cfg.page_size as u64;
         let page_start = page * ps;
         let page_end = page_start + ps;
-        let tail = self.log.vtail.load(Ordering::Acquire);
-        let head = self.log.head.load(Ordering::Acquire);
-        for seq in tail..head {
-            let hdr = self.log.read_header(seq);
-            if hdr.commit == layout::CommitWord::Free {
-                continue;
-            }
-            let Some(op) = self.opened_by_slot(hdr.fd_slot) else { continue };
-            if !Arc::ptr_eq(&op.file, file) {
-                continue;
-            }
+        let overlapping = self.pending_entries_for(|hdr| {
             let e_start = hdr.file_off;
             let e_end = e_start + hdr.len as u64;
             if e_end <= page_start || e_start >= page_end {
-                continue;
+                return false;
             }
-            let data = self.log.read_data(seq, hdr.len as usize, clock);
+            match self.opened_by_slot(hdr.fd_slot) {
+                Some(op) => Arc::ptr_eq(&op.file, file),
+                None => false,
+            }
+        });
+        for (si, seq, hdr) in overlapping {
+            let e_start = hdr.file_off;
+            let e_end = e_start + hdr.len as u64;
+            let data = self.log.stripes[si].read_data(seq, hdr.len as usize, clock);
             let s = e_start.max(page_start);
             let e = e_end.min(page_end);
             page_buf[(s - page_start) as usize..(e - page_start) as usize]
@@ -147,9 +174,9 @@ impl Shared {
     }
 
     /// The write path (paper Algorithm 1, generalized to multi-page and
-    /// multi-entry writes): lock pages → append to the NVMM log → commit
-    /// (synchronous durability) → update dirty counters and loaded page
-    /// contents → release.
+    /// multi-entry writes): lock pages → append to the routed log stripe →
+    /// commit (synchronous durability) → update dirty counters, propagation
+    /// queues and loaded page contents → release.
     fn do_pwrite(
         &self,
         opened: &Arc<OpenedFile>,
@@ -166,14 +193,17 @@ impl Shared {
         }
         let es = self.cfg.entry_size;
         let k = data.len().div_ceil(es) as u64;
-        if k > self.log.layout.nb_entries {
+        let file = &opened.file;
+        // Group commits stay contiguous in a single stripe, routed by the
+        // write's first aligned chunk.
+        let stripe = self.log.route(file.dev_ino, off);
+        if k > stripe.capacity() {
             return Err(IoError::InvalidArgument(format!(
-                "write of {} bytes cannot fit the {}-entry log",
+                "write of {} bytes cannot fit a {}-entry log stripe",
                 data.len(),
-                self.log.layout.nb_entries
+                stripe.capacity()
             )));
         }
-        let file = &opened.file;
         let radix = file.radix.get().expect("writable open creates the radix tree");
         let pages = self.pages_of(off, data.len());
         let first_page = pages.start;
@@ -181,13 +211,14 @@ impl Shared {
         let guards: Vec<_> = descs.iter().map(|d| d.lock()).collect();
 
         // Append to the write cache (Algorithm 1 ll.14-27).
-        let first_seq = self.log.alloc(k, clock, &self.stats);
-        let leader_slot = self.log.layout.slot_of(first_seq);
+        let (first_seq, first_gseq) = self.log.alloc(stripe, k, clock, &self.stats);
+        let leader_slot = stripe.slot(first_seq);
         for i in 0..k as usize {
             let chunk = &data[i * es..((i + 1) * es).min(data.len())];
             let member = (i > 0).then_some(leader_slot);
-            self.log.fill_entry(
+            stripe.fill_entry(
                 first_seq + i as u64,
+                first_gseq + i as u64,
                 opened.slot,
                 off + (i * es) as u64,
                 chunk,
@@ -196,16 +227,22 @@ impl Shared {
                 clock,
             );
         }
-        self.log.commit_group(first_seq, k, clock);
+        stripe.commit_group(first_seq, k, clock);
 
         // Read-cache maintenance (Algorithm 1 ll.29-31): one dirty-counter
-        // increment per (entry, page) overlap, and in-place update of loaded
-        // contents.
+        // increment per (entry, page) overlap — plus, on a striped log, one
+        // propagation-queue entry so the cleanup workers replay this page's
+        // writes in commit order — and in-place update of loaded contents.
+        let ordered_handoff = !self.log.single();
         for i in 0..k as usize {
             let e_off = off + (i * es) as u64;
             let e_len = ((i + 1) * es).min(data.len()) - i * es;
             for p in self.pages_of(e_off, e_len) {
-                descs[(p - first_page) as usize].inc_dirty();
+                let desc = &descs[(p - first_page) as usize];
+                desc.inc_dirty();
+                if ordered_handoff {
+                    desc.enqueue_propagation(first_gseq + i as u64);
+                }
             }
         }
         let ps = self.cfg.page_size as u64;
@@ -231,6 +268,9 @@ impl Shared {
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_logged.fetch_add(data.len() as u64, Ordering::Relaxed);
         self.stats.entries_logged.fetch_add(k, Ordering::Relaxed);
+        self.stats.per_shard[stripe.index]
+            .entries_logged
+            .fetch_add(k, Ordering::Relaxed);
         if k > 1 {
             self.stats.groups_logged.fetch_add(1, Ordering::Relaxed);
         }
@@ -332,9 +372,9 @@ impl Shared {
 /// # }
 /// ```
 pub struct NvCache {
-    shared: Arc<Shared>,
+    pub(crate) shared: Arc<Shared>,
     name: String,
-    cleanup: Mutex<Option<JoinHandle<()>>>,
+    cleanup: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for NvCache {
@@ -374,6 +414,20 @@ impl NvCache {
         region.write_u64(layout::OFF_PTAIL, 0, clock);
         region.write_u64(layout::OFF_FD_SLOTS, cfg.fd_slots as u64, clock);
         region.write_u64(layout::OFF_PAGE_SIZE, cfg.page_size as u64, clock);
+        if cfg.log_shards > 1 {
+            // v2 header: the stripe count plus one persistent tail per
+            // stripe.
+            region.write_u64(layout::OFF_LOG_SHARDS, cfg.log_shards as u64, clock);
+            for s in 0..cfg.log_shards as u64 {
+                region.write_u64(layout::OFF_STRIPE_TAILS + 8 * s, 0, clock);
+            }
+        } else {
+            // Single stripe: store the v1 encoding (0). On a fresh region
+            // this writes the bytes already there — byte-for-byte seed
+            // compatibility — while clearing a stale shard count when a
+            // previously striped region is reformatted.
+            region.write_u64(layout::OFF_LOG_SHARDS, 0, clock);
+        }
         region.pwb(0, layout::HEADER_BYTES as usize);
         for slot in 0..cfg.fd_slots {
             let base = lay.fd_slot(slot);
@@ -406,6 +460,8 @@ impl NvCache {
         if region.read_u64(layout::OFF_ENTRY_SIZE) != cfg.entry_size as u64
             || region.read_u64(layout::OFF_NB_ENTRIES) != cfg.nb_entries
             || region.read_u64(layout::OFF_FD_SLOTS) != cfg.fd_slots as u64
+            // 0 is the seed (v1) encoding of a single-stripe log.
+            || region.read_u64(layout::OFF_LOG_SHARDS).max(1) != cfg.log_shards as u64
         {
             return Err(IoError::InvalidArgument(
                 "configuration disagrees with the on-NVMM log geometry".into(),
@@ -413,7 +469,11 @@ impl NvCache {
         }
         let report = crate::recovery::recover(&region, &inner, clock)?;
         let cache = Self::start(region, inner, cfg);
-        cache.shared.stats.recovered_entries.store(report.entries_replayed, Ordering::Relaxed);
+        cache
+            .shared
+            .stats
+            .recovered_entries
+            .store(report.entries_replayed, Ordering::Relaxed);
         Ok((cache, report))
     }
 
@@ -421,6 +481,8 @@ impl NvCache {
         let lay = Layout::for_config(&cfg);
         let mut in_flight = Vec::with_capacity(cfg.fd_slots as usize);
         in_flight.resize_with(cfg.fd_slots as usize, || AtomicU32::new(0));
+        let mut cleanup_clocks = Vec::with_capacity(cfg.log_shards);
+        cleanup_clocks.resize_with(cfg.log_shards, || Arc::new(ActorClock::new()));
         let shared = Arc::new(Shared {
             pool: ReadCache::new(cfg.read_cache_pages),
             log: Log::new(region, lay, 0),
@@ -429,21 +491,25 @@ impl NvCache {
             opened: RwLock::new(HashMap::new()),
             free_slots: Mutex::new((0..cfg.fd_slots).rev().collect()),
             zombies: Mutex::new(Vec::new()),
-            stats: NvCacheStats::default(),
+            stats: NvCacheStats::with_shards(cfg.log_shards),
             stop: AtomicBool::new(false),
             kill: AtomicBool::new(false),
-            cleanup_clock: Arc::new(ActorClock::new()),
+            cleanup_clocks: cleanup_clocks.into_boxed_slice(),
             next_file_id: AtomicU64::new(1),
             in_flight: in_flight.into_boxed_slice(),
             cfg,
         });
         let name = format!("nvcache+{}", shared.inner.name());
-        let worker = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("nvcache-cleanup".into())
-            .spawn(move || crate::cleanup::run_cleanup(worker))
-            .expect("spawn cleanup thread");
-        NvCache { shared, name, cleanup: Mutex::new(Some(handle)) }
+        let handles = (0..shared.cfg.log_shards)
+            .map(|stripe| {
+                let worker = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nvcache-cleanup-{stripe}"))
+                    .spawn(move || crate::cleanup::run_cleanup(worker, stripe))
+                    .expect("spawn cleanup worker")
+            })
+            .collect();
+        NvCache { shared, name, cleanup: Mutex::new(handles) }
     }
 
     /// The configuration in use.
@@ -461,9 +527,15 @@ impl NvCache {
         &self.shared.inner
     }
 
-    /// The cleanup thread's virtual clock.
+    /// The first cleanup worker's virtual clock (the only one on a
+    /// single-stripe log).
     pub fn cleanup_clock(&self) -> &ActorClock {
-        &self.shared.cleanup_clock
+        &self.shared.cleanup_clocks[0]
+    }
+
+    /// The virtual clocks of all cleanup workers, one per log stripe.
+    pub fn cleanup_clocks(&self) -> impl Iterator<Item = &ActorClock> {
+        self.shared.cleanup_clocks.iter().map(Arc::as_ref)
     }
 
     /// Log entries waiting to be propagated.
@@ -480,26 +552,27 @@ impl NvCache {
         )
     }
 
-    /// Blocks until every entry currently in the log has been propagated and
-    /// fsync'ed by the cleanup thread.
+    /// Blocks until every entry currently in any stripe has been propagated
+    /// and fsync'ed by its cleanup worker (the flush barrier drains *all*
+    /// stripes).
     pub fn flush_log(&self, clock: &ActorClock) {
-        let target = self.shared.log.head.load(Ordering::Acquire);
-        self.shared.log.flush_to(target, clock);
+        self.shared.log.flush_all(clock);
     }
 
-    /// Graceful shutdown: drain the log, stop and join the cleanup thread.
+    /// Graceful shutdown: drain every stripe, stop and join the cleanup
+    /// workers.
     pub fn shutdown(&self, clock: &ActorClock) {
         self.flush_log(clock);
         self.abort();
     }
 
-    /// Immediate stop (crash simulation): the cleanup thread exits without
+    /// Immediate stop (crash simulation): the cleanup workers exit without
     /// draining; pending entries stay in NVMM for [`NvCache::recover`].
     pub fn abort(&self) {
         self.shared.kill.store(true, Ordering::Release);
         self.shared.stop.store(true, Ordering::Release);
-        self.shared.log.notify_work();
-        if let Some(h) = self.cleanup.lock().take() {
+        self.shared.log.notify_work_all();
+        for h in self.cleanup.lock().drain(..) {
             let _ = h.join();
         }
     }
@@ -663,7 +736,12 @@ impl FileSystem for NvCache {
                         break;
                     }
                     if self.shared.zombies.lock().is_empty()
-                        && self.shared.opened.read().values().all(|o| !o.closing.load(Ordering::Acquire))
+                        && self
+                            .shared
+                            .opened
+                            .read()
+                            .values()
+                            .all(|o| !o.closing.load(Ordering::Acquire))
                     {
                         break; // genuinely out of descriptors
                     }
@@ -679,7 +757,13 @@ impl FileSystem for NvCache {
                 }
             }
         };
-        PersistentFdTable::set(&self.shared.log.region, &self.shared.log.layout, slot, &path, clock);
+        PersistentFdTable::set(
+            &self.shared.log.region,
+            &self.shared.log.layout,
+            slot,
+            &path,
+            clock,
+        );
         let opened = Arc::new(OpenedFile {
             slot,
             flags,
@@ -709,13 +793,13 @@ impl FileSystem for NvCache {
         self.shared.kernel_flush_file(&opened, clock);
         // The persistent fd slot must outlive the entries that reference it
         // (recovery resolves paths through it); defer the actual teardown to
-        // the cleanup thread if entries are still in flight.
-        let target = self.shared.log.head.load(Ordering::Acquire);
-        if self.shared.log.vtail.load(Ordering::Acquire) >= target {
+        // the cleanup workers if entries are still in flight anywhere.
+        let targets = self.shared.log.heads();
+        if self.shared.log.drained_to(&targets) {
             self.shared.finish_close(&opened, clock);
         } else {
-            self.shared.zombies.lock().push(Zombie { opened, drain_target: target });
-            self.shared.log.notify_work();
+            self.shared.zombies.lock().push(Zombie { opened, drain_targets: targets });
+            self.shared.log.notify_work_all();
         }
         Ok(())
     }

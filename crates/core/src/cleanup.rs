@@ -6,37 +6,59 @@ use simclock::SimTime;
 use crate::cache::Shared;
 use crate::layout::CommitWord;
 
-/// Body of the cleanup thread (paper §III "Cleanup thread and batching").
+/// Body of one cleanup worker (paper §III "Cleanup thread and batching",
+/// one worker per log stripe).
 ///
-/// Consumes committed entries from the tail in batches, propagates each to
-/// the inner file system with `pwrite`, issues one `fsync` per batch (per
-/// touched file), then — and only then — clears the commit flags, persists
-/// the new tail index, and finally publishes the space to writers through
-/// the volatile tail. The three-step order guarantees that when a writer
-/// sees a free slot, the slot is also free in NVMM.
-pub(crate) fn run_cleanup(shared: Arc<Shared>) {
-    let clock = Arc::clone(&shared.cleanup_clock);
+/// Consumes committed entries from its stripe's tail in batches, propagates
+/// each to the inner file system with `pwrite`, issues one `fsync` per batch
+/// (per touched file), then — and only then — clears the commit flags,
+/// persists the stripe's tail index, and finally publishes the space to
+/// writers through the volatile tail. The three-step order guarantees that
+/// when a writer sees a free slot, the slot is also free in NVMM.
+///
+/// With multiple stripes, workers additionally synchronize *per page*
+/// through the descriptors' propagation queues: an entry is only written to
+/// the inner file system once its global sequence number reaches the front
+/// of every touched page's queue. Because global sequences are assigned in
+/// ring order within each stripe, a worker only ever waits for *smaller*
+/// sequence numbers sitting at other stripes' tails — the waits form no
+/// cycle and unrelated pages never serialize.
+pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
+    let clock = Arc::clone(&shared.cleanup_clocks[stripe_idx]);
+    let stripe = &shared.log.stripes[stripe_idx];
+    let ordered_handoff = !shared.log.single();
+    let shard_stats = &shared.stats.per_shard[stripe_idx];
     loop {
         if shared.kill.load(Ordering::Acquire) {
             // Crash simulation: leave everything in the log for recovery.
             return;
         }
         shared.drain_zombies(&clock);
-        let tail = shared.log.vtail.load(Ordering::Acquire);
-        let head = shared.log.head.load(Ordering::Acquire);
+        let tail = stripe.vtail.load(Ordering::Acquire);
+        let head = stripe.head.load(Ordering::Acquire);
         let pending = head - tail;
         let stop = shared.stop.load(Ordering::Acquire);
-        let flush_needed = shared.log.flush_target.load(Ordering::Acquire) > tail;
-        let space_needed = shared.log.space_waiters.load(Ordering::Acquire) > 0;
+        let flush_needed = stripe.flush_target.load(Ordering::Acquire) > tail;
+        let space_needed = stripe.space_waiters.load(Ordering::Acquire) > 0;
+        // A peer worker is blocked in the per-page handoff: the sequence
+        // number it needs may sit in *this* stripe, below the batch
+        // threshold — run regardless of `batch_min` until the pressure
+        // clears.
+        let handoff_pressure =
+            ordered_handoff && shared.log.handoff_waiters.load(Ordering::Acquire) > 0;
 
         let should_run = pending > 0
-            && (pending >= shared.cfg.batch_min as u64 || flush_needed || space_needed || stop);
+            && (pending >= shared.cfg.batch_min as u64
+                || flush_needed
+                || space_needed
+                || handoff_pressure
+                || stop);
         if !should_run {
             if stop && pending == 0 {
                 shared.drain_zombies(&clock);
                 return;
             }
-            shared.log.wait_for_work();
+            stripe.wait_for_work();
             continue;
         }
 
@@ -52,7 +74,7 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>) {
             // Wait for the in-order commit of the entry at the tail (the
             // paper's cleanup thread does exactly this).
             let header = loop {
-                let h = shared.log.read_header(seq);
+                let h = stripe.read_header(seq);
                 if h.commit != CommitWord::Free {
                     break h;
                 }
@@ -71,37 +93,41 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>) {
             }
             // Stay causal in virtual time: a batch cannot start before its
             // entries were committed.
-            let slot = shared.log.layout.slot_of(seq) as usize;
+            let slot = (seq % stripe.capacity()) as usize;
             clock.advance_to(SimTime::from_nanos(
-                shared.log.commit_stamps[slot].load(Ordering::Acquire),
+                stripe.commit_stamps[slot].load(Ordering::Acquire),
             ));
 
             let group_len = match header.commit {
                 CommitWord::Leader => header.group_len.max(1) as u64,
                 // A member at the tail would mean a torn group; the
-                // invariants (groups consumed atomically) forbid it.
+                // invariants (groups consumed atomically, contiguously in
+                // one stripe) forbid it.
                 CommitWord::Member(_) => unreachable!("group member at the tail"),
                 CommitWord::Free => unreachable!("checked above"),
             };
 
             for i in 0..group_len {
-                let e = shared.log.read_header(seq + i);
+                let e = stripe.read_header(seq + i);
                 let opened = shared
                     .opened_by_slot(e.fd_slot)
                     .expect("entry references a closed fd: close must drain first");
                 // Entries at the tail were written recently by the
                 // application; their lines are still in the CPU caches, so
                 // the read is not charged against the NVMM media (which
-                // would otherwise serialize the cleanup thread's far-future
+                // would otherwise serialize the cleanup worker's far-future
                 // timeline against in-flight application flushes).
-                let data = shared.log.read_data_cached(seq + i, e.len as usize);
-                // Lock out the dirty-miss procedure for the affected pages
-                // while the kernel copy is being updated (paper §II-D).
+                let data = stripe.read_data_cached(seq + i, e.len as usize);
                 let pages = shared.pages_of(e.file_off, e.len as usize);
                 let descs: Vec<_> = match opened.file.radix.get() {
                     Some(radix) => pages.map(|p| radix.get_or_create(p)).collect(),
                     None => Vec::new(),
                 };
+                if ordered_handoff && !wait_for_handoff(&shared, stripe, &descs, e.seq) {
+                    return; // killed while waiting
+                }
+                // Lock out the dirty-miss procedure for the affected pages
+                // while the kernel copy is being updated (paper §II-D).
                 let guards: Vec<_> = descs.iter().map(|d| d.lock_cleanup()).collect();
                 shared
                     .inner
@@ -109,12 +135,16 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>) {
                     .expect("inner pwrite during cleanup");
                 for d in &descs {
                     d.dec_dirty();
+                    if ordered_handoff {
+                        d.pop_propagation(e.seq);
+                    }
                 }
                 drop(guards);
                 if !touched_fds.contains(&opened.inner_fd) {
                     touched_fds.push(opened.inner_fd);
                 }
                 shared.stats.entries_propagated.fetch_add(1, Ordering::Relaxed);
+                shard_stats.entries_propagated.fetch_add(1, Ordering::Relaxed);
             }
             consumed += group_len;
         }
@@ -124,16 +154,66 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>) {
         }
 
         // One fsync per batch per touched file: this is the batching knob of
-        // paper Fig. 6.
+        // paper Fig. 6 (each stripe applies the policy independently).
         for fd in touched_fds {
             // The fd may have raced to close after we propagated its last
             // entry; a close error here would mean the drain ordering broke.
             shared.inner.fsync(fd, &clock).expect("inner fsync during cleanup");
             shared.stats.cleanup_fsyncs.fetch_add(1, Ordering::Relaxed);
+            shard_stats.cleanup_fsyncs.fetch_add(1, Ordering::Relaxed);
         }
 
-        shared.log.free_range(tail, consumed, &clock);
+        stripe.free_range(tail, consumed, &clock);
         shared.stats.cleanup_batches.fetch_add(1, Ordering::Relaxed);
+        shard_stats.cleanup_batches.fetch_add(1, Ordering::Relaxed);
         shared.drain_zombies(&clock);
     }
+}
+
+/// Cross-stripe per-page ordering: blocks until `gseq` is the oldest
+/// pending entry for every page in `descs`. Only entries with smaller
+/// global sequence numbers can be ahead, and those sit at (or drain
+/// towards) other stripes' tails; registering as a handoff waiter makes
+/// those stripes run batches even below `batch_min`, so the wait always
+/// terminates. The override distorts the batching policy only while a
+/// waiter exists — which requires page-straddling writes whose entries
+/// split across stripes; entry-aligned workloads (e.g. the Fig. 6 sweep)
+/// never trigger it. Returns `false` if the cache was killed while
+/// waiting.
+fn wait_for_handoff(
+    shared: &Shared,
+    stripe: &crate::log::Stripe,
+    descs: &[Arc<crate::pagedesc::PageDescriptor>],
+    gseq: u64,
+) -> bool {
+    let at_front = |descs: &[Arc<crate::pagedesc::PageDescriptor>]| {
+        descs
+            .iter()
+            .all(|d| matches!(d.propagation_front(), Some(front) if front >= gseq))
+    };
+    if at_front(descs) {
+        return true; // fast path: already at every front
+    }
+    shared.log.handoff_waiters.fetch_add(1, Ordering::AcqRel);
+    shared.log.notify_work_all();
+    let mut spins = 0u32;
+    let survived = loop {
+        if at_front(descs) {
+            break true;
+        }
+        if shared.kill.load(Ordering::Acquire) {
+            break false;
+        }
+        // Brief spin for the common sub-microsecond handoff, then park on
+        // the stripe's work condvar (1 ms timeout, like wait_for_work)
+        // instead of burning a core while a peer finishes its batch.
+        spins += 1;
+        if spins < 128 {
+            std::thread::yield_now();
+        } else {
+            stripe.wait_for_work();
+        }
+    };
+    shared.log.handoff_waiters.fetch_sub(1, Ordering::AcqRel);
+    survived
 }

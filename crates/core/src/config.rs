@@ -34,6 +34,14 @@ pub struct NvCacheConfig {
     pub batch_max: usize,
     /// Concurrent open-file slots in the persistent fd table.
     pub fd_slots: u32,
+    /// Independent log stripes the entry array is split into. `1` (the
+    /// default) reproduces the paper's single circular log byte for byte;
+    /// `N > 1` gives each stripe its own head/tail and cleanup worker,
+    /// removing the single-consumer bottleneck under multi-core writes.
+    /// Writes are routed to a stripe by `(device, inode, offset/entry_size)`
+    /// hash; a global sequence number preserves recoverability (entries from
+    /// all stripes merge-replay in total order).
+    pub log_shards: usize,
     /// User-space bookkeeping cost charged per intercepted call (NVCache
     /// replaces the syscall with this — the design's core bet).
     pub libc_overhead: SimTime,
@@ -54,6 +62,7 @@ impl Default for NvCacheConfig {
             // closed-but-not-yet-drained descriptors (one cleanup batch's
             // worth of closes), or opens start forcing log drains.
             fd_slots: 4096,
+            log_shards: 1,
             libc_overhead: SimTime::from_nanos(1_500),
             copy_bandwidth: Bandwidth::gib_per_sec(8.0),
         }
@@ -94,6 +103,26 @@ impl NvCacheConfig {
         self
     }
 
+    /// Sets the number of log stripes, rounding the log length up to the
+    /// next multiple of `shards` (each stripe needs an equal share of at
+    /// least two entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or exceeds
+    /// [`MAX_LOG_SHARDS`](crate::layout::MAX_LOG_SHARDS).
+    pub fn with_log_shards(mut self, shards: usize) -> Self {
+        assert!(
+            (1..=crate::layout::MAX_LOG_SHARDS).contains(&shards),
+            "log_shards must be in 1..={}",
+            crate::layout::MAX_LOG_SHARDS
+        );
+        self.log_shards = shards;
+        let shards = shards as u64;
+        self.nb_entries = self.nb_entries.max(2 * shards).div_ceil(shards) * shards;
+        self
+    }
+
     /// Sets the cleanup batch window.
     pub fn with_batching(mut self, min: usize, max: usize) -> Self {
         assert!(min >= 1 && max >= min, "invalid batch window {min}..{max}");
@@ -124,11 +153,22 @@ impl NvCacheConfig {
         assert!(self.entry_size > 0, "entry size must be positive");
         assert!(self.nb_entries >= 2, "log needs at least two entries");
         assert!(self.read_cache_pages >= 1, "read cache needs at least one page");
-        assert!(
-            self.batch_min >= 1 && self.batch_max >= self.batch_min,
-            "invalid batch window"
-        );
+        assert!(self.batch_min >= 1 && self.batch_max >= self.batch_min, "invalid batch window");
         assert!(self.fd_slots >= 1, "need at least one fd slot");
+        assert!(
+            (1..=crate::layout::MAX_LOG_SHARDS).contains(&self.log_shards),
+            "log_shards must be in 1..={}",
+            crate::layout::MAX_LOG_SHARDS
+        );
+        assert!(
+            self.nb_entries.is_multiple_of(self.log_shards as u64),
+            "nb_entries must divide evenly into {} stripes",
+            self.log_shards
+        );
+        assert!(
+            self.nb_entries / self.log_shards as u64 >= 2,
+            "each log stripe needs at least two entries"
+        );
     }
 }
 
@@ -168,5 +208,32 @@ mod tests {
     fn bad_page_size_panics() {
         let cfg = NvCacheConfig { page_size: 3000, ..NvCacheConfig::tiny() };
         cfg.validate();
+    }
+
+    #[test]
+    fn default_is_single_shard() {
+        assert_eq!(NvCacheConfig::default().log_shards, 1);
+        assert_eq!(NvCacheConfig::tiny().log_shards, 1);
+    }
+
+    #[test]
+    fn with_log_shards_rounds_the_log_up() {
+        let cfg = NvCacheConfig { nb_entries: 67, ..NvCacheConfig::tiny() }.with_log_shards(8);
+        assert_eq!(cfg.log_shards, 8);
+        assert_eq!(cfg.nb_entries, 72);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn indivisible_shard_split_panics() {
+        let cfg = NvCacheConfig { nb_entries: 65, log_shards: 4, ..NvCacheConfig::tiny() };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "log_shards must be in")]
+    fn zero_shards_panics() {
+        NvCacheConfig::tiny().with_log_shards(0);
     }
 }

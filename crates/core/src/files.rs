@@ -138,10 +138,7 @@ mod tests {
         PersistentFdTable::set(&region, &layout, 0, "/survivor", &c);
         let crashed = region.dimm().crash_and_restart();
         let region2 = NvRegion::whole(Arc::new(crashed));
-        assert_eq!(
-            PersistentFdTable::get(&region2, &layout, 0, &c).as_deref(),
-            Some("/survivor")
-        );
+        assert_eq!(PersistentFdTable::get(&region2, &layout, 0, &c).as_deref(), Some("/survivor"));
     }
 
     #[test]

@@ -12,6 +12,21 @@
 //! +-----------+----------------------+--------------------------------+
 //! ```
 //!
+//! # Header versioning
+//!
+//! The header is versioned implicitly through [`OFF_LOG_SHARDS`]:
+//!
+//! * **v1 (seed format)** — the word at [`OFF_LOG_SHARDS`] is `0` (never
+//!   written). One circular log over the whole entry array, with its single
+//!   persistent tail at [`OFF_PTAIL`]. A region formatted with
+//!   `log_shards = 1` is byte-for-byte identical to the seed format.
+//! * **v2 (striped)** — the word at [`OFF_LOG_SHARDS`] holds `N > 1`. The
+//!   entry array is split into `N` equal contiguous stripes; stripe `s` owns
+//!   entries `[s·(nb_entries/N), (s+1)·(nb_entries/N))` and persists its own
+//!   tail at [`OFF_STRIPE_TAILS`]` + 8·s`. Every entry additionally carries a
+//!   globally monotonic sequence number ([`ENT_SEQ`]) so recovery can
+//!   merge-replay committed entries from all stripes in total order.
+//!
 //! Entry commit words (offset 0 of each entry header) encode the paper's
 //! packed commit-flag/group-index integer:
 //!
@@ -46,6 +61,16 @@ pub const OFF_NB_ENTRIES: u64 = 16;
 pub const OFF_PTAIL: u64 = 24;
 pub const OFF_FD_SLOTS: u64 = 32;
 pub const OFF_PAGE_SIZE: u64 = 40;
+/// Number of log stripes; `0` (the seed format, which never writes this
+/// word) means one.
+pub const OFF_LOG_SHARDS: u64 = 48;
+/// Base of the per-stripe persistent tail array (v2 format only; stripe `s`
+/// persists its tail at `OFF_STRIPE_TAILS + 8 * s`).
+pub const OFF_STRIPE_TAILS: u64 = 64;
+
+/// Upper bound on `log_shards` (the per-stripe tail array must fit in the
+/// 4 KiB header with room to spare).
+pub const MAX_LOG_SHARDS: usize = 64;
 
 // Entry header field offsets (relative to the entry base).
 pub const ENT_COMMIT: u64 = 0;
@@ -58,12 +83,14 @@ pub const ENT_SEQ: u64 = 32;
 /// Resolved byte offsets for one configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Layout {
-    /// Entries in the circular log.
+    /// Entries in the circular log (all stripes together).
     pub nb_entries: u64,
     /// Data bytes per entry.
     pub entry_size: u64,
     /// Persistent fd slots.
     pub fd_slots: u64,
+    /// Log stripes the entry array is split into (1 = seed format).
+    pub log_shards: u64,
 }
 
 impl Layout {
@@ -73,6 +100,7 @@ impl Layout {
             nb_entries: cfg.nb_entries,
             entry_size: cfg.entry_size as u64,
             fd_slots: cfg.fd_slots as u64,
+            log_shards: cfg.log_shards as u64,
         }
     }
 
@@ -115,6 +143,32 @@ impl Layout {
     /// Slot index for a monotonically increasing sequence number.
     pub fn slot_of(&self, seq: u64) -> u64 {
         seq % self.nb_entries
+    }
+
+    /// Entries owned by each stripe.
+    pub fn stripe_entries(&self) -> u64 {
+        self.nb_entries / self.log_shards.max(1)
+    }
+
+    /// Global entry slot of stripe-local sequence number `local_seq` in
+    /// stripe `stripe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe` is out of range.
+    pub fn stripe_slot(&self, stripe: u64, local_seq: u64) -> u64 {
+        assert!(stripe < self.log_shards.max(1), "stripe {stripe} out of range");
+        stripe * self.stripe_entries() + local_seq % self.stripe_entries()
+    }
+
+    /// Header offset of the persistent tail of `stripe` ([`OFF_PTAIL`] for a
+    /// single-stripe log, so the seed format is unchanged).
+    pub fn stripe_tail_off(&self, stripe: u64) -> u64 {
+        if self.log_shards <= 1 {
+            OFF_PTAIL
+        } else {
+            OFF_STRIPE_TAILS + 8 * stripe
+        }
     }
 
     /// Offset of the data area of the entry in `slot`.
@@ -160,7 +214,7 @@ mod tests {
     use super::*;
 
     fn layout() -> Layout {
-        Layout { nb_entries: 8, entry_size: 128, fd_slots: 4 }
+        Layout { nb_entries: 8, entry_size: 128, fd_slots: 4, log_shards: 1 }
     }
 
     #[test]
@@ -197,5 +251,33 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn entry_bounds_checked() {
         layout().entry(8);
+    }
+
+    #[test]
+    fn stripes_partition_the_entry_array() {
+        let l = Layout { log_shards: 4, ..layout() };
+        assert_eq!(l.stripe_entries(), 2);
+        // Stripe s owns the contiguous slots [2s, 2s+2), local seqs wrap
+        // within the stripe's own window.
+        assert_eq!(l.stripe_slot(0, 0), 0);
+        assert_eq!(l.stripe_slot(0, 3), 1);
+        assert_eq!(l.stripe_slot(3, 0), 6);
+        assert_eq!(l.stripe_slot(3, 5), 7);
+        // Per-stripe tails live in the v2 header array...
+        assert_eq!(l.stripe_tail_off(0), OFF_STRIPE_TAILS);
+        assert_eq!(l.stripe_tail_off(3), OFF_STRIPE_TAILS + 24);
+        // ...while a single-stripe log keeps the seed's tail word.
+        assert_eq!(layout().stripe_tail_off(0), OFF_PTAIL);
+    }
+
+    #[test]
+    fn stripe_tail_array_fits_the_header() {
+        assert!(OFF_STRIPE_TAILS + 8 * MAX_LOG_SHARDS as u64 <= HEADER_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn stripe_bounds_checked() {
+        Layout { log_shards: 2, ..layout() }.stripe_slot(2, 0);
     }
 }

@@ -16,7 +16,7 @@
 //!   Table II page state machine ([`Radix`], [`PageState`]);
 //! * the **two-lock-per-page concurrency scheme** (atomic lock + cleanup
 //!   lock + dirty counter, §II-D);
-//! * the **cleanup thread** with write batching (§III);
+//! * the **cleanup workers** with write batching (§III);
 //! * the **recovery procedure** replaying committed entries after a crash;
 //! * the **interception semantics** of Table III (`fsync` no-ops, NVCache's
 //!   own cursors/sizes) via the [`vfs::FileSystem`] trait plus cursor-based
@@ -25,6 +25,48 @@
 //! Hardware primitives (`pwb`/`pfence`/`psync`) come from the [`nvmm`]
 //! simulator, which also provides crash injection so the durability claims
 //! are *tested*, not assumed.
+//!
+//! ## The striped log
+//!
+//! The paper funnels every write through one circular log drained by one
+//! cleanup thread — a single-consumer bottleneck under multi-core write
+//! pressure. [`NvCacheConfig::log_shards`] splits the log into `N`
+//! independent **stripes**, each with its own persistent tail, head/tail
+//! atomics, commit/free time stamps, condition variables, flush barrier and
+//! cleanup worker. `log_shards = 1` (the default) keeps the persistent
+//! image and observable behavior byte-for-byte seed-compatible.
+//!
+//! The invariants that make striping safe:
+//!
+//! 1. **Routing** — a write is routed to a stripe by hashing
+//!    `(device, inode, file_off / entry_size)`; group commits (multi-entry
+//!    writes) stay contiguous in a single stripe, so the cleanup worker
+//!    never sees a torn group and recovery can treat groups atomically.
+//! 2. **Global sequence** — every entry is stamped with a globally
+//!    monotonic sequence number, assigned *under the owning stripe's
+//!    allocation lock* so ring order equals global order within each
+//!    stripe. Overlapping writes serialize on their page locks before
+//!    allocating, so per-page global order equals acknowledgement order.
+//! 3. **Ordered propagation handoff** — entries touching the same page may
+//!    live in different stripes; each [`PageDescriptor`] carries a queue of
+//!    pending global sequence numbers, and a cleanup worker propagates an
+//!    entry only once it heads the queue of every page it touches. A worker
+//!    therefore only waits for *smaller* sequence numbers sitting at other
+//!    stripes' tails — no cycles, no cross-stripe serialization of
+//!    unrelated pages.
+//! 4. **Merge-replay recovery** — each stripe is scanned from its own
+//!    persistent tail (a sorted run, by invariant 2) and the committed
+//!    groups are replayed in one k-way merge by global sequence number:
+//!    exactly the committed prefix, in exactly the acknowledged order.
+//! 5. **Flush fan-out** — `flush`/`close`/`shutdown` barriers drain *all*
+//!    stripes; close keeps its persistent fd slot alive until every
+//!    stripe's tail passes the per-stripe drain target snapshotted at close
+//!    time.
+//!
+//! Back-pressure (the Fig. 5 saturation collapse) is preserved per stripe:
+//! each stripe couples its writers to its own cleanup worker's virtual
+//! `tail_time`/`free_stamps`, and [`NvCacheStats::per_shard`] exposes the
+//! per-stripe saturation and propagation counters.
 //!
 //! ## Quick start
 //!
@@ -71,4 +113,4 @@ pub use config::NvCacheConfig;
 pub use pagedesc::{PageDescriptor, PageSlot, PageState};
 pub use radix::Radix;
 pub use recovery::RecoveryReport;
-pub use stats::{NvCacheStats, NvCacheStatsSnapshot};
+pub use stats::{NvCacheStats, NvCacheStatsSnapshot, ShardStats, ShardStatsSnapshot};

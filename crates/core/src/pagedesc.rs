@@ -1,3 +1,4 @@
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 
 use parking_lot::{Mutex, MutexGuard};
@@ -35,6 +36,13 @@ pub struct PageSlot {
 /// transiently negative when the cleanup thread's decrement overtakes a
 /// writer's increment (paper footnote 4) — readers can never observe the
 /// unstable value because the dirty-miss procedure requires both locks.
+///
+/// With a striped log the descriptor additionally carries the **propagation
+/// queue**: the global sequence numbers of pending log entries touching this
+/// page, in commit order (writers enqueue under the atomic lock). A cleanup
+/// worker may only propagate an entry once it reaches the queue front, which
+/// restores cross-stripe per-page write ordering at the inner file system
+/// without serializing unrelated pages. Single-stripe logs never touch it.
 #[derive(Debug)]
 pub struct PageDescriptor {
     file_id: u64,
@@ -43,6 +51,7 @@ pub struct PageDescriptor {
     cleanup_lock: Mutex<()>,
     dirty_counter: AtomicI64,
     accessed: AtomicBool,
+    prop_queue: Mutex<VecDeque<u64>>,
 }
 
 impl PageDescriptor {
@@ -60,6 +69,7 @@ impl PageDescriptor {
             cleanup_lock: Mutex::new(()),
             dirty_counter: AtomicI64::new(0),
             accessed: AtomicBool::new(false),
+            prop_queue: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -102,6 +112,33 @@ impl PageDescriptor {
     /// Current dirty count (may be transiently negative, see type docs).
     pub fn dirty_count(&self) -> i64 {
         self.dirty_counter.load(Ordering::Acquire)
+    }
+
+    /// Appends a pending entry's global sequence number to the propagation
+    /// queue (writer path, under the atomic lock — which makes the queue
+    /// order the commit order for this page).
+    pub fn enqueue_propagation(&self, gseq: u64) {
+        let mut q = self.prop_queue.lock();
+        debug_assert!(q.back().is_none_or(|&last| last < gseq), "queue must stay sorted");
+        q.push_back(gseq);
+    }
+
+    /// The oldest pending entry for this page, if any (cleanup handoff).
+    pub fn propagation_front(&self) -> Option<u64> {
+        self.prop_queue.lock().front().copied()
+    }
+
+    /// Removes `gseq` from the queue front once the entry has been
+    /// propagated (cleanup path, under the cleanup lock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gseq` is not at the front — the ordered-handoff invariant
+    /// was broken.
+    pub fn pop_propagation(&self, gseq: u64) {
+        let mut q = self.prop_queue.lock();
+        let front = q.pop_front();
+        assert_eq!(front, Some(gseq), "out-of-order propagation pop");
     }
 
     /// Marks the page as recently accessed (second-chance LRU bit).
@@ -194,5 +231,27 @@ mod tests {
         assert!(d.try_lock().is_none());
         drop(g);
         assert!(d.try_lock().is_some());
+    }
+
+    #[test]
+    fn propagation_queue_is_fifo() {
+        let d = PageDescriptor::new(0);
+        assert_eq!(d.propagation_front(), None);
+        d.enqueue_propagation(3);
+        d.enqueue_propagation(9);
+        assert_eq!(d.propagation_front(), Some(3));
+        d.pop_propagation(3);
+        assert_eq!(d.propagation_front(), Some(9));
+        d.pop_propagation(9);
+        assert_eq!(d.propagation_front(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order propagation pop")]
+    fn out_of_order_pop_is_detected() {
+        let d = PageDescriptor::new(0);
+        d.enqueue_propagation(1);
+        d.enqueue_propagation(2);
+        d.pop_propagation(2);
     }
 }

@@ -185,7 +185,9 @@ mod tests {
         for _ in 0..8 {
             let r = Arc::clone(&r);
             handles.push(std::thread::spawn(move || {
-                (0..512u64).map(|p| Arc::as_ptr(&r.get_or_create(p)) as usize).collect::<Vec<_>>()
+                (0..512u64)
+                    .map(|p| Arc::as_ptr(&r.get_or_create(p)) as usize)
+                    .collect::<Vec<_>>()
             }));
         }
         let results: Vec<Vec<usize>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

@@ -98,12 +98,7 @@ impl ReadCache {
     /// # Panics
     ///
     /// Panics if the page is already loaded.
-    pub fn install(
-        &self,
-        desc: &Arc<PageDescriptor>,
-        slot: &mut PageSlot,
-        content: Box<[u8]>,
-    ) {
+    pub fn install(&self, desc: &Arc<PageDescriptor>, slot: &mut PageSlot, content: Box<[u8]>) {
         assert!(slot.content.is_none(), "page already loaded");
         slot.content = Some(content);
         desc.mark_accessed();

@@ -23,10 +23,28 @@ pub struct RecoveryReport {
     pub bytes_replayed: u64,
 }
 
+/// A committed group found by the scan phase: `stripe`'s ring position
+/// `first_slot..first_slot+len` (global entry slots, contiguous), ordered
+/// globally by the leader's stamped sequence number.
+#[derive(Debug, Clone, Copy)]
+struct CommittedGroup {
+    gseq: u64,
+    first_slot: u64,
+    len: u64,
+}
+
 /// The recovery procedure (paper §III "Recovery procedure"): reopen the
 /// files recorded in the NVMM fd table, replay every committed entry from
-/// the persistent tail in log order (skipping torn entries, honouring group
-/// commit flags), `sync`, close the files, and empty the log.
+/// the persistent tail(s) in *global commit order* (skipping torn entries,
+/// honouring group commit flags), `sync`, close the files, and empty the
+/// log.
+///
+/// On a single-stripe log (the seed format) the replay is the seed's
+/// in-ring-order scan from [`layout::OFF_PTAIL`]. On a striped log each
+/// stripe is scanned from its own persistent tail; within a stripe, ring
+/// order equals global-sequence order (an allocation invariant), so the
+/// per-stripe scans yield sorted runs that a k-way merge by stamped sequence
+/// number turns into the exact global commit order.
 ///
 /// Idempotent: crashing *during* recovery and running it again converges to
 /// the same state, because replay only overwrites with logged data and the
@@ -41,15 +59,15 @@ pub(crate) fn recover(
     region.read(0, &mut header, clock);
     let magic = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
     if magic != layout::MAGIC {
-        return Err(IoError::InvalidArgument(
-            "NVMM region is not a formatted NVCache log".into(),
-        ));
+        return Err(IoError::InvalidArgument("NVMM region is not a formatted NVCache log".into()));
     }
     let entry_size = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
     let nb_entries = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
     let ptail = u64::from_le_bytes(header[24..32].try_into().expect("8 bytes"));
     let fd_slots = u64::from_le_bytes(header[32..40].try_into().expect("8 bytes"));
-    let lay = Layout { nb_entries, entry_size, fd_slots };
+    // 0 = v1 (seed) header that never wrote the shard word.
+    let log_shards = u64::from_le_bytes(header[48..56].try_into().expect("8 bytes")).max(1);
+    let lay = Layout { nb_entries, entry_size, fd_slots, log_shards };
 
     // Reopen the files referenced by the fd table.
     let mut fds: HashMap<u32, vfs::Fd> = HashMap::new();
@@ -72,55 +90,81 @@ pub(crate) fn recover(
         }
     }
 
-    // Replay committed entries in ring order starting at the persistent tail.
-    let mut i = 0u64;
-    while i < nb_entries {
-        let seq = ptail + i;
-        let slot = lay.slot_of(seq);
-        let base = lay.entry(slot);
-        let mut ehdr = [0u8; 40];
-        region.read(base, &mut ehdr, clock);
-        let commit = layout::parse_commit_word(u64::from_le_bytes(
-            ehdr[0..8].try_into().expect("8 bytes"),
-        ));
-        match commit {
-            CommitWord::Free => {
-                i += 1;
-            }
-            CommitWord::Member(_) => {
-                // An orphan member: its leader never committed (or was freed
-                // with the group); skip.
-                report.entries_skipped += 1;
-                i += 1;
-            }
-            CommitWord::Leader => {
-                let group_len = u32::from_le_bytes(ehdr[24..28].try_into().expect("4 bytes"))
-                    .max(1) as u64;
-                let group_len = group_len.min(nb_entries - i);
-                for g in 0..group_len {
-                    let gslot = lay.slot_of(seq + g);
-                    let gbase = lay.entry(gslot);
-                    let mut gh = [0u8; 40];
-                    region.read(gbase, &mut gh, clock);
-                    let fd_slot = u32::from_le_bytes(gh[8..12].try_into().expect("4 bytes"));
-                    let len = u32::from_le_bytes(gh[12..16].try_into().expect("4 bytes"));
-                    let file_off =
-                        u64::from_le_bytes(gh[16..24].try_into().expect("8 bytes"));
-                    let Some(&fd) = fds.get(&fd_slot) else {
-                        // Entry for a slot missing from the fd table: can only
-                        // happen if the slot was cleared, which requires a
-                        // prior full drain — the entry is already on disk.
-                        report.entries_skipped += 1;
-                        continue;
-                    };
-                    let mut data = vec![0u8; len as usize];
-                    region.read(lay.entry_data(gslot), &mut data, clock);
-                    inner.pwrite(fd, &data, file_off, clock)?;
-                    report.entries_replayed += 1;
-                    report.bytes_replayed += len as u64;
+    // Scan phase: collect committed groups per stripe, in ring order from
+    // each stripe's persistent tail. On the seed format this is one scan
+    // starting at OFF_PTAIL.
+    let mut groups: Vec<CommittedGroup> = Vec::new();
+    let per_stripe = lay.stripe_entries();
+    for stripe in 0..log_shards {
+        let stripe_tail = if log_shards == 1 {
+            ptail
+        } else {
+            let mut t = [0u8; 8];
+            region.read(lay.stripe_tail_off(stripe), &mut t, clock);
+            u64::from_le_bytes(t)
+        };
+        let mut i = 0u64;
+        while i < per_stripe {
+            let slot = lay.stripe_slot(stripe, stripe_tail + i);
+            let base = lay.entry(slot);
+            let mut ehdr = [0u8; 40];
+            region.read(base, &mut ehdr, clock);
+            let commit = layout::parse_commit_word(u64::from_le_bytes(
+                ehdr[0..8].try_into().expect("8 bytes"),
+            ));
+            match commit {
+                CommitWord::Free => {
+                    i += 1;
                 }
-                i += group_len;
+                CommitWord::Member(_) => {
+                    // An orphan member: its leader never committed (or was
+                    // freed with the group); skip.
+                    report.entries_skipped += 1;
+                    i += 1;
+                }
+                CommitWord::Leader => {
+                    let group_len =
+                        u32::from_le_bytes(ehdr[24..28].try_into().expect("4 bytes")).max(1) as u64;
+                    let group_len = group_len.min(per_stripe - i);
+                    let gseq = u64::from_le_bytes(ehdr[32..40].try_into().expect("8 bytes"));
+                    groups.push(CommittedGroup { gseq, first_slot: slot, len: group_len });
+                    i += group_len;
+                }
             }
+        }
+    }
+    // Merge phase: total order by global sequence number. Each stripe's scan
+    // produced an already-sorted run, so this is the k-way merge collapsed
+    // into one sort of the (few) committed groups.
+    groups.sort_by_key(|g| g.gseq);
+
+    // Replay phase, in global commit order.
+    for group in &groups {
+        for g in 0..group.len {
+            // Group slots are contiguous in the owning stripe's window and
+            // never wrap past it mid-group (allocation keeps groups whole),
+            // but the modulo keeps the scan honest at the window edge.
+            let stripe = group.first_slot / per_stripe;
+            let within = (group.first_slot % per_stripe + g) % per_stripe;
+            let gslot = stripe * per_stripe + within;
+            let gbase = lay.entry(gslot);
+            let mut gh = [0u8; 40];
+            region.read(gbase, &mut gh, clock);
+            let fd_slot = u32::from_le_bytes(gh[8..12].try_into().expect("4 bytes"));
+            let len = u32::from_le_bytes(gh[12..16].try_into().expect("4 bytes"));
+            let file_off = u64::from_le_bytes(gh[16..24].try_into().expect("8 bytes"));
+            let Some(&fd) = fds.get(&fd_slot) else {
+                // Entry for a slot missing from the fd table: can only
+                // happen if the slot was cleared, which requires a prior
+                // full drain — the entry is already on disk.
+                report.entries_skipped += 1;
+                continue;
+            };
+            let mut data = vec![0u8; len as usize];
+            region.read(lay.entry_data(gslot), &mut data, clock);
+            inner.pwrite(fd, &data, file_off, clock)?;
+            report.entries_replayed += 1;
+            report.bytes_replayed += len as u64;
         }
     }
 
@@ -133,6 +177,12 @@ pub(crate) fn recover(
     }
     region.write_u64(layout::OFF_PTAIL, 0, clock);
     region.pwb(layout::OFF_PTAIL, 8);
+    if log_shards > 1 {
+        for stripe in 0..log_shards {
+            region.write_u64(lay.stripe_tail_off(stripe), 0, clock);
+            region.pwb(lay.stripe_tail_off(stripe), 8);
+        }
+    }
     region.pfence(clock);
     // Close and clear the fd table.
     for (slot, fd) in fds {

@@ -1,7 +1,49 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Operation counters of an [`NvCache`](crate::NvCache) instance.
+/// Per-stripe operation counters of a sharded log.
 #[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Log entries created in this stripe.
+    pub entries_logged: AtomicU64,
+    /// Entries propagated by this stripe's cleanup worker.
+    pub entries_propagated: AtomicU64,
+    /// Cleanup batches completed by this stripe's worker.
+    pub cleanup_batches: AtomicU64,
+    /// `fsync` calls issued by this stripe's worker.
+    pub cleanup_fsyncs: AtomicU64,
+    /// Times a writer had to wait for space in this stripe.
+    pub log_full_waits: AtomicU64,
+}
+
+impl ShardStats {
+    fn snapshot(&self) -> ShardStatsSnapshot {
+        ShardStatsSnapshot {
+            entries_logged: self.entries_logged.load(Ordering::Relaxed),
+            entries_propagated: self.entries_propagated.load(Ordering::Relaxed),
+            cleanup_batches: self.cleanup_batches.load(Ordering::Relaxed),
+            cleanup_fsyncs: self.cleanup_fsyncs.load(Ordering::Relaxed),
+            log_full_waits: self.log_full_waits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`ShardStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStatsSnapshot {
+    /// Log entries created in this stripe.
+    pub entries_logged: u64,
+    /// Entries propagated by this stripe's cleanup worker.
+    pub entries_propagated: u64,
+    /// Cleanup batches completed by this stripe's worker.
+    pub cleanup_batches: u64,
+    /// `fsync` calls issued by this stripe's worker.
+    pub cleanup_fsyncs: u64,
+    /// Times a writer had to wait for space in this stripe.
+    pub log_full_waits: u64,
+}
+
+/// Operation counters of an [`NvCache`](crate::NvCache) instance.
+#[derive(Debug)]
 pub struct NvCacheStats {
     /// Intercepted write calls.
     pub writes: AtomicU64,
@@ -29,13 +71,40 @@ pub struct NvCacheStats {
     pub cleanup_batches: AtomicU64,
     /// Entries propagated to the inner file system.
     pub entries_propagated: AtomicU64,
-    /// `fsync` calls issued by the cleanup thread.
+    /// `fsync` calls issued by the cleanup workers.
     pub cleanup_fsyncs: AtomicU64,
     /// Entries replayed by recovery.
     pub recovered_entries: AtomicU64,
+    /// Per-stripe breakdown of the log counters (one entry per
+    /// [`log_shards`](crate::NvCacheConfig::log_shards)).
+    pub per_shard: Box<[ShardStats]>,
 }
 
 impl NvCacheStats {
+    /// Counters for a log with `shards` stripes.
+    pub fn with_shards(shards: usize) -> NvCacheStats {
+        let mut per_shard = Vec::with_capacity(shards.max(1));
+        per_shard.resize_with(shards.max(1), ShardStats::default);
+        NvCacheStats {
+            writes: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            bytes_logged: AtomicU64::new(0),
+            entries_logged: AtomicU64::new(0),
+            groups_logged: AtomicU64::new(0),
+            read_hits: AtomicU64::new(0),
+            read_misses: AtomicU64::new(0),
+            dirty_misses: AtomicU64::new(0),
+            bypass_reads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            log_full_waits: AtomicU64::new(0),
+            cleanup_batches: AtomicU64::new(0),
+            entries_propagated: AtomicU64::new(0),
+            cleanup_fsyncs: AtomicU64::new(0),
+            recovered_entries: AtomicU64::new(0),
+            per_shard: per_shard.into_boxed_slice(),
+        }
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> NvCacheStatsSnapshot {
         NvCacheStatsSnapshot {
@@ -54,12 +123,19 @@ impl NvCacheStats {
             entries_propagated: self.entries_propagated.load(Ordering::Relaxed),
             cleanup_fsyncs: self.cleanup_fsyncs.load(Ordering::Relaxed),
             recovered_entries: self.recovered_entries.load(Ordering::Relaxed),
+            per_shard: self.per_shard.iter().map(ShardStats::snapshot).collect(),
         }
     }
 }
 
+impl Default for NvCacheStats {
+    fn default() -> Self {
+        NvCacheStats::with_shards(1)
+    }
+}
+
 /// Plain-value snapshot of [`NvCacheStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NvCacheStatsSnapshot {
     /// Intercepted write calls.
     pub writes: u64,
@@ -91,6 +167,8 @@ pub struct NvCacheStatsSnapshot {
     pub cleanup_fsyncs: u64,
     /// Entries replayed by recovery.
     pub recovered_entries: u64,
+    /// Per-stripe breakdown of the log counters.
+    pub per_shard: Vec<ShardStatsSnapshot>,
 }
 
 #[cfg(test)]
@@ -106,5 +184,22 @@ mod tests {
         assert_eq!(snap.writes, 3);
         assert_eq!(snap.dirty_misses, 1);
         assert_eq!(snap.reads, 0);
+    }
+
+    #[test]
+    fn per_shard_counters_snapshot_independently() {
+        let s = NvCacheStats::with_shards(3);
+        assert_eq!(s.per_shard.len(), 3);
+        s.per_shard[1].entries_propagated.store(7, Ordering::Relaxed);
+        s.per_shard[2].log_full_waits.store(2, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.per_shard[0], ShardStatsSnapshot::default());
+        assert_eq!(snap.per_shard[1].entries_propagated, 7);
+        assert_eq!(snap.per_shard[2].log_full_waits, 2);
+    }
+
+    #[test]
+    fn default_has_one_shard() {
+        assert_eq!(NvCacheStats::default().per_shard.len(), 1);
     }
 }

@@ -73,7 +73,8 @@ fn fsync_is_a_noop_and_cheap() {
 
 #[test]
 fn nvcache_size_is_authoritative_before_propagation() {
-    let (c, _d, inner, cache) = setup(NvCacheConfig::default().with_log_entries(64).with_batching(64, 64));
+    let (c, _d, inner, cache) =
+        setup(NvCacheConfig::default().with_log_entries(64).with_batching(64, 64));
     // With batch_min = 64 nothing propagates for small counts.
     let fd = cache.open("/grow", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
     cache.pwrite(fd, &[9u8; 100], 4000, &c).unwrap();
@@ -208,8 +209,7 @@ fn torn_write_is_discarded_by_recovery() {
     let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
     let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
     let region = NvRegion::whole(Arc::clone(&dimm));
-    let cache =
-        NvCache::format(region.clone(), Arc::clone(&inner), cfg.clone(), &clock).unwrap();
+    let cache = NvCache::format(region.clone(), Arc::clone(&inner), cfg.clone(), &clock).unwrap();
     let fd = cache.open("/torn", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
     cache.pwrite(fd, b"committed", 0, &clock).unwrap();
     cache.abort();
@@ -240,11 +240,7 @@ fn torn_write_is_discarded_by_recovery() {
 
 #[test]
 fn concurrent_writers_to_disjoint_pages_are_all_durable() {
-    let cfg = NvCacheConfig {
-        nb_entries: 4096,
-        read_cache_pages: 512,
-        ..NvCacheConfig::tiny()
-    };
+    let cfg = NvCacheConfig { nb_entries: 4096, read_cache_pages: 512, ..NvCacheConfig::tiny() };
     let (c, _d, _i, cache) = setup(cfg);
     let cache = Arc::new(cache);
     let fd = cache.open("/mt", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
@@ -255,9 +251,7 @@ fn concurrent_writers_to_disjoint_pages_are_all_durable() {
             let clock = ActorClock::new();
             for i in 0..64u64 {
                 let page = t * 64 + i;
-                cache
-                    .pwrite(fd, &[(t + 1) as u8; 4096], page * 4096, &clock)
-                    .unwrap();
+                cache.pwrite(fd, &[(t + 1) as u8; 4096], page * 4096, &clock).unwrap();
             }
         }));
     }
@@ -319,12 +313,7 @@ fn concurrent_same_page_writes_are_atomic() {
 #[test]
 fn log_saturation_throttles_writers_to_inner_speed() {
     // A tiny log: the writer must wait for the cleanup thread (Fig. 5).
-    let cfg = NvCacheConfig {
-        nb_entries: 8,
-        batch_min: 1,
-        batch_max: 4,
-        ..NvCacheConfig::tiny()
-    };
+    let cfg = NvCacheConfig { nb_entries: 8, batch_min: 1, batch_max: 4, ..NvCacheConfig::tiny() };
     let (c, _d, _i, cache) = setup(cfg);
     let fd = cache.open("/sat", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
     for i in 0..256u64 {
@@ -435,8 +424,7 @@ fn write_latency_is_single_digit_microseconds() {
     let clock = ActorClock::new();
     let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
     let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
-    let cache =
-        NvCache::format(NvRegion::whole(dimm), inner, cfg, &clock).unwrap();
+    let cache = NvCache::format(NvRegion::whole(dimm), inner, cfg, &clock).unwrap();
     let fd = cache.open("/lat", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
     cache.pwrite(fd, &[0u8; 4096], 0, &clock).unwrap(); // warm-up (radix alloc)
     let before = clock.now();
@@ -494,6 +482,273 @@ fn recovery_is_idempotent() {
     second.pread(fd2, &mut buf, 0, &clock).unwrap();
     assert_eq!(&buf, b"once");
     second.shutdown(&clock);
+}
+
+#[test]
+fn single_shard_format_keeps_the_seed_header() {
+    // With log_shards = 1 the v2 code path must not touch the v2 header
+    // words: the persistent image stays byte-for-byte seed-compatible.
+    use crate::layout::{OFF_LOG_SHARDS, OFF_STRIPE_TAILS};
+    use nvmm::PmemInts;
+    let (c, _d, _i, cache) = setup(NvCacheConfig::tiny());
+    let fd = cache.open("/seed", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    cache.pwrite(fd, b"seed-compatible", 0, &c).unwrap();
+    cache.flush_log(&c);
+    let region = &cache.shared.log.region;
+    assert_eq!(region.read_u64(OFF_LOG_SHARDS), 0, "v1 headers never write the shard word");
+    assert_eq!(region.read_u64(OFF_STRIPE_TAILS), 0);
+    cache.shutdown(&c);
+}
+
+fn sharded_cfg(shards: usize) -> NvCacheConfig {
+    NvCacheConfig { nb_entries: 256, fd_slots: 8, ..NvCacheConfig::tiny() }.with_log_shards(shards)
+}
+
+#[test]
+fn sharded_log_round_trips_and_propagates() {
+    let (c, _d, inner, cache) = setup(sharded_cfg(4));
+    let fd = cache.open("/sharded", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    // Touch many distinct chunks so several stripes see traffic.
+    for p in 0..32u64 {
+        cache.pwrite(fd, &[p as u8 + 1; 4096], p * 4096, &c).unwrap();
+    }
+    for p in 0..32u64 {
+        let mut buf = [0u8; 4096];
+        cache.pread(fd, &mut buf, p * 4096, &c).unwrap();
+        assert_eq!(buf[0], p as u8 + 1, "read-your-writes on page {p}");
+    }
+    cache.flush_log(&c);
+    assert_eq!(cache.pending_entries(), 0);
+    let snap = cache.stats().snapshot();
+    assert_eq!(snap.per_shard.len(), 4);
+    let used: usize = snap.per_shard.iter().filter(|s| s.entries_logged > 0).count();
+    assert!(used > 1, "hash routing must spread writes over stripes: {:?}", snap.per_shard);
+    assert_eq!(
+        snap.per_shard.iter().map(|s| s.entries_propagated).sum::<u64>(),
+        snap.entries_propagated,
+        "per-shard propagation counters must add up"
+    );
+    // Everything reached the inner file system.
+    let ifd = inner.open("/sharded", OpenFlags::RDONLY, &c).unwrap();
+    for p in 0..32u64 {
+        let mut buf = [0u8; 4096];
+        inner.pread(ifd, &mut buf, p * 4096, &c).unwrap();
+        assert_eq!(buf[0], p as u8 + 1, "inner content of page {p}");
+    }
+    cache.shutdown(&c);
+}
+
+#[test]
+fn sharded_crash_recovery_merges_stripes_in_commit_order() {
+    // Overlapping writes land in different stripes (different starting
+    // chunks); recovery must replay them by global sequence, not stripe
+    // order, to reproduce exactly the acknowledged final state.
+    let cfg = NvCacheConfig {
+        batch_min: 1_000_000, // keep everything in the log
+        batch_max: 1_000_000,
+        ..sharded_cfg(4)
+    };
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+    let cache = NvCache::format(
+        NvRegion::whole(Arc::clone(&dimm)),
+        Arc::clone(&inner),
+        cfg.clone(),
+        &clock,
+    )
+    .unwrap();
+    let fd = cache.open("/merge", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    // A 2-page write starting at chunk 0, then single-page overwrites of
+    // both halves starting at chunks 0 and 1 — three different routes, one
+    // byte range.
+    cache.pwrite(fd, &[0xAA; 8192], 0, &clock).unwrap();
+    cache.pwrite(fd, &[0xBB; 4096], 0, &clock).unwrap();
+    cache.pwrite(fd, &[0xCC; 4096], 4096, &clock).unwrap();
+    cache.pwrite(fd, &[0xDD; 100], 2000, &clock).unwrap();
+    cache.abort();
+    drop(cache);
+    let crashed = Arc::new(dimm.crash_and_restart());
+    let (recovered, report) =
+        NvCache::recover(NvRegion::whole(crashed), Arc::clone(&inner), cfg, &clock).unwrap();
+    assert_eq!(report.entries_replayed, 5, "2 + 1 + 1 + 1 entries");
+    let fd2 = recovered.open("/merge", OpenFlags::RDONLY, &clock).unwrap();
+    let mut buf = vec![0u8; 8192];
+    recovered.pread(fd2, &mut buf, 0, &clock).unwrap();
+    let mut expect = vec![0xAA; 8192];
+    expect[..4096].fill(0xBB);
+    expect[4096..].fill(0xCC);
+    expect[2000..2100].fill(0xDD);
+    assert_eq!(buf, expect, "merge-replay must honour global commit order");
+    recovered.shutdown(&clock);
+}
+
+#[test]
+fn sharded_recovery_requires_matching_shard_count() {
+    let cfg = sharded_cfg(4);
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+    let cache = NvCache::format(
+        NvRegion::whole(Arc::clone(&dimm)),
+        Arc::clone(&inner),
+        cfg.clone(),
+        &clock,
+    )
+    .unwrap();
+    cache.abort();
+    drop(cache);
+    let crashed = Arc::new(dimm.crash_and_restart());
+    let wrong = NvCacheConfig { log_shards: 2, ..cfg };
+    let res = NvCache::recover(NvRegion::whole(crashed), inner, wrong, &clock);
+    assert!(matches!(res, Err(IoError::InvalidArgument(_))));
+}
+
+#[test]
+fn concurrent_writers_spread_over_stripes_stay_durable() {
+    let cfg = NvCacheConfig { nb_entries: 4096, read_cache_pages: 512, ..NvCacheConfig::tiny() }
+        .with_log_shards(8);
+    let (c, _d, inner, cache) = setup(cfg);
+    let cache = Arc::new(cache);
+    let fd = cache.open("/mt-shard", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let cache = Arc::clone(&cache);
+        handles.push(std::thread::spawn(move || {
+            let clock = ActorClock::new();
+            for i in 0..64u64 {
+                let page = t * 64 + i;
+                cache.pwrite(fd, &[(t + 1) as u8; 4096], page * 4096, &clock).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    cache.flush_log(&c);
+    let ifd = inner.open("/mt-shard", OpenFlags::RDONLY, &c).unwrap();
+    for t in 0..4u64 {
+        for i in 0..64u64 {
+            let page = t * 64 + i;
+            let mut buf = [0u8; 4096];
+            inner.pread(ifd, &mut buf, page * 4096, &c).unwrap();
+            assert_eq!(buf[0], (t + 1) as u8, "inner page {page}");
+        }
+    }
+    cache.shutdown(&c);
+}
+
+#[test]
+fn cross_stripe_same_page_propagation_keeps_commit_order() {
+    // Writers hammer a handful of byte ranges that straddle page borders,
+    // so entries for one page land in *different* stripes. After a full
+    // drain the inner file system must agree byte-for-byte with NVCache's
+    // own (page-lock-ordered) view — the cleanup workers' per-page handoff
+    // is what makes this hold.
+    let cfg = NvCacheConfig { nb_entries: 512, read_cache_pages: 64, ..NvCacheConfig::tiny() }
+        .with_log_shards(4);
+    let (c, _d, inner, cache) = setup(cfg);
+    let cache = Arc::new(cache);
+    let fd = cache.open("/order", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    let mut handles = Vec::new();
+    for t in 0..4u8 {
+        let cache = Arc::clone(&cache);
+        handles.push(std::thread::spawn(move || {
+            let clock = ActorClock::new();
+            for round in 0..24u64 {
+                // Offsets chosen so multi-page writes overlap single-page
+                // writes routed to other stripes.
+                let off = (round % 3) * 2048;
+                let len = if t % 2 == 0 { 8192 } else { 4096 };
+                let byte = 1 + t + (round as u8 % 7) * 8;
+                cache.pwrite(fd, &vec![byte; len as usize], off, &clock).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    cache.flush_log(&c);
+    assert_eq!(cache.pending_entries(), 0);
+    let size = cache.fstat(fd, &c).unwrap().size;
+    let mut ours = vec![0u8; size as usize];
+    cache.pread(fd, &mut ours, 0, &c).unwrap();
+    let ifd = inner.open("/order", OpenFlags::RDONLY, &c).unwrap();
+    let mut theirs = vec![0u8; size as usize];
+    inner.pread(ifd, &mut theirs, 0, &c).unwrap();
+    assert_eq!(ours, theirs, "drained kernel content diverged from the page-lock-ordered view");
+    cache.shutdown(&c);
+}
+
+#[test]
+fn reformatting_a_sharded_region_as_single_stripe_recovers() {
+    // Regression: format() must clear a stale v2 shard word, or recovery
+    // of the reformatted region rejects the (valid) single-stripe config.
+    let sharded = sharded_cfg(4);
+    let single = NvCacheConfig { log_shards: 1, ..sharded.clone() };
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(sharded.required_nvmm_bytes(), NvmmProfile::instant()));
+    let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+    let first =
+        NvCache::format(NvRegion::whole(Arc::clone(&dimm)), Arc::clone(&inner), sharded, &clock)
+            .unwrap();
+    first.shutdown(&clock);
+    drop(first);
+    // Reuse the region as a plain single-stripe log.
+    let second = NvCache::format(
+        NvRegion::whole(Arc::clone(&dimm)),
+        Arc::clone(&inner),
+        single.clone(),
+        &clock,
+    )
+    .unwrap();
+    let fd = second.open("/reuse", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    second.pwrite(fd, b"still recoverable", 0, &clock).unwrap();
+    second.abort();
+    drop(second);
+    let crashed = Arc::new(dimm.crash_and_restart());
+    let (recovered, report) = NvCache::recover(NvRegion::whole(crashed), inner, single, &clock)
+        .expect("stale shard word must not block recovery");
+    assert_eq!(report.entries_replayed, 1);
+    recovered.shutdown(&clock);
+}
+
+#[test]
+fn handoff_pressure_defeats_batch_min_deadlock() {
+    // Regression: with a large batch_min, stripe B's worker has no reason
+    // to run while stripe A's worker waits (per-page handoff) on a smaller
+    // sequence number parked in B — unless handoff pressure overrides the
+    // batching policy and the flush barrier publishes every stripe's
+    // target up front. Without both fixes this test hangs.
+    let cfg = NvCacheConfig {
+        nb_entries: 512,
+        batch_min: 1_000, // far above the entry count written below
+        batch_max: 10_000,
+        read_cache_pages: 32,
+        fd_slots: 8,
+        ..NvCacheConfig::tiny()
+    }
+    .with_log_shards(4);
+    let (c, _d, inner, cache) = setup(cfg);
+    let fd = cache.open("/pressure", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    // Page-straddling writes at different starting chunks: entries for one
+    // page end up in different stripes, forcing cross-stripe handoff.
+    for round in 0..8u64 {
+        cache.pwrite(fd, &[round as u8 + 1; 8192], (round % 3) * 2048, &c).unwrap();
+        cache.pwrite(fd, &[round as u8 + 100; 4096], 4096, &c).unwrap();
+    }
+    // The barrier must complete even though every stripe is below
+    // batch_min.
+    cache.flush_log(&c);
+    assert_eq!(cache.pending_entries(), 0);
+    let size = cache.fstat(fd, &c).unwrap().size;
+    let mut ours = vec![0u8; size as usize];
+    cache.pread(fd, &mut ours, 0, &c).unwrap();
+    let ifd = inner.open("/pressure", OpenFlags::RDONLY, &c).unwrap();
+    let mut theirs = vec![0u8; size as usize];
+    inner.pread(ifd, &mut theirs, 0, &c).unwrap();
+    assert_eq!(ours, theirs, "drained content must match the acknowledged view");
+    cache.shutdown(&c);
 }
 
 #[test]

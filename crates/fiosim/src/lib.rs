@@ -152,7 +152,9 @@ impl JobResult {
 }
 
 fn make_pattern(bs: usize, salt: u64) -> Vec<u8> {
-    (0..bs).map(|i| ((i as u64).wrapping_mul(31).wrapping_add(salt) % 251) as u8).collect()
+    (0..bs)
+        .map(|i| ((i as u64).wrapping_mul(31).wrapping_add(salt) % 251) as u8)
+        .collect()
 }
 
 /// Runs one job against `fs`, charging all I/O to `clock`.
@@ -160,7 +162,11 @@ fn make_pattern(bs: usize, salt: u64) -> Vec<u8> {
 /// # Errors
 ///
 /// Propagates any error from the underlying file system.
-pub fn run_job(fs: &Arc<dyn FileSystem>, spec: &JobSpec, clock: &ActorClock) -> IoResult<JobResult> {
+pub fn run_job(
+    fs: &Arc<dyn FileSystem>,
+    spec: &JobSpec,
+    clock: &ActorClock,
+) -> IoResult<JobResult> {
     let mut flags = OpenFlags::RDWR | OpenFlags::CREATE;
     if spec.direct {
         flags |= OpenFlags::DIRECT;
@@ -205,7 +211,7 @@ pub fn run_job(fs: &Arc<dyn FileSystem>, spec: &JobSpec, clock: &ActorClock) -> 
         let is_read = match spec.rw {
             RwMode::Read | RwMode::RandRead => true,
             RwMode::Write | RwMode::RandWrite => false,
-            RwMode::RandRw { read_pct } => rng.gen_range(0..100) < read_pct as u32,
+            RwMode::RandRw { read_pct } => rng.gen_range(0..100u32) < read_pct as u32,
         };
         let block = if spec.rw.is_random() {
             rng.gen_range(0..blocks)
@@ -258,10 +264,8 @@ pub fn run_job(fs: &Arc<dyn FileSystem>, spec: &JobSpec, clock: &ActorClock) -> 
             let bin = when.saturating_sub(start).as_nanos() / width;
             if current_bin.is_some_and(|b| b != bin) {
                 let b = current_bin.expect("bin set");
-                avg_latency.push((
-                    SimTime::from_nanos(b * width),
-                    (sum / count.max(1)).as_micros_f64(),
-                ));
+                avg_latency
+                    .push((SimTime::from_nanos(b * width), (sum / count.max(1)).as_micros_f64()));
             }
             current_bin = Some(bin);
             sum += *lat;

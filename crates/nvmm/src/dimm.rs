@@ -78,9 +78,7 @@ impl NvDimm {
         let words = lines.div_ceil(64) as usize;
         let mut dirty = Vec::with_capacity(words);
         dirty.resize_with(words, || AtomicU64::new(0));
-        let durable = profile
-            .track_durability
-            .then(|| Mutex::new(vec![0u8; n].into_boxed_slice()));
+        let durable = profile.track_durability.then(|| Mutex::new(vec![0u8; n].into_boxed_slice()));
         NvDimm {
             id: NEXT_DIMM_ID.fetch_add(1, Ordering::Relaxed),
             live: live.into_boxed_slice(),
@@ -127,11 +125,7 @@ impl NvDimm {
         let end = off
             .checked_add(len as u64)
             .unwrap_or_else(|| panic!("NVMM range overflow at {off}+{len}"));
-        assert!(
-            end <= self.len(),
-            "NVMM access out of range: {off}..{end} beyond {}",
-            self.len()
-        );
+        assert!(end <= self.len(), "NVMM access out of range: {off}..{end} beyond {}", self.len());
     }
 
     fn mark_dirty(&self, off: u64, len: usize) {
@@ -271,8 +265,8 @@ impl NvDimm {
                 if self.dirty[word].load(Ordering::Relaxed) & bit != 0 && rng.gen_bool(p) {
                     let start = (line * CACHE_LINE) as usize;
                     let end = (start + CACHE_LINE as usize).min(self.live.len());
-                    for i in start..end {
-                        image[i] = self.live[i].load(Ordering::Relaxed);
+                    for (dst, src) in image[start..end].iter_mut().zip(&self.live[start..end]) {
+                        *dst = src.load(Ordering::Relaxed);
                     }
                 }
             }

@@ -73,7 +73,9 @@ pub struct BenchResult {
 }
 
 fn make_value(size: usize, salt: u64) -> Vec<u8> {
-    (0..size).map(|i| ((i as u64).wrapping_mul(131).wrapping_add(salt) % 251) as u8).collect()
+    (0..size)
+        .map(|i| ((i as u64).wrapping_mul(131).wrapping_add(salt) % 251) as u8)
+        .collect()
 }
 
 /// Pre-populates `db` with `num` sequential keys (layout phase for the

@@ -8,7 +8,7 @@ use vfs::{FileSystem, OpenFlags};
 use crate::memtable::Memtable;
 use crate::sstable::{Table, TableBuilder};
 use crate::wal::Wal;
-use crate::{RockError, RockResult, RockletOptions, WriteOptions};
+use crate::{Record, RockError, RockResult, RockletOptions, WriteOptions};
 
 struct DbState {
     mem: Memtable,
@@ -142,11 +142,9 @@ impl RockletDb {
             buf.extend_from_slice(&file_number(&t.path).to_le_bytes());
         }
         let tmp = format!("{}/MANIFEST.tmp", self.dir);
-        let fd = self.fs.open(
-            &tmp,
-            OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::TRUNC,
-            clock,
-        )?;
+        let fd =
+            self.fs
+                .open(&tmp, OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::TRUNC, clock)?;
         self.fs.pwrite(fd, &buf, 0, clock)?;
         self.fs.fsync(fd, clock)?;
         self.fs.close(fd, clock)?;
@@ -237,7 +235,7 @@ impl RockletDb {
         clock.advance(simclock::SimTime::from_nanos(400));
         let st = self.state.lock();
         // Sources ordered newest (priority 0) to oldest.
-        let mut sources: Vec<Vec<(Vec<u8>, Option<Vec<u8>>)>> = Vec::new();
+        let mut sources: Vec<Vec<Record>> = Vec::new();
         sources.push(st.mem.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
         for t in &st.l0 {
             sources.push(t.scan(clock)?);
@@ -281,7 +279,8 @@ impl RockletDb {
         // is already in a durable table — idempotent.
         let new_wal_number = st.next_file;
         st.next_file += 1;
-        let new_wal = Wal::create(Arc::clone(&self.fs), &wal_path(&self.dir, new_wal_number), clock)?;
+        let new_wal =
+            Wal::create(Arc::clone(&self.fs), &wal_path(&self.dir, new_wal_number), clock)?;
         let old_wal = std::mem::replace(&mut st.wal, new_wal);
         st.wal_number = new_wal_number;
         self.write_manifest(st, clock)?;
@@ -296,7 +295,7 @@ impl RockletDb {
     /// full compaction — the pattern that produces the large sequential
     /// background writes of a real LSM).
     fn compact(&self, st: &mut DbState, clock: &ActorClock) -> RockResult<()> {
-        let mut sources: Vec<Vec<(Vec<u8>, Option<Vec<u8>>)>> = Vec::new();
+        let mut sources: Vec<Vec<Record>> = Vec::new();
         for t in &st.l0 {
             sources.push(t.scan(clock)?);
         }
@@ -394,7 +393,7 @@ fn file_number(path: &str) -> u64 {
 
 /// K-way merge of sorted sources; earlier sources are newer and win on
 /// duplicate keys; tombstones are dropped from the output.
-fn merge_sources(sources: Vec<Vec<(Vec<u8>, Option<Vec<u8>>)>>) -> Vec<(Vec<u8>, Vec<u8>)> {
+fn merge_sources(sources: Vec<Vec<Record>>) -> Vec<(Vec<u8>, Vec<u8>)> {
     // Max-heap on Reverse ordering: (key asc, priority asc).
     #[derive(PartialEq, Eq)]
     struct Item {
@@ -405,10 +404,7 @@ fn merge_sources(sources: Vec<Vec<(Vec<u8>, Option<Vec<u8>>)>>) -> Vec<(Vec<u8>,
     impl Ord for Item {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // Reversed for BinaryHeap (min-heap behaviour).
-            other
-                .key
-                .cmp(&self.key)
-                .then_with(|| other.priority.cmp(&self.priority))
+            other.key.cmp(&self.key).then_with(|| other.priority.cmp(&self.priority))
         }
     }
     impl PartialOrd for Item {
@@ -416,7 +412,7 @@ fn merge_sources(sources: Vec<Vec<(Vec<u8>, Option<Vec<u8>>)>>) -> Vec<(Vec<u8>,
             Some(self.cmp(other))
         }
     }
-    let mut iters: Vec<std::vec::IntoIter<(Vec<u8>, Option<Vec<u8>>)>> =
+    let mut iters: Vec<std::vec::IntoIter<Record>> =
         sources.into_iter().map(Vec::into_iter).collect();
     let mut heap = BinaryHeap::new();
     for (priority, it) in iters.iter_mut().enumerate() {
@@ -522,8 +518,7 @@ mod tests {
         let c = ActorClock::new();
         let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
         {
-            let db =
-                RockletDb::open(Arc::clone(&fs), "/db", RockletOptions::tiny(), &c).unwrap();
+            let db = RockletDb::open(Arc::clone(&fs), "/db", RockletOptions::tiny(), &c).unwrap();
             let wo = WriteOptions { sync: true };
             for i in 0..800u64 {
                 db.put(&crate::bench_key(i), format!("v{i}").as_bytes(), &wo, &c).unwrap();

@@ -40,6 +40,9 @@ pub use db::RockletDb;
 pub use error::{RockError, RockResult};
 pub use options::{RockletOptions, WriteOptions};
 
+/// One key with its value, or a tombstone (`None`) marking a deletion.
+pub(crate) type Record = (Vec<u8>, Option<Vec<u8>>);
+
 /// FNV-1a 64-bit hash — checksums and bloom-filter hashing.
 pub(crate) fn fnv1a(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;

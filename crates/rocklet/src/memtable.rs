@@ -21,9 +21,7 @@ impl Memtable {
     pub fn insert(&mut self, key: Vec<u8>, value: MemValue) {
         let add = key.len() + value.as_ref().map_or(8, |v| v.len()) + 32;
         if let Some(old) = self.map.insert(key, value) {
-            self.approx_bytes = self
-                .approx_bytes
-                .saturating_sub(old.map_or(8, |v| v.len()));
+            self.approx_bytes = self.approx_bytes.saturating_sub(old.map_or(8, |v| v.len()));
             self.approx_bytes += add.saturating_sub(32);
         } else {
             self.approx_bytes += add;

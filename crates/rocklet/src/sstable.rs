@@ -3,7 +3,7 @@ use std::sync::Arc;
 use simclock::ActorClock;
 use vfs::{FileSystem, OpenFlags};
 
-use crate::{fnv1a, RockError, RockResult};
+use crate::{fnv1a, Record, RockError, RockResult};
 
 const MAGIC: u64 = u64::from_le_bytes(*b"ROCKLET1");
 /// Footer: index_off, index_len, bloom_off, bloom_len, count, magic.
@@ -29,7 +29,7 @@ impl Bloom {
         let mut bits = vec![0u8; nbytes];
         for key in keys {
             let h = fnv1a(key);
-            let delta = (h >> 33) | (h << 31);
+            let delta = h.rotate_left(31);
             let mut pos = h;
             for _ in 0..k {
                 let bit = (pos % (nbytes as u64 * 8)) as usize;
@@ -50,7 +50,7 @@ impl Bloom {
         }
         let nbits = self.bits.len() as u64 * 8;
         let h = fnv1a(key);
-        let delta = (h >> 33) | (h << 31);
+        let delta = h.rotate_left(31);
         let mut pos = h;
         for _ in 0..self.k {
             let bit = (pos % nbits) as usize;
@@ -124,14 +124,9 @@ impl TableBuilder {
     /// # Panics
     ///
     /// Panics (debug) on out-of-order keys — the callers merge-sort.
-    pub fn add(
-        &mut self,
-        key: &[u8],
-        value: Option<&[u8]>,
-        clock: &ActorClock,
-    ) -> RockResult<()> {
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>, clock: &ActorClock) -> RockResult<()> {
         debug_assert!(
-            self.keys.last().map_or(true, |k| k.as_slice() < key),
+            self.keys.last().is_none_or(|k| k.as_slice() < key),
             "keys must be added in order"
         );
         if self.first_key.is_none() {
@@ -326,7 +321,7 @@ impl Table {
     }
 
     /// Full sorted scan of the table.
-    pub fn scan(&self, clock: &ActorClock) -> RockResult<Vec<(Vec<u8>, Option<Vec<u8>>)>> {
+    pub fn scan(&self, clock: &ActorClock) -> RockResult<Vec<Record>> {
         let mut out = Vec::with_capacity(self.count as usize);
         for e in &self.index {
             let block = Self::read_block_raw(&self.fs, self.fd, e, clock)?;
@@ -351,7 +346,7 @@ impl Table {
 }
 
 /// Decodes a data block into (key, value-or-tombstone) pairs.
-fn decode_block(block: &[u8]) -> RockResult<Vec<(Vec<u8>, Option<Vec<u8>>)>> {
+fn decode_block(block: &[u8]) -> RockResult<Vec<Record>> {
     let mut out = Vec::new();
     let mut pos = 0usize;
     while pos + 8 <= block.len() {
@@ -386,11 +381,7 @@ mod tests {
         (ActorClock::new(), Arc::new(MemFs::new()))
     }
 
-    fn build_table(
-        fs: &Arc<dyn FileSystem>,
-        c: &ActorClock,
-        n: u64,
-    ) -> Table {
+    fn build_table(fs: &Arc<dyn FileSystem>, c: &ActorClock, n: u64) -> Table {
         let mut b = TableBuilder::create(Arc::clone(fs), "/t.sst", 256, 10, c).unwrap();
         for i in 0..n {
             let k = crate::bench_key(i);
@@ -408,10 +399,7 @@ mod tests {
         let (c, fs) = setup();
         let t = build_table(&fs, &c, 100);
         assert_eq!(t.count, 100);
-        assert_eq!(
-            t.get(&crate::bench_key(42), &c).unwrap(),
-            Some(Some(b"value-42".to_vec()))
-        );
+        assert_eq!(t.get(&crate::bench_key(42), &c).unwrap(), Some(Some(b"value-42".to_vec())));
         assert_eq!(t.get(&crate::bench_key(3), &c).unwrap(), Some(None), "tombstone");
         assert_eq!(t.get(&crate::bench_key(100), &c).unwrap(), None, "absent");
     }
@@ -471,9 +459,6 @@ mod tests {
         let size = fs.fstat(fd, &c).unwrap().size;
         fs.pwrite(fd, b"XXXXXXXX", size - 8, &c).unwrap();
         fs.close(fd, &c).unwrap();
-        assert!(matches!(
-            Table::open(fs, "/t.sst", &c),
-            Err(RockError::Corruption(_))
-        ));
+        assert!(matches!(Table::open(fs, "/t.sst", &c), Err(RockError::Corruption(_))));
     }
 }

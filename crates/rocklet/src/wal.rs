@@ -33,7 +33,10 @@ pub(crate) struct Wal {
 
 impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Wal").field("path", &self.path).field("offset", &self.offset).finish()
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("offset", &self.offset)
+            .finish()
     }
 }
 
@@ -61,11 +64,7 @@ fn encode(seq: u64, key: &[u8], value: Option<&[u8]>) -> Vec<u8> {
 impl Wal {
     /// Creates (truncating) a WAL at `path`.
     pub fn create(fs: Arc<dyn FileSystem>, path: &str, clock: &ActorClock) -> RockResult<Wal> {
-        let fd = fs.open(
-            path,
-            OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::TRUNC,
-            clock,
-        )?;
+        let fd = fs.open(path, OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::TRUNC, clock)?;
         Ok(Wal { fs, path: path.to_string(), fd, offset: 0 })
     }
 
@@ -142,9 +141,8 @@ impl Wal {
                 return Err(RockError::Corruption(format!("bad key length in {path}")));
             }
             let key = body[13..13 + klen].to_vec();
-            let vlen_raw = u32::from_le_bytes(
-                body[13 + klen..17 + klen].try_into().expect("4 bytes"),
-            );
+            let vlen_raw =
+                u32::from_le_bytes(body[13 + klen..17 + klen].try_into().expect("4 bytes"));
             let value = if op == OP_DELETE || vlen_raw == u32::MAX {
                 None
             } else {
@@ -179,7 +177,10 @@ mod tests {
         wal.sync(&c).unwrap();
         let records = Wal::replay(&fs, "/wal", &c).unwrap();
         assert_eq!(records.len(), 2);
-        assert_eq!(records[0], WalRecord { seq: 1, key: b"alpha".to_vec(), value: Some(b"one".to_vec()) });
+        assert_eq!(
+            records[0],
+            WalRecord { seq: 1, key: b"alpha".to_vec(), value: Some(b"one".to_vec()) }
+        );
         assert_eq!(records[1], WalRecord { seq: 2, key: b"beta".to_vec(), value: None });
     }
 

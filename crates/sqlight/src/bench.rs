@@ -69,7 +69,9 @@ pub struct SqlBenchResult {
 }
 
 fn row(value_size: usize, salt: u64) -> Vec<u8> {
-    (0..value_size).map(|i| ((i as u64).wrapping_mul(37).wrapping_add(salt) % 251) as u8).collect()
+    (0..value_size)
+        .map(|i| ((i as u64).wrapping_mul(37).wrapping_add(salt) % 251) as u8)
+        .collect()
 }
 
 /// Pre-populates `table` with `num` sequential rows in one big transaction
@@ -114,12 +116,10 @@ pub fn run_sql_bench(
             }
         }
         SqlBench::FillRandSync => {
-            let mut next = 0u64;
-            for _ in 0..opts.num {
+            for next in 0..opts.num {
                 // Random *insertion order* over a permuted key space (fills
                 // must not collide on rowids).
                 let rowid = (next.wrapping_mul(2654435761) % (opts.num * 8)) as i64;
-                next += 1;
                 match db.insert(table, rowid, &row(opts.value_size, rowid as u64), clock) {
                     Ok(()) | Err(crate::SqlError::DuplicateRow(_)) => {}
                     Err(e) => return Err(e),

@@ -30,9 +30,8 @@ fn decode(page: &[u8]) -> SqlResult<Node> {
                     return Err(SqlError::Corruption("leaf cell out of bounds".into()));
                 }
                 let rowid = i64::from_le_bytes(page[pos..pos + 8].try_into().expect("8 bytes"));
-                let vlen =
-                    u16::from_le_bytes(page[pos + 8..pos + 10].try_into().expect("2 bytes"))
-                        as usize;
+                let vlen = u16::from_le_bytes(page[pos + 8..pos + 10].try_into().expect("2 bytes"))
+                    as usize;
                 pos += 10;
                 if pos + vlen > PAGE_SIZE {
                     return Err(SqlError::Corruption("leaf value out of bounds".into()));
@@ -149,10 +148,8 @@ fn insert_rec(
                 return Err(SqlError::Corruption("empty branch node".into()));
             }
             // Child whose max covers the rowid; beyond-all goes to the last.
-            let idx = entries
-                .iter()
-                .position(|(max, _)| rowid <= *max)
-                .unwrap_or(entries.len() - 1);
+            let idx =
+                entries.iter().position(|(max, _)| rowid <= *max).unwrap_or(entries.len() - 1);
             let child = entries[idx].1;
             let outcome = insert_rec(pager, child, rowid, value, clock)?;
             entries[idx].0 = outcome.max;
@@ -323,7 +320,7 @@ mod tests {
         let n: i64 = 5000;
         // Insert in a scrambled order to exercise splits everywhere.
         for i in 0..n {
-            let rowid = (i * 2654435761 % n as i64 + n) % n;
+            let rowid = (i * 2654435761 % n + n) % n;
             if bt.get(&mut p, rowid, &c).unwrap().is_none() {
                 bt.insert(&mut p, rowid, format!("row-{rowid}").as_bytes(), &c).unwrap();
             }

@@ -86,8 +86,7 @@ impl SqlightDb {
                 if name_len == 0 || pos + 1 + name_len + 4 > PAGE_SIZE {
                     return Err(SqlError::Corruption("bad catalog entry".into()));
                 }
-                let name = String::from_utf8_lossy(&page[pos + 1..pos + 1 + name_len])
-                    .into_owned();
+                let name = String::from_utf8_lossy(&page[pos + 1..pos + 1 + name_len]).into_owned();
                 let root = u32::from_le_bytes(
                     page[pos + 1 + name_len..pos + 5 + name_len].try_into().expect("4 bytes"),
                 );
@@ -180,7 +179,11 @@ impl SqlightDb {
     }
 
     fn table(inner: &DbInner, name: &str) -> SqlResult<BTree> {
-        inner.tables.get(name).copied().ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
+        inner
+            .tables
+            .get(name)
+            .copied()
+            .ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
     }
 
     /// Inserts a row (auto-commits unless inside a transaction).
@@ -188,13 +191,7 @@ impl SqlightDb {
     /// # Errors
     ///
     /// [`SqlError::NoSuchTable`], [`SqlError::DuplicateRow`], I/O errors.
-    pub fn insert(
-        &self,
-        table: &str,
-        rowid: i64,
-        row: &[u8],
-        clock: &ActorClock,
-    ) -> SqlResult<()> {
+    pub fn insert(&self, table: &str, rowid: i64, row: &[u8], clock: &ActorClock) -> SqlResult<()> {
         let mut st = self.state.lock();
         let tree = Self::table(&st, table)?;
         let auto = !st.pager.in_txn();
@@ -257,8 +254,7 @@ mod tests {
     fn open_db() -> (ActorClock, Arc<dyn FileSystem>, SqlightDb) {
         let c = ActorClock::new();
         let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
-        let db = SqlightDb::open(Arc::clone(&fs), "/a.db", SqlightOptions::default(), &c)
-            .unwrap();
+        let db = SqlightDb::open(Arc::clone(&fs), "/a.db", SqlightOptions::default(), &c).unwrap();
         (c, fs, db)
     }
 
@@ -318,8 +314,8 @@ mod tests {
         let c = ActorClock::new();
         let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
         {
-            let db = SqlightDb::open(Arc::clone(&fs), "/p.db", SqlightOptions::default(), &c)
-                .unwrap();
+            let db =
+                SqlightDb::open(Arc::clone(&fs), "/p.db", SqlightOptions::default(), &c).unwrap();
             db.create_table("users", &c).unwrap();
             db.create_table("orders", &c).unwrap();
             for i in 0..500 {
@@ -327,8 +323,7 @@ mod tests {
             }
             db.close(&c).unwrap();
         }
-        let db =
-            SqlightDb::open(Arc::clone(&fs), "/p.db", SqlightOptions::default(), &c).unwrap();
+        let db = SqlightDb::open(Arc::clone(&fs), "/p.db", SqlightOptions::default(), &c).unwrap();
         assert_eq!(db.tables(), vec!["orders".to_string(), "users".to_string()]);
         assert_eq!(db.get("users", 123, &c).unwrap(), Some(b"user-123".to_vec()));
         assert_eq!(db.scan("users", &c).unwrap().len(), 500);

@@ -108,8 +108,7 @@ impl Pager {
                     if self.fs.pread(jfd, &mut original, off + 4, clock)? < PAGE_SIZE {
                         break;
                     }
-                    self.fs
-                        .pwrite(self.fd, &original, page_no as u64 * PAGE_SIZE as u64, clock)?;
+                    self.fs.pwrite(self.fd, &original, page_no as u64 * PAGE_SIZE as u64, clock)?;
                     rolled_back += 1;
                     off += 4 + PAGE_SIZE as u64;
                 }
@@ -158,8 +157,7 @@ impl Pager {
         if !self.cache.contains_key(&page_no) {
             let mut buf = vec![0u8; PAGE_SIZE];
             if page_no < self.page_count {
-                self.fs
-                    .pread(self.fd, &mut buf, page_no as u64 * PAGE_SIZE as u64, clock)?;
+                self.fs.pread(self.fd, &mut buf, page_no as u64 * PAGE_SIZE as u64, clock)?;
             }
             self.cache.insert(page_no, buf);
         }
@@ -187,11 +185,8 @@ impl Pager {
             let original = self.cache.get(&page_no).expect("cached").clone();
             // Append the original image to the journal file now (SQLite
             // journals eagerly, syncs at commit).
-            let jfd = self.fs.open(
-                &self.journal_path,
-                OpenFlags::RDWR | OpenFlags::CREATE,
-                clock,
-            )?;
+            let jfd =
+                self.fs.open(&self.journal_path, OpenFlags::RDWR | OpenFlags::CREATE, clock)?;
             let mut rec = Vec::with_capacity(4 + PAGE_SIZE);
             rec.extend_from_slice(&page_no.to_le_bytes());
             rec.extend_from_slice(&original);
@@ -232,11 +227,8 @@ impl Pager {
         }
         // 1-2: finalize + sync the journal (only if it has content).
         if !self.journaled.is_empty() {
-            let jfd = self.fs.open(
-                &self.journal_path,
-                OpenFlags::RDWR | OpenFlags::CREATE,
-                clock,
-            )?;
+            let jfd =
+                self.fs.open(&self.journal_path, OpenFlags::RDWR | OpenFlags::CREATE, clock)?;
             let mut header = Vec::with_capacity(16);
             header.extend_from_slice(&JOURNAL_MAGIC.to_le_bytes());
             header.extend_from_slice(&(self.journaled.len() as u32).to_le_bytes());

@@ -74,16 +74,10 @@ pub fn check_posix_semantics(fs: &dyn FileSystem) {
 
     // -- permission enforcement -------------------------------------------
     let ro = fs.open("/conf/a", OpenFlags::RDONLY, &c).unwrap();
-    assert!(
-        fs.pwrite(ro, b"x", 0, &c).is_err(),
-        "writing a read-only descriptor must fail"
-    );
+    assert!(fs.pwrite(ro, b"x", 0, &c).is_err(), "writing a read-only descriptor must fail");
     let wo = fs.open("/conf/a", OpenFlags::WRONLY, &c).unwrap();
     let mut one = [0u8; 1];
-    assert!(
-        fs.pread(wo, &mut one, 0, &c).is_err(),
-        "reading a write-only descriptor must fail"
-    );
+    assert!(fs.pread(wo, &mut one, 0, &c).is_err(), "reading a write-only descriptor must fail");
     fs.close(ro, &c).unwrap();
     fs.close(wo, &c).unwrap();
 

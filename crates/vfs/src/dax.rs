@@ -246,8 +246,7 @@ impl FileSystem for DaxFs {
             let base = self.map_alloc(inode, page)?;
             // DAX is in-place and byte-addressable: partial pages need no
             // read-modify cycle.
-            self.region
-                .write_and_pwb(base + in_page as u64, &data[pos..pos + n], clock);
+            self.region.write_and_pwb(base + in_page as u64, &data[pos..pos + n], clock);
             pos += n;
         }
         // The kernel's DAX write path flushes data before returning.

@@ -55,10 +55,7 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_specific() {
-        assert_eq!(
-            IoError::NotFound("/a".into()).to_string(),
-            "no such file or directory: /a"
-        );
+        assert_eq!(IoError::NotFound("/a".into()).to_string(), "no such file or directory: /a");
         assert_eq!(IoError::BadFd(3).to_string(), "bad file descriptor: 3");
         assert_eq!(IoError::NoSpace.to_string(), "no space left on device");
     }

@@ -223,12 +223,7 @@ impl Ext4 {
         Ok(())
     }
 
-    fn read_page_from_device(
-        &self,
-        inode: &Ext4Inode,
-        page: u64,
-        clock: &ActorClock,
-    ) -> Vec<u8> {
+    fn read_page_from_device(&self, inode: &Ext4Inode, page: u64, clock: &ActorClock) -> Vec<u8> {
         let mut buf = vec![0u8; self.page_size() as usize];
         if let Some(off) = self.map_existing(inode, page) {
             self.dev.read(off, &mut buf, clock);
@@ -518,7 +513,8 @@ mod tests {
 
     fn fs() -> (ActorClock, Arc<SsdDevice>, Ext4) {
         let ssd = Arc::new(SsdDevice::new(SsdProfile::s4600()));
-        let ext4 = Ext4::new("ext4+ssd", Arc::clone(&ssd) as Arc<dyn BlockDevice>, Ext4Profile::default());
+        let ext4 =
+            Ext4::new("ext4+ssd", Arc::clone(&ssd) as Arc<dyn BlockDevice>, Ext4Profile::default());
         (ActorClock::new(), ssd, ext4)
     }
 
@@ -615,10 +611,7 @@ mod tests {
         }
         fs.fsync(fd, &c).unwrap();
         let snap = ssd.stats().snapshot();
-        assert!(
-            snap.seq_writes >= 60,
-            "expected mostly sequential writeback, got {snap:?}"
-        );
+        assert!(snap.seq_writes >= 60, "expected mostly sequential writeback, got {snap:?}");
     }
 
     #[test]
@@ -661,7 +654,9 @@ mod tests {
         let ssd = Arc::new(SsdDevice::new(SsdProfile::s4600().with_capacity(1 << 20)));
         let fs = Ext4::new("tiny", ssd as Arc<dyn BlockDevice>, Ext4Profile::default());
         let c = ActorClock::new();
-        let fd = fs.open("/f", OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::DIRECT, &c).unwrap();
+        let fd = fs
+            .open("/f", OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::DIRECT, &c)
+            .unwrap();
         let res = (0..16u64)
             .map(|i| fs.pwrite(fd, &[0u8; 4096], i * (2 << 20), &c))
             .collect::<Result<Vec<_>, _>>();

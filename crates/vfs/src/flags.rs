@@ -42,12 +42,11 @@ impl OpenFlags {
     /// Whether this flag set contains all bits of `other`.
     pub fn contains(self, other: OpenFlags) -> bool {
         // Access mode is a 2-bit enum, not independent bits.
-        if other.0 & Self::ACCESS_MASK != 0 || other.0 == 0 {
-            if self.0 & Self::ACCESS_MASK != other.0 & Self::ACCESS_MASK
-                && other.0 & !Self::ACCESS_MASK == 0
-            {
-                return false;
-            }
+        if (other.0 & Self::ACCESS_MASK != 0 || other.0 == 0)
+            && self.0 & Self::ACCESS_MASK != other.0 & Self::ACCESS_MASK
+            && other.0 & !Self::ACCESS_MASK == 0
+        {
+            return false;
         }
         self.0 & other.0 == other.0
     }

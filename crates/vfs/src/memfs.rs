@@ -225,13 +225,8 @@ impl FileSystem for MemFs {
     fn list_dir(&self, dir: &str, clock: &ActorClock) -> IoResult<Vec<String>> {
         clock.advance(self.costs.syscall + self.costs.fs_overhead);
         let dir = normalize_path(dir);
-        let mut out: Vec<String> = self
-            .files
-            .read()
-            .keys()
-            .filter(|k| parent_of(k) == dir)
-            .cloned()
-            .collect();
+        let mut out: Vec<String> =
+            self.files.read().keys().filter(|k| parent_of(k) == dir).cloned().collect();
         out.sort();
         Ok(out)
     }
@@ -296,10 +291,7 @@ mod tests {
     #[test]
     fn open_missing_without_create_fails() {
         let (c, fs) = fs();
-        assert!(matches!(
-            fs.open("/missing", OpenFlags::RDONLY, &c),
-            Err(IoError::NotFound(_))
-        ));
+        assert!(matches!(fs.open("/missing", OpenFlags::RDONLY, &c), Err(IoError::NotFound(_))));
     }
 
     #[test]

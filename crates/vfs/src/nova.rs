@@ -233,17 +233,21 @@ impl FileSystem for NovaFs {
             let n = (ps as usize - in_page).min(data.len() - pos);
             let new_page = self.alloc_page()?;
             let old = inode.pages.lock().get(&page).copied();
-            if n == ps as usize || old.is_none() {
-                // Whole page (or fresh page): no read needed; zero-fill tail.
-                let mut content = vec![0u8; ps as usize];
-                content[in_page..in_page + n].copy_from_slice(&data[pos..pos + n]);
-                self.region.write_and_pwb(new_page, &content, clock);
-            } else {
-                // CoW read-modify-write of the previous version.
-                let mut content = vec![0u8; ps as usize];
-                self.region.read(old.expect("checked above"), &mut content, clock);
-                content[in_page..in_page + n].copy_from_slice(&data[pos..pos + n]);
-                self.region.write_and_pwb(new_page, &content, clock);
+            match old {
+                Some(old_page) if n < ps as usize => {
+                    // CoW read-modify-write of the previous version.
+                    let mut content = vec![0u8; ps as usize];
+                    self.region.read(old_page, &mut content, clock);
+                    content[in_page..in_page + n].copy_from_slice(&data[pos..pos + n]);
+                    self.region.write_and_pwb(new_page, &content, clock);
+                }
+                _ => {
+                    // Whole page (or fresh page): no read needed; zero-fill
+                    // tail.
+                    let mut content = vec![0u8; ps as usize];
+                    content[in_page..in_page + n].copy_from_slice(&data[pos..pos + n]);
+                    self.region.write_and_pwb(new_page, &content, clock);
+                }
             }
             // Append + persist the inode log entry, then flip the mapping.
             let log_off = self.alloc_log_entry()?;

@@ -105,12 +105,14 @@ impl PageCache {
     }
 
     fn make_buf(&self) -> Option<Box<[u8]>> {
-        self.cfg
-            .keep_content
-            .then(|| vec![0u8; self.cfg.page_size].into_boxed_slice())
+        self.cfg.keep_content.then(|| vec![0u8; self.cfg.page_size].into_boxed_slice())
     }
 
-    fn evict_if_needed(inner: &mut Inner, cfg: &PageCacheConfig, stats: &PageCacheStats) -> Vec<EvictedPage> {
+    fn evict_if_needed(
+        inner: &mut Inner,
+        cfg: &PageCacheConfig,
+        stats: &PageCacheStats,
+    ) -> Vec<EvictedPage> {
         let mut out = Vec::new();
         while inner.pages.len() > cfg.capacity_pages {
             let Some(key) = inner.queue.pop_front() else { break };
@@ -209,10 +211,7 @@ impl PageCache {
         for (&(i, page), p) in inner.pages.iter_mut() {
             if i == ino && p.dirty {
                 p.dirty = false;
-                let data = p
-                    .data
-                    .as_ref()
-                    .map_or_else(|| vec![0u8; page_size], |d| d.to_vec());
+                let data = p.data.as_ref().map_or_else(|| vec![0u8; page_size], |d| d.to_vec());
                 out.push((page, data));
             }
         }
@@ -264,7 +263,11 @@ mod tests {
     use super::*;
 
     fn cache(capacity: usize) -> PageCache {
-        PageCache::new(PageCacheConfig { capacity_pages: capacity, page_size: 64, keep_content: true })
+        PageCache::new(PageCacheConfig {
+            capacity_pages: capacity,
+            page_size: 64,
+            keep_content: true,
+        })
     }
 
     #[test]

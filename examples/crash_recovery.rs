@@ -25,8 +25,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     };
     let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
     let ssd = Arc::new(SsdDevice::new(SsdProfile::s4600()));
-    let inner: Arc<dyn FileSystem> =
-        Arc::new(Ext4::new("ext4+ssd", ssd, Ext4Profile::default()));
+    let inner: Arc<dyn FileSystem> = Arc::new(Ext4::new("ext4+ssd", ssd, Ext4Profile::default()));
     let cache = NvCache::format(
         NvRegion::whole(Arc::clone(&dimm)),
         Arc::clone(&inner),
@@ -41,8 +40,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         cache.pwrite(fd, record.as_bytes(), i * 16, &clock)?;
         acknowledged.push((i * 16, record));
     }
-    println!("acknowledged {} writes; {} entries pending in NVMM", acknowledged.len(),
-             cache.pending_entries());
+    println!(
+        "acknowledged {} writes; {} entries pending in NVMM",
+        acknowledged.len(),
+        cache.pending_entries()
+    );
 
     // ---- power failure ---------------------------------------------------
     cache.abort(); // the process dies; nothing is drained

@@ -26,8 +26,7 @@ fn rig(cfg: NvCacheConfig, eviction_probability: f64) -> Rig {
     let profile = NvmmProfile::instant().with_eviction_probability(eviction_probability);
     let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), profile));
     let ssd = Arc::new(SsdDevice::new(SsdProfile::s4600()));
-    let inner: Arc<dyn FileSystem> =
-        Arc::new(Ext4::new("ext4+ssd", ssd, Ext4Profile::default()));
+    let inner: Arc<dyn FileSystem> = Arc::new(Ext4::new("ext4+ssd", ssd, Ext4Profile::default()));
     let cache = NvCache::format(
         NvRegion::whole(Arc::clone(&dimm)),
         Arc::clone(&inner),
@@ -73,9 +72,7 @@ fn every_acknowledged_write_survives_random_crash_points() {
             0.0,
         );
         let cache = rig.cache.as_ref().expect("running");
-        let fd = cache
-            .open("/d", OpenFlags::RDWR | OpenFlags::CREATE, &rig.clock)
-            .expect("open");
+        let fd = cache.open("/d", OpenFlags::RDWR | OpenFlags::CREATE, &rig.clock).expect("open");
         let mut rng = StdRng::seed_from_u64(crash_after as u64);
         let mut acked: Vec<(u64, Vec<u8>)> = Vec::new();
         for i in 0..crash_after {
@@ -116,9 +113,7 @@ fn torn_cache_lines_never_corrupt_recovered_state() {
             0.5,
         );
         let cache = rig.cache.as_ref().expect("running");
-        let fd = cache
-            .open("/t", OpenFlags::RDWR | OpenFlags::CREATE, &rig.clock)
-            .expect("open");
+        let fd = cache.open("/t", OpenFlags::RDWR | OpenFlags::CREATE, &rig.clock).expect("open");
         let mut expected = vec![0u8; 32 * 256];
         for i in 0..32u64 {
             let val = vec![(i + 1) as u8; 256];
@@ -150,7 +145,9 @@ fn durable_linearizability_reads_imply_survival() {
         0.0,
     );
     let cache = rig.cache.as_ref().expect("running");
-    let fd = cache.open("/lin", OpenFlags::RDWR | OpenFlags::CREATE, &rig.clock).expect("open");
+    let fd = cache
+        .open("/lin", OpenFlags::RDWR | OpenFlags::CREATE, &rig.clock)
+        .expect("open");
     let mut observed = Vec::new();
     for i in 0..40u64 {
         cache.pwrite(fd, &[i as u8 + 1; 64], i * 64, &rig.clock).expect("pwrite");
@@ -209,7 +206,9 @@ fn double_crash_recovery_converges() {
         0.0,
     );
     let cache = rig.cache.as_ref().expect("running");
-    let fd = cache.open("/dc", OpenFlags::RDWR | OpenFlags::CREATE, &rig.clock).expect("open");
+    let fd = cache
+        .open("/dc", OpenFlags::RDWR | OpenFlags::CREATE, &rig.clock)
+        .expect("open");
     cache.pwrite(fd, b"gen1", 0, &rig.clock).expect("pwrite");
     let gen2 = rig.crash_and_recover(1);
     let recovered = rig.cache.insert(gen2);

@@ -68,7 +68,8 @@ fn rocklet_runs_identically_on_every_system() {
         .expect("open");
         let wo = WriteOptions { sync: true };
         for i in 0..400u64 {
-            db.put(&bench_key(i % 200), format!("v{i}").as_bytes(), &wo, &clock).expect("put");
+            db.put(&bench_key(i % 200), format!("v{i}").as_bytes(), &wo, &clock)
+                .expect("put");
         }
         for i in (0..200u64).step_by(17) {
             db.delete(&bench_key(i), &wo, &clock).expect("delete");
@@ -88,13 +89,8 @@ fn sqlight_runs_identically_on_every_system() {
     for kind in SystemKind::all() {
         let clock = ActorClock::new();
         let sys = build_system(&SystemSpec::new(kind, 512), &clock);
-        let db = SqlightDb::open(
-            Arc::clone(&sys.fs),
-            "/app.db",
-            SqlightOptions::default(),
-            &clock,
-        )
-        .expect("open");
+        let db = SqlightDb::open(Arc::clone(&sys.fs), "/app.db", SqlightOptions::default(), &clock)
+            .expect("open");
         db.create_table("t", &clock).expect("create");
         for i in 0..150i64 {
             db.insert("t", i, format!("row{i}").as_bytes(), &clock).expect("insert");

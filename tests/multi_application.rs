@@ -104,7 +104,7 @@ fn crash_of_one_instance_does_not_disturb_the_other() {
     app_b.pwrite(fb, b"application B state", 0, &clock).unwrap();
     app_b.abort();
     drop(app_b);
-    let (rec_b, _)= NvCache::recover(
+    let (rec_b, _) = NvCache::recover(
         NvRegion::new(Arc::clone(&dimm), per_instance, per_instance),
         inner_b,
         cfg,

@@ -20,12 +20,7 @@ fn durability_matrix_matches_table_iv() {
     for (kind, sync_durability, durable_linearizability) in expected {
         let sys = build_system(&SystemSpec::new(kind, 512), &clock);
         assert_eq!(sys.fs.synchronous_durability(), sync_durability, "{}", sys.name);
-        assert_eq!(
-            sys.fs.durable_linearizability(),
-            durable_linearizability,
-            "{}",
-            sys.name
-        );
+        assert_eq!(sys.fs.durable_linearizability(), durable_linearizability, "{}", sys.name);
         sys.shutdown(&clock);
     }
 }
@@ -40,7 +35,10 @@ fn large_storage_nvcache_works_past_nvmm_capacity_where_nova_cannot() {
     let data = 96u64 << 20; // write 96 MiB
 
     let nova = build_system(
-        &SystemSpec { nvmm_bytes_full: nvmm_budget * 512, ..SystemSpec::new(SystemKind::Nova, 512) },
+        &SystemSpec {
+            nvmm_bytes_full: nvmm_budget * 512,
+            ..SystemSpec::new(SystemKind::Nova, 512)
+        },
         &clock,
     );
     let fd = nova.fs.open("/big", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();

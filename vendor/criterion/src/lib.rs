@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and type surface the workspace's benchmarks use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `Bencher::{iter, iter_batched}`, `Throughput`, `BatchSize`) with a
+//! deliberately small measurement loop: a short warm-up, a time-boxed
+//! sample, and a one-line mean report. Good enough to exercise every hot
+//! path and catch regressions by eye; not a statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// How much work to time per measurement batch (accepted for API parity;
+/// the stand-in sizes batches by wall-clock budget instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// Wall-clock budget per benchmark (keeps `cargo test`/`cargo bench` fast).
+const MEASURE_BUDGET: Duration = Duration::from_millis(20);
+const WARMUP_ITERS: u32 = 3;
+const MAX_ITERS: u32 = 1000;
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { iters: 0, total: Duration::ZERO }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS as u64 {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.total = started.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while total < MEASURE_BUDGET && iters < MAX_ITERS as u64 {
+            let input = setup();
+            let started = Instant::now();
+            std::hint::black_box(routine(input));
+            total += started.elapsed();
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.total = total;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let mean_ns = self.total.as_nanos() as f64 / self.iters as f64;
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) if mean_ns > 0.0 => {
+                let mib_s = b as f64 / (1 << 20) as f64 / (mean_ns / 1e9);
+                format!("  ({mib_s:.1} MiB/s)")
+            }
+            Some(Throughput::Elements(e)) if mean_ns > 0.0 => {
+                let ops_s = e as f64 / (mean_ns / 1e9);
+                format!("  ({ops_s:.0} elem/s)")
+            }
+            _ => String::new(),
+        };
+        println!("bench {name:<40} {mean_ns:>12.0} ns/iter{rate}");
+    }
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into()), self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&id.into(), None);
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box`, as in real criterion.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(4096));
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs > 0, "routine must have executed");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut b = Bencher::new();
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 64]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert!(setups > b.iters, "one warm-up setup plus one per iteration");
+    }
+}

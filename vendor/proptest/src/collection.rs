@@ -1,0 +1,10 @@
+//! Collection strategies (`proptest::collection`).
+
+use std::ops::Range;
+
+use crate::strategy::{Strategy, VecStrategy};
+
+/// Strategy for `Vec`s of `element` values with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}

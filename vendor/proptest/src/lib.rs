@@ -1,0 +1,147 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, range/tuple/`Just`
+//! strategies, [`Strategy::prop_map`], [`prop_oneof!`],
+//! [`collection::vec`], [`any`], and the `prop_assert*` macros.
+//!
+//! Cases are generated from a deterministic per-test RNG (seeded from the
+//! test path and case index, or from `PROPTEST_SEED` when set). There is no
+//! shrinking: on failure the offending inputs are printed verbatim.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, BoxedStrategy, Just, Map, Strategy, Union, VecStrategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs `body` for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case as u64,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                    let rendered: Vec<String> = vec![
+                        $(format!(concat!("  ", stringify!($arg), " = {:?}"), &$arg)),+
+                    ];
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(cause) = outcome {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} with inputs:",
+                            stringify!($name),
+                            case,
+                            cfg.cases,
+                        );
+                        for line in &rendered {
+                            eprintln!("{line}");
+                        }
+                        ::std::panic::resume_unwind(cause);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+/// Chooses uniformly among the given strategies (all yielding one value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!(concat!("assertion failed: ", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!("assertion failed: `{:?}` != `{:?}`", l, r);
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l,
+                r,
+                format_args!($($fmt)+),
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!("assertion failed: `{:?}` == `{:?}`", l, r);
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                l,
+                r,
+                format_args!($($fmt)+),
+            );
+        }
+    }};
+}
