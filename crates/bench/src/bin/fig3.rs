@@ -7,10 +7,12 @@
 //! RocksDB; NVCache ≈1.6× faster than NOVA on SQLite; NVCache+NOVA matches
 //! or beats NOVA. Read panel: all systems roughly equal.
 //!
-//! Usage: `fig3 [--scale N] [--rocks-num N] [--sql-num N] [--shards S] [--reads]`
+//! Usage: `fig3 [--scale N] [--rocks-num N] [--sql-num N] [--shards S] [--queue-depth Q] [--reads]`
 //!
 //! `--shards S` splits the NVCache write log into `S` striped sub-logs with
-//! one cleanup worker each (1 = the paper's single log).
+//! one cleanup worker each (1 = the paper's single log). `--queue-depth Q`
+//! overlaps up to `Q` cleanup propagation writes on a `Q`-channel SSD
+//! (1 = the paper's synchronous drain).
 
 use nvcache_bench::{arg_u64, print_table, Row, SystemKind, SystemSpec};
 use rocklet::{run_db_bench, BenchOptions, RockBench, RockletDb, RockletOptions};
@@ -22,8 +24,9 @@ fn main() {
     let rocks_num = arg_u64("--rocks-num", 20_000);
     let sql_num = arg_u64("--sql-num", 3_000);
     let shards = arg_u64("--shards", 1).max(1) as usize;
+    let queue_depth = arg_u64("--queue-depth", 1).max(1) as usize;
     println!(
-        "Fig. 3 — db_bench mean latency [µs/op], sync writes (RocksDB stand-in: {rocks_num} ops, SQLite stand-in: {sql_num} ops, {shards} log shard(s))"
+        "Fig. 3 — db_bench mean latency [µs/op], sync writes (RocksDB stand-in: {rocks_num} ops, SQLite stand-in: {sql_num} ops, {shards} log shard(s), queue depth {queue_depth})"
     );
 
     let rock_writes = [RockBench::FillRandom, RockBench::FillSeq, RockBench::Overwrite];
@@ -40,7 +43,9 @@ fn main() {
         for bench in rock_writes.iter().chain(rock_reads.iter()) {
             let clock = ActorClock::new();
             let sys = nvcache_bench::build_system(
-                &SystemSpec::new(kind, scale).with_log_shards(shards),
+                &SystemSpec::new(kind, scale)
+                    .with_log_shards(shards)
+                    .with_queue_depth(queue_depth),
                 &clock,
             );
             // Scale the engine's buffer capacities with the experiment so
@@ -70,7 +75,9 @@ fn main() {
         for bench in sql_writes.iter().chain(sql_reads.iter()) {
             let clock = ActorClock::new();
             let sys = nvcache_bench::build_system(
-                &SystemSpec::new(kind, scale).with_log_shards(shards),
+                &SystemSpec::new(kind, scale)
+                    .with_log_shards(shards)
+                    .with_queue_depth(queue_depth),
                 &clock,
             );
             let db = SqlightDb::open(

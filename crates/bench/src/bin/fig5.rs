@@ -5,11 +5,17 @@
 //! until saturation at ≈18 s, then collapses to ≈78 MiB/s — the SSD's random
 //! write speed; smaller logs saturate earlier and land on the same floor.
 //!
-//! Usage: `fig5 [--scale N] [--gib G] [--shards S] [--series]`
+//! Usage: `fig5 [--scale N] [--gib G] [--shards S] [--queue-depth Q] [--series]`
 //!
 //! `--shards S` splits the NVMM log into `S` striped sub-logs (each with its
 //! own cleanup worker and its own Fig. 5 back-pressure coupling); the
 //! summary then also prints the per-stripe saturation events.
+//!
+//! `--queue-depth Q` gives the SSD `Q` parallel command channels and lets
+//! each cleanup worker keep `Q` propagation writes in flight on its
+//! io_uring-style submission ring (1 = the paper's synchronous drain). The
+//! post-saturation floor then rises from the SSD's serial random-write
+//! speed towards `Q`-way-overlapped drain throughput.
 
 use fiosim::{run_job, JobSpec, RwMode};
 use nvcache::NvCacheConfig;
@@ -20,10 +26,11 @@ fn main() {
     let scale = arg_u64("--scale", 64);
     let gib = arg_u64("--gib", 20);
     let shards = arg_u64("--shards", 1).max(1) as usize;
+    let queue_depth = arg_u64("--queue-depth", 1).max(1) as usize;
     let io_total = (gib << 30) / scale;
     let want_series = arg_flag("--series");
     println!(
-        "Fig. 5 — NVCache+SSD randwrite {gib} GiB with variable log size (scale 1/{scale}, {shards} log shard(s))"
+        "Fig. 5 — NVCache+SSD randwrite {gib} GiB with variable log size (scale 1/{scale}, {shards} log shard(s), queue depth {queue_depth})"
     );
 
     let log_sizes: [(&str, u64); 4] =
@@ -39,6 +46,7 @@ fn main() {
         }
         let spec = SystemSpec::new(SystemKind::NvcacheSsd, scale)
             .with_nvcache_cfg(cfg)
+            .with_queue_depth(queue_depth)
             .timing_only();
         let sys = nvcache_bench::build_system(&spec, &clock);
         let job = JobSpec {

@@ -5,7 +5,11 @@
 //! after it, batch=1 collapses to ≈21 MiB/s (one fsync per entry) while
 //! batches ≥100 all land near the SSD's ≈80 MiB/s random-write speed.
 //!
-//! Usage: `fig6 [--scale N] [--gib G] [--series]`
+//! Usage: `fig6 [--scale N] [--gib G] [--queue-depth Q] [--series]`
+//!
+//! `--queue-depth Q` overlaps up to `Q` of each batch's propagation writes
+//! (io_uring-style) on a `Q`-channel SSD; with `Q = 1` (default) the sweep
+//! reproduces the paper's synchronous-drain numbers.
 
 use fiosim::{run_job, JobSpec, RwMode};
 use nvcache::NvCacheConfig;
@@ -15,9 +19,12 @@ use simclock::{ActorClock, SimTime};
 fn main() {
     let scale = arg_u64("--scale", 64);
     let gib = arg_u64("--gib", 20);
+    let queue_depth = arg_u64("--queue-depth", 1).max(1) as usize;
     let io_total = (gib << 30) / scale;
     let want_series = arg_flag("--series");
-    println!("Fig. 6 — NVCache+SSD batching sweep, 8 GiB log (scale 1/{scale})");
+    println!(
+        "Fig. 6 — NVCache+SSD batching sweep, 8 GiB log (scale 1/{scale}, queue depth {queue_depth})"
+    );
 
     let batch_sizes = [1usize, 10, 100, 500, 1000, 5000];
     let mut rows = Vec::new();
@@ -31,6 +38,7 @@ fn main() {
             .with_batching(scaled_batch, scaled_batch);
         let spec = SystemSpec::new(SystemKind::NvcacheSsd, scale)
             .with_nvcache_cfg(cfg)
+            .with_queue_depth(queue_depth)
             .timing_only();
         let sys = nvcache_bench::build_system(&spec, &clock);
         let job = JobSpec {

@@ -86,6 +86,11 @@ pub struct SystemSpec {
     /// NVCache log stripes (`1` = the paper's single log; applied on top of
     /// whatever configuration the spec resolves to).
     pub log_shards: usize,
+    /// I/O queue depth (`1` = the paper's strictly synchronous model).
+    /// `N > 1` gives SSD-backed devices `N` parallel command channels and
+    /// lets each NVCache cleanup worker keep `N` propagation writes in
+    /// flight on its submission ring.
+    pub queue_depth: usize,
 }
 
 impl SystemSpec {
@@ -98,6 +103,7 @@ impl SystemSpec {
             nvcache_cfg: None,
             keep_content: true,
             log_shards: 1,
+            queue_depth: 1,
         }
     }
 
@@ -117,6 +123,17 @@ impl SystemSpec {
     /// each). No effect on systems without an NVCache layer.
     pub fn with_log_shards(mut self, shards: usize) -> Self {
         self.log_shards = shards.max(1);
+        self
+    }
+
+    /// Sets the I/O queue depth: SSD command channels plus the NVCache
+    /// cleanup workers' submission-ring depth (`1` = fully synchronous, the
+    /// paper's model). Applies to every system with an SSD and/or an
+    /// NVCache layer — including NVCache+NOVA, whose drain overlaps NOVA's
+    /// write latency; only the plain NVMM systems (Ext4-DAX, NOVA, tmpfs)
+    /// are unaffected.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
         self
     }
 }
@@ -145,9 +162,11 @@ fn nvmm_profile() -> NvmmProfile {
     NvmmProfile::optane().without_durability_tracking()
 }
 
-fn ssd(keep_content: bool) -> Arc<SsdDevice> {
-    let profile =
-        if keep_content { SsdProfile::s4600() } else { SsdProfile::s4600().timing_only() };
+fn ssd(keep_content: bool, queue_depth: usize) -> Arc<SsdDevice> {
+    let mut profile = SsdProfile::s4600().with_queue_depth(queue_depth.max(1));
+    if !keep_content {
+        profile = profile.timing_only();
+    }
     Arc::new(SsdDevice::new(profile))
 }
 
@@ -182,7 +201,7 @@ pub fn build_system(spec: &SystemSpec, clock: &ActorClock) -> System {
     let nvmm_bytes = (spec.nvmm_bytes_full / scale).max(64 << 20);
     match spec.kind {
         SystemKind::Ssd => {
-            let dev = ssd(spec.keep_content);
+            let dev = ssd(spec.keep_content, spec.queue_depth);
             System {
                 name: spec.kind.label(),
                 fs: Arc::new(Ext4::new("ext4+ssd", dev, ext4_profile(scale, spec.keep_content))),
@@ -209,7 +228,7 @@ pub fn build_system(spec: &SystemSpec, clock: &ActorClock) -> System {
             }
         }
         SystemKind::DmWritecacheSsd => {
-            let dev = ssd(spec.keep_content);
+            let dev = ssd(spec.keep_content, spec.queue_depth);
             let dimm = Arc::new(NvDimm::new(nvmm_bytes, nvmm_profile()));
             let dm = Arc::new(DmWriteCacheDev::new(
                 dev as Arc<dyn BlockDevice>,
@@ -228,7 +247,7 @@ pub fn build_system(spec: &SystemSpec, clock: &ActorClock) -> System {
         }
         SystemKind::NvcacheSsd | SystemKind::NvcacheNova => {
             let inner: Arc<dyn FileSystem> = if spec.kind == SystemKind::NvcacheSsd {
-                let dev = ssd(spec.keep_content);
+                let dev = ssd(spec.keep_content, spec.queue_depth);
                 Arc::new(Ext4::new("ext4+ssd", dev, ext4_profile(scale, spec.keep_content)))
             } else {
                 let dimm = Arc::new(NvDimm::new(nvmm_bytes, nvmm_profile()));
@@ -240,6 +259,9 @@ pub fn build_system(spec: &SystemSpec, clock: &ActorClock) -> System {
                 .unwrap_or_else(|| NvCacheConfig::default().scaled(scale));
             if spec.log_shards > 1 {
                 cfg = cfg.with_log_shards(spec.log_shards);
+            }
+            if spec.queue_depth > 1 {
+                cfg = cfg.with_queue_depth(spec.queue_depth);
             }
             let log_dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), nvmm_profile()));
             let cache = NvCache::format(NvRegion::whole(log_dimm), inner, cfg, clock)
@@ -295,6 +317,21 @@ mod tests {
         sys.fs.pread(fd, &mut buf, 3 * 4096, &clock).expect("pread");
         assert_eq!(buf[0], 4);
         assert_eq!(nc.stats().snapshot().per_shard.len(), 4);
+        sys.fs.close(fd, &clock).expect("close");
+        sys.shutdown(&clock);
+    }
+
+    #[test]
+    fn queue_depth_threads_into_nvcache_and_ssd() {
+        let clock = ActorClock::new();
+        let spec = SystemSpec::new(SystemKind::NvcacheSsd, 512)
+            .with_log_shards(2)
+            .with_queue_depth(8);
+        let sys = build_system(&spec, &clock);
+        let nc = sys.nvcache.as_ref().expect("nvcache system");
+        assert_eq!(nc.config().queue_depth, 8);
+        let fd = sys.fs.open("/qd", OpenFlags::RDWR | OpenFlags::CREATE, &clock).expect("open");
+        sys.fs.pwrite(fd, &[1u8; 4096], 0, &clock).expect("pwrite");
         sys.fs.close(fd, &clock).expect("close");
         sys.shutdown(&clock);
     }

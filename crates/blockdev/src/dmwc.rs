@@ -42,7 +42,7 @@ struct DmState {
 }
 
 /// The `dm-writecache` device-mapper target: an SSD fronted by an NVMM block
-/// cache (paper Table I column "DM-WriteCache", [53]).
+/// cache (paper Table I column "DM-WriteCache", ref \[53\]).
 ///
 /// Writes land in persistent memory (fast, durable once metadata commits)
 /// and are written back to the SSD in the background; reads prefer the cache.

@@ -1,6 +1,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use simclock::{ActorClock, Bandwidth, Resource, SimTime};
+use simclock::{ActorClock, Bandwidth, ChannelResource, SimTime};
 
 use crate::{BlockDevice, DeviceStats, SparseStore};
 
@@ -13,7 +13,7 @@ use crate::{BlockDevice, DeviceStats, SparseStore};
 ///   SSD performing random writes");
 /// * sequential writes sustain ≈450 MiB/s;
 /// * a flush (fsync reaching the device) costs ≈140µs, making a 4 KiB
-///   write+flush ≈13× slower than the write alone (paper §III cites [35]).
+///   write+flush ≈13× slower than the write alone (paper §III cites ref \[35\]).
 #[derive(Debug, Clone)]
 pub struct SsdProfile {
     /// Capacity in bytes.
@@ -30,6 +30,11 @@ pub struct SsdProfile {
     pub flush: SimTime,
     /// Keep written content (disable for timing-only benches).
     pub keep_content: bool,
+    /// Parallel command-queue channels (NCQ depth). `1` — the seed model —
+    /// serves strictly serially; `k > 1` lets up to `k` requests whose
+    /// submission windows overlap (e.g. an io_uring-style batch) proceed
+    /// concurrently. Flushes are barriers across all channels either way.
+    pub queue_depth: usize,
 }
 
 impl SsdProfile {
@@ -43,6 +48,7 @@ impl SsdProfile {
             rand_read_4k: SimTime::from_micros(90),
             flush: SimTime::from_micros(140),
             keep_content: true,
+            queue_depth: 1,
         }
     }
 
@@ -57,6 +63,17 @@ impl SsdProfile {
         self.capacity = bytes;
         self
     }
+
+    /// Overrides the command-queue depth (parallel service channels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "queue depth must be at least 1");
+        self.queue_depth = depth;
+        self
+    }
 }
 
 impl Default for SsdProfile {
@@ -69,12 +86,15 @@ impl Default for SsdProfile {
 ///
 /// Writes within 128 KiB of the previous write's end are billed at sequential
 /// bandwidth; anything else pays the random 4 KiB service time per 4 KiB.
-/// The device is a serial [`Resource`]: concurrent submitters queue.
+/// The device timeline is a [`ChannelResource`] with
+/// [`queue_depth`](SsdProfile::queue_depth) channels: at the default depth
+/// of 1 it is strictly serial (concurrent submitters queue, the seed
+/// model); deeper queues serve overlapping submissions concurrently.
 #[derive(Debug)]
 pub struct SsdDevice {
     profile: SsdProfile,
     store: SparseStore,
-    timeline: Resource,
+    timeline: ChannelResource,
     last_write_end: AtomicU64,
     last_read_end: AtomicU64,
     stats: DeviceStats,
@@ -88,10 +108,11 @@ impl SsdDevice {
     /// Creates an SSD with the given profile.
     pub fn new(profile: SsdProfile) -> Self {
         let keep = profile.keep_content;
+        let depth = profile.queue_depth;
         SsdDevice {
             profile,
             store: SparseStore::new(keep),
-            timeline: Resource::new(),
+            timeline: ChannelResource::new(depth),
             last_write_end: AtomicU64::new(u64::MAX),
             last_read_end: AtomicU64::new(u64::MAX),
             stats: DeviceStats::default(),
@@ -160,7 +181,8 @@ impl BlockDevice for SsdDevice {
     }
 
     fn flush(&self, clock: &ActorClock) {
-        let done = self.timeline.serve(clock.now(), self.profile.flush);
+        // A flush is a barrier: it completes only after every queued command.
+        let done = self.timeline.serve_barrier(clock.now(), self.profile.flush);
         clock.advance_to(done);
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
     }
@@ -251,6 +273,38 @@ mod tests {
         // observe at least the total service time.
         let max = finish.iter().copied().max().unwrap();
         assert!(max >= SsdProfile::s4600().rand_write_4k * 200);
+    }
+
+    #[test]
+    fn queue_depth_overlaps_batched_random_writes() {
+        // 32 random 4 KiB writes submitted at the same instant: a QD-8 drive
+        // serves them in 4 waves instead of 32 serial slots.
+        let service = SsdProfile::s4600().rand_write_4k;
+        let elapsed = |depth: usize| {
+            let ssd = SsdDevice::new(SsdProfile::s4600().with_queue_depth(depth));
+            let mut last = SimTime::ZERO;
+            for i in 0..32u64 {
+                let op = ActorClock::new(); // all submitted at t=0
+                ssd.write(i * (1 << 20), &[0u8; 4096], &op);
+                last = last.max(op.now());
+            }
+            last
+        };
+        assert_eq!(elapsed(1), service * 32);
+        assert_eq!(elapsed(8), service * 4);
+    }
+
+    #[test]
+    fn flush_is_a_barrier_across_channels() {
+        let ssd = SsdDevice::new(SsdProfile::s4600().with_queue_depth(4));
+        for i in 0..4u64 {
+            let op = ActorClock::new();
+            ssd.write(i * (1 << 20), &[0u8; 4096], &op);
+        }
+        let c = ActorClock::new();
+        ssd.flush(&c);
+        let profile = SsdProfile::s4600();
+        assert_eq!(c.now(), profile.rand_write_4k + profile.flush);
     }
 
     #[test]

@@ -1,3 +1,9 @@
+//! The NVCache façade: [`NvCache`] (format/recover/shutdown, the
+//! intercepted `FileSystem` surface of paper Table III) and the [`Shared`]
+//! state joining the application-facing write/read paths with the
+//! per-stripe cleanup workers (write path → stripe routing, read cache and
+//! dirty-miss procedure, close/zombie drain bookkeeping).
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -210,8 +216,10 @@ impl Shared {
         let descs: Vec<Arc<PageDescriptor>> = pages.map(|p| radix.get_or_create(p)).collect();
         let guards: Vec<_> = descs.iter().map(|d| d.lock()).collect();
 
-        // Append to the write cache (Algorithm 1 ll.14-27).
-        let (first_seq, first_gseq) = self.log.alloc(stripe, k, clock, &self.stats);
+        // Append to the write cache (Algorithm 1 ll.14-27). Fails if the
+        // stripe was poisoned by an inner I/O error (its worker is gone, so
+        // waiting for space could block forever).
+        let (first_seq, first_gseq) = self.log.alloc(stripe, k, clock, &self.stats)?;
         let leader_slot = stripe.slot(first_seq);
         for i in 0..k as usize {
             let chunk = &data[i * es..((i + 1) * es).min(data.len())];
@@ -543,6 +551,15 @@ impl NvCache {
         self.shared.log.in_flight()
     }
 
+    /// Indices of log stripes poisoned by an inner-file-system error: their
+    /// workers have stopped, their pending entries await
+    /// [`NvCache::recover`], and writes routed to them fail. Empty in
+    /// healthy operation ([`NvCacheStats::inner_io_errors`] counts the
+    /// causes).
+    pub fn poisoned_stripes(&self) -> Vec<usize> {
+        self.shared.log.poisoned_stripes()
+    }
+
     /// Descriptor-table occupancy: `(free, open, zombie)` slot counts.
     pub fn fd_slot_usage(&self) -> (usize, usize, usize) {
         (
@@ -554,9 +571,29 @@ impl NvCache {
 
     /// Blocks until every entry currently in any stripe has been propagated
     /// and fsync'ed by its cleanup worker (the flush barrier drains *all*
-    /// stripes).
+    /// stripes). If a stripe is poisoned the barrier returns early — its
+    /// entries can only drain through [`NvCache::recover`]; operations
+    /// whose correctness *depends* on the drain use the internal
+    /// `drained_flush` and propagate the error instead.
     pub fn flush_log(&self, clock: &ActorClock) {
         self.shared.log.flush_all(clock);
+    }
+
+    /// A [`flush_log`](NvCache::flush_log) that fails when the drain could
+    /// not complete because a stripe is poisoned. Ordering-sensitive
+    /// operations (truncate, rename, `O_TRUNC` opens) must not proceed in
+    /// that state: their pending entries would stay in NVMM and recovery
+    /// would later replay them *over* the operation's effect.
+    fn drained_flush(&self, clock: &ActorClock) -> IoResult<()> {
+        self.flush_log(clock);
+        if self.shared.log.any_poisoned() {
+            return Err(IoError::Other(
+                "NVCache log stripe poisoned by an inner I/O error: pending entries \
+                 cannot drain (recovery required)"
+                    .into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Graceful shutdown: drain every stripe, stop and join the cleanup
@@ -688,7 +725,7 @@ impl FileSystem for NvCache {
         let path = vfs::normalize_path(path);
         if flags.contains(OpenFlags::TRUNC) && flags.writable() {
             // Pending log entries for the victim content must not resurface.
-            self.flush_log(clock);
+            self.drained_flush(clock)?;
         }
         // NVCache provides durability itself; the inner file is opened
         // without O_SYNC (the cleanup thread fsyncs batches explicitly).
@@ -735,6 +772,12 @@ impl FileSystem for NvCache {
                     if slot.is_some() {
                         break;
                     }
+                    if self.shared.log.any_poisoned() {
+                        // Zombies pinned by a poisoned stripe can never
+                        // drain; spinning on them would only delay the
+                        // error below.
+                        break;
+                    }
                     if self.shared.zombies.lock().is_empty()
                         && self
                             .shared
@@ -753,7 +796,13 @@ impl FileSystem for NvCache {
                 None => {
                     file.open_count.fetch_sub(1, Ordering::AcqRel);
                     let _ = self.shared.inner.close(inner_fd, clock);
-                    return Err(IoError::Other("NVCache fd table is full".into()));
+                    let cause = if self.shared.log.any_poisoned() {
+                        "NVCache fd table exhausted: a poisoned log stripe pins \
+                         closed descriptors (recovery required)"
+                    } else {
+                        "NVCache fd table is full"
+                    };
+                    return Err(IoError::Other(cause.into()));
                 }
             }
         };
@@ -829,7 +878,7 @@ impl FileSystem for NvCache {
         clock.advance(self.shared.cfg.libc_overhead);
         // Rare, non-critical path: drain then delegate, keeping NVCache's
         // size authoritative.
-        self.flush_log(clock);
+        self.drained_flush(clock)?;
         self.shared.inner.ftruncate(opened.inner_fd, len, clock)?;
         opened.file.size.store(len, Ordering::Release);
         self.shared.pool.purge_file(opened.file.file_id);
@@ -868,7 +917,9 @@ impl FileSystem for NvCache {
 
     fn rename(&self, from: &str, to: &str, clock: &ActorClock) -> IoResult<()> {
         clock.advance(self.shared.cfg.libc_overhead);
-        self.flush_log(clock);
+        // Pending entries logically precede the rename; replaying them after
+        // it (recovery) would corrupt the new name's content.
+        self.drained_flush(clock)?;
         self.shared.inner.rename(from, to, clock)
     }
 

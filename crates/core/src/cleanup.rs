@@ -1,6 +1,15 @@
+//! The per-stripe cleanup workers (paper §III "Cleanup thread and
+//! batching"): each worker consumes committed entries from its stripe's
+//! tail in batches and propagates them to the inner file system through an
+//! io_uring-style submission ring ([`fiosim::IoRing`]), overlapping up to
+//! [`queue_depth`](crate::NvCacheConfig::queue_depth) inner writes before
+//! the batch's coalesced `fsync`s. Inner-file-system errors poison the
+//! stripe (see [`crate::NvCache::poisoned_stripes`]) instead of panicking.
+
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use fiosim::IoRing;
 use simclock::SimTime;
 
 use crate::cache::Shared;
@@ -9,12 +18,31 @@ use crate::layout::CommitWord;
 /// Body of one cleanup worker (paper §III "Cleanup thread and batching",
 /// one worker per log stripe).
 ///
-/// Consumes committed entries from its stripe's tail in batches, propagates
-/// each to the inner file system with `pwrite`, issues one `fsync` per batch
-/// (per touched file), then — and only then — clears the commit flags,
-/// persists the stripe's tail index, and finally publishes the space to
-/// writers through the volatile tail. The three-step order guarantees that
-/// when a writer sees a free slot, the slot is also free in NVMM.
+/// Consumes committed entries from its stripe's tail in batches. Each
+/// batch runs in three phases:
+///
+/// 1. **Submit** — every entry's `pwrite` against the inner file system is
+///    pushed onto the worker's submission ring. The write's side effects
+///    land immediately (execution order is exactly the synchronous drain's
+///    order, so page bookkeeping and cross-stripe handoff are unchanged),
+///    but its *latency* is charged to a per-operation clock: with
+///    `queue_depth = N`, up to `N` writes overlap on the inner device
+///    instead of each waiting for the previous completion.
+/// 2. **Reap** — the worker joins all completions, then submits one
+///    coalesced `fsync` per file the batch touched (also overlapped on the
+///    ring) and reaps those too. This is the batching knob of paper Fig. 6,
+///    now amortizing the device latency across in-flight submissions as
+///    well as across entries.
+/// 3. **Free** — only after the whole batch's completions (writes *and*
+///    fsyncs) have landed does the worker clear commit flags, persist the
+///    stripe's tail index, and publish the space to writers through the
+///    volatile tail. A crash anywhere before phase 3 therefore leaves the
+///    persistent tail untouched and recovery replays the batch — the same
+///    crash-consistency contract as the synchronous drain.
+///
+/// With `queue_depth = 1` the ring degenerates to back-to-back calls on one
+/// timeline: the drain is behaviorally *and* temporally identical to the
+/// paper's synchronous cleanup (the `qd1` oracle tests pin this down).
 ///
 /// With multiple stripes, workers additionally synchronize *per page*
 /// through the descriptors' propagation queues: an entry is only written to
@@ -23,11 +51,18 @@ use crate::layout::CommitWord;
 /// ring order within each stripe, a worker only ever waits for *smaller*
 /// sequence numbers sitting at other stripes' tails — the waits form no
 /// cycle and unrelated pages never serialize.
+///
+/// An inner-file-system error (failed `pwrite` or `fsync`) does **not**
+/// abort the worker thread with a panic: the error is counted in
+/// [`inner_io_errors`](crate::NvCacheStats::inner_io_errors), the stripe is
+/// poisoned — releasing blocked writers and flush barriers with an error
+/// instead of a hang — and the batch's entries stay in NVMM for recovery.
 pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
     let clock = Arc::clone(&shared.cleanup_clocks[stripe_idx]);
     let stripe = &shared.log.stripes[stripe_idx];
     let ordered_handoff = !shared.log.single();
     let shard_stats = &shared.stats.per_shard[stripe_idx];
+    let mut ring = IoRing::new(Arc::clone(&shared.inner), shared.cfg.queue_depth);
     loop {
         if shared.kill.load(Ordering::Acquire) {
             // Crash simulation: leave everything in the log for recovery.
@@ -65,7 +100,9 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
         let budget = (shared.cfg.batch_max as u64).min(pending);
         let mut consumed = 0u64;
         let mut touched_fds: Vec<vfs::Fd> = Vec::new();
+        let mut batch_failed = false;
 
+        // Phase 1: submit the batch's propagation writes onto the ring.
         while consumed < budget {
             if shared.kill.load(Ordering::Acquire) {
                 return;
@@ -124,15 +161,31 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
                     None => Vec::new(),
                 };
                 if ordered_handoff && !wait_for_handoff(&shared, stripe, &descs, e.seq) {
-                    return; // killed while waiting
+                    if shared.kill.load(Ordering::Acquire) {
+                        return; // killed while waiting
+                    }
+                    // The awaited sequence number is stuck in a poisoned
+                    // stripe (the handoff's grace period passed without
+                    // progress): per-page ordering can no longer be
+                    // maintained, so this stripe degrades too (writers get
+                    // errors, not hangs; recovery replays the rest).
+                    batch_failed = true;
+                    break;
                 }
                 // Lock out the dirty-miss procedure for the affected pages
-                // while the kernel copy is being updated (paper §II-D).
+                // while the kernel copy is being updated (paper §II-D). The
+                // write itself executes here (submission order is execution
+                // order); only its completion time is deferred to the reap.
                 let guards: Vec<_> = descs.iter().map(|d| d.lock_cleanup()).collect();
-                shared
-                    .inner
-                    .pwrite(opened.inner_fd, &data, e.file_off, &clock)
-                    .expect("inner pwrite during cleanup");
+                let cqe =
+                    ring.submit_pwrite(opened.inner_fd, &data, e.file_off, e.seq, clock.now());
+                let failed = cqe.result.is_err();
+                shard_stats.uring_submitted.fetch_add(1, Ordering::Relaxed);
+                if failed {
+                    drop(guards);
+                    batch_failed = true;
+                    break;
+                }
                 for d in &descs {
                     d.dec_dirty();
                     if ordered_handoff {
@@ -146,28 +199,76 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
                 shared.stats.entries_propagated.fetch_add(1, Ordering::Relaxed);
                 shard_stats.entries_propagated.fetch_add(1, Ordering::Relaxed);
             }
+            if batch_failed {
+                break;
+            }
             consumed += group_len;
         }
 
+        // Phase 2: reap the writes, then overlap the coalesced fsyncs.
+        let write_cqes = ring.wait_all(&clock);
+        shard_stats
+            .uring_completed
+            .fetch_add(write_cqes.len() as u64, Ordering::Relaxed);
+        shard_stats
+            .uring_inflight_peak
+            .fetch_max(ring.peak_in_flight() as u64, Ordering::Relaxed);
+        let write_errors = write_cqes.iter().filter(|c| c.result.is_err()).count() as u64;
+        if batch_failed || write_errors > 0 {
+            // `write_errors` may be 0 when the batch failed because a *peer*
+            // stripe poisoned itself mid-handoff: this stripe still degrades
+            // (cascade poison) but records no error of its own.
+            poison(&shared, stripe_idx, write_errors);
+            return;
+        }
         if consumed == 0 {
             continue;
         }
 
         // One fsync per batch per touched file: this is the batching knob of
-        // paper Fig. 6 (each stripe applies the policy independently).
-        for fd in touched_fds {
-            // The fd may have raced to close after we propagated its last
-            // entry; a close error here would mean the drain ordering broke.
-            shared.inner.fsync(fd, &clock).expect("inner fsync during cleanup");
-            shared.stats.cleanup_fsyncs.fetch_add(1, Ordering::Relaxed);
-            shard_stats.cleanup_fsyncs.fetch_add(1, Ordering::Relaxed);
+        // paper Fig. 6 (each stripe applies the policy independently). The
+        // fd may have raced to close after we propagated its last entry; an
+        // error here would mean the drain ordering broke — poison, as above.
+        for (i, fd) in touched_fds.iter().enumerate() {
+            ring.submit_fsync(*fd, i as u64, clock.now());
+            shard_stats.uring_submitted.fetch_add(1, Ordering::Relaxed);
+        }
+        let fsync_cqes = ring.wait_all(&clock);
+        shard_stats
+            .uring_completed
+            .fetch_add(fsync_cqes.len() as u64, Ordering::Relaxed);
+        // Only *successful* fsyncs count towards the Fig. 6 amortization
+        // stats — a failed batch is not a durable drain.
+        let fsync_ok = fsync_cqes.iter().filter(|c| c.result.is_ok()).count() as u64;
+        shared.stats.cleanup_fsyncs.fetch_add(fsync_ok, Ordering::Relaxed);
+        shard_stats.cleanup_fsyncs.fetch_add(fsync_ok, Ordering::Relaxed);
+        let fsync_errors = fsync_cqes.len() as u64 - fsync_ok;
+        if fsync_errors > 0 {
+            poison(&shared, stripe_idx, fsync_errors);
+            return;
         }
 
+        // Phase 3: the whole batch (writes and fsyncs) has landed — only now
+        // may the tail advance past it.
         stripe.free_range(tail, consumed, &clock);
         shared.stats.cleanup_batches.fetch_add(1, Ordering::Relaxed);
         shard_stats.cleanup_batches.fetch_add(1, Ordering::Relaxed);
         shared.drain_zombies(&clock);
     }
+}
+
+/// Records `errors` inner-file-system failures against stripe `stripe_idx`
+/// and poisons it: the stripe's entries stay in NVMM for recovery, blocked
+/// writers and flush barriers are released (they observe the poisoned state
+/// instead of waiting on a worker that is about to exit), and the worker
+/// returns cleanly.
+fn poison(shared: &Shared, stripe_idx: usize, errors: u64) {
+    shared.stats.inner_io_errors.fetch_add(errors, Ordering::Relaxed);
+    shared.stats.per_shard[stripe_idx]
+        .inner_io_errors
+        .fetch_add(errors, Ordering::Relaxed);
+    shared.log.stripes[stripe_idx].poison();
+    shared.log.notify_work_all();
 }
 
 /// Cross-stripe per-page ordering: blocks until `gseq` is the oldest
@@ -179,13 +280,21 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
 /// waiter exists — which requires page-straddling writes whose entries
 /// split across stripes; entry-aligned workloads (e.g. the Fig. 6 sweep)
 /// never trigger it. Returns `false` if the cache was killed while
-/// waiting.
+/// waiting, or if the handoff can provably never complete because a
+/// sequence number it is waiting on is pending inside a *poisoned* stripe
+/// (whose worker is gone). A poisoned stripe elsewhere in the log does not
+/// degrade this one: after a grace period of parked waits the blocking
+/// sequence numbers are located by scanning the poisoned stripes' pending
+/// windows, and the wait continues whenever they sit in healthy stripes.
 fn wait_for_handoff(
     shared: &Shared,
     stripe: &crate::log::Stripe,
     descs: &[Arc<crate::pagedesc::PageDescriptor>],
     gseq: u64,
 ) -> bool {
+    /// Parked (condvar, ~1 ms each) waits between scans of the poisoned
+    /// stripes' windows once a poisoned stripe has been observed.
+    const POISON_GRACE_PARKS: u32 = 64;
     let at_front = |descs: &[Arc<crate::pagedesc::PageDescriptor>]| {
         descs
             .iter()
@@ -197,12 +306,22 @@ fn wait_for_handoff(
     shared.log.handoff_waiters.fetch_add(1, Ordering::AcqRel);
     shared.log.notify_work_all();
     let mut spins = 0u32;
+    let mut poison_parks = 0u32;
     let survived = loop {
         if at_front(descs) {
             break true;
         }
         if shared.kill.load(Ordering::Acquire) {
             break false;
+        }
+        if poison_parks > POISON_GRACE_PARKS {
+            poison_parks = 0;
+            if blocked_by_poisoned_stripe(shared, descs, gseq) {
+                break false;
+            }
+            // The blocking entries sit in healthy stripes — their workers
+            // will drain them (handoff pressure keeps them running); the
+            // peer's poison is not this stripe's problem.
         }
         // Brief spin for the common sub-microsecond handoff, then park on
         // the stripe's work condvar (1 ms timeout, like wait_for_work)
@@ -212,8 +331,44 @@ fn wait_for_handoff(
             std::thread::yield_now();
         } else {
             stripe.wait_for_work();
+            if shared.log.any_poisoned() {
+                poison_parks += 1;
+            }
         }
     };
     shared.log.handoff_waiters.fetch_sub(1, Ordering::AcqRel);
     survived
+}
+
+/// Whether any sequence number currently blocking the handoff (a
+/// propagation-queue front smaller than `gseq`) is pending inside a
+/// poisoned stripe's `[tail, head)` window — in which case it will never
+/// be popped and the waiter must give up. Pending entries always live in
+/// some stripe's window until freed, so a miss here means the blocker is
+/// in a healthy stripe (or was popped concurrently — the caller's
+/// `at_front` re-check picks that up). Only runs on the degraded path.
+fn blocked_by_poisoned_stripe(
+    shared: &Shared,
+    descs: &[Arc<crate::pagedesc::PageDescriptor>],
+    gseq: u64,
+) -> bool {
+    let blockers: Vec<u64> = descs
+        .iter()
+        .filter_map(|d| d.propagation_front())
+        .filter(|&front| front < gseq)
+        .collect();
+    if blockers.is_empty() {
+        return false;
+    }
+    for poisoned in shared.log.stripes.iter().filter(|s| s.is_poisoned()) {
+        let tail = poisoned.vtail.load(Ordering::Acquire);
+        let head = poisoned.head.load(Ordering::Acquire);
+        for seq in tail..head {
+            let h = poisoned.read_header(seq);
+            if h.commit != CommitWord::Free && blockers.contains(&h.seq) {
+                return true;
+            }
+        }
+    }
+    false
 }

@@ -1,3 +1,8 @@
+//! Configuration of an NVCache instance: the paper's §IV-A capacity and
+//! batching knobs, the striping (`log_shards`) and async-drain
+//! (`queue_depth`) extensions, and the scaling rules that shrink capacities
+//! for test machines while preserving the saturation dynamics.
+
 use simclock::{Bandwidth, SimTime};
 
 /// Configuration of an [`NvCache`](crate::NvCache) instance.
@@ -42,6 +47,14 @@ pub struct NvCacheConfig {
     /// hash; a global sequence number preserves recoverability (entries from
     /// all stripes merge-replay in total order).
     pub log_shards: usize,
+    /// Queue depth of each cleanup worker's submission ring. `1` (the
+    /// default) reproduces the paper's synchronous drain exactly: every
+    /// propagation `pwrite` waits for the previous one. `N > 1` lets each
+    /// worker keep up to `N` propagation writes in flight (io_uring-style),
+    /// overlapping the inner device's latency across a batch; the batch's
+    /// coalesced `fsync`s still act as completion barriers, so the stripe
+    /// tail only advances once the whole batch is durable below.
+    pub queue_depth: usize,
     /// User-space bookkeeping cost charged per intercepted call (NVCache
     /// replaces the syscall with this — the design's core bet).
     pub libc_overhead: SimTime,
@@ -63,6 +76,7 @@ impl Default for NvCacheConfig {
             // worth of closes), or opens start forcing log drains.
             fd_slots: 4096,
             log_shards: 1,
+            queue_depth: 1,
             libc_overhead: SimTime::from_nanos(1_500),
             copy_bandwidth: Bandwidth::gib_per_sec(8.0),
         }
@@ -123,6 +137,18 @@ impl NvCacheConfig {
         self
     }
 
+    /// Sets the cleanup workers' submission-ring queue depth (`1` =
+    /// synchronous drain, the paper's behavior).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "queue_depth must be at least 1");
+        self.queue_depth = depth;
+        self
+    }
+
     /// Sets the cleanup batch window.
     pub fn with_batching(mut self, min: usize, max: usize) -> Self {
         assert!(min >= 1 && max >= min, "invalid batch window {min}..{max}");
@@ -169,6 +195,7 @@ impl NvCacheConfig {
             self.nb_entries / self.log_shards as u64 >= 2,
             "each log stripe needs at least two entries"
         );
+        assert!(self.queue_depth >= 1, "queue_depth must be at least 1");
     }
 }
 
@@ -214,6 +241,20 @@ mod tests {
     fn default_is_single_shard() {
         assert_eq!(NvCacheConfig::default().log_shards, 1);
         assert_eq!(NvCacheConfig::tiny().log_shards, 1);
+    }
+
+    #[test]
+    fn default_drain_is_synchronous() {
+        assert_eq!(NvCacheConfig::default().queue_depth, 1);
+        let cfg = NvCacheConfig::tiny().with_queue_depth(16);
+        assert_eq!(cfg.queue_depth, 16);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_depth must be at least 1")]
+    fn zero_queue_depth_panics() {
+        NvCacheConfig::tiny().with_queue_depth(0);
     }
 
     #[test]

@@ -1,3 +1,8 @@
+//! File bookkeeping: the volatile per-file and per-descriptor structures
+//! (paper §III "Open") plus [`PersistentFdTable`], the NVMM table mapping
+//! fd slots to paths so recovery can reopen the files referenced by
+//! pending log entries.
+
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64};
 use std::sync::{Arc, OnceLock};
 

@@ -9,8 +9,8 @@
 //! The crate implements the paper's §II–III designs in full:
 //!
 //! * the **write cache** — a circular NVMM log of fixed-size entries with
-//!   per-entry commit flags and group commit for large writes ([`log`],
-//!   Algorithm 1);
+//!   per-entry commit flags and group commit for large writes (Algorithm
+//!   1);
 //! * the **read cache** — a bounded pool of page contents indexed by
 //!   per-file lock-free radix trees, with approximate LRU eviction and the
 //!   Table II page state machine ([`Radix`], [`PageState`]);
@@ -67,6 +67,26 @@
 //! each stripe couples its writers to its own cleanup worker's virtual
 //! `tail_time`/`free_stamps`, and [`NvCacheStats::per_shard`] exposes the
 //! per-stripe saturation and propagation counters.
+//!
+//! ## The asynchronous drain
+//!
+//! The paper's cleanup thread propagates entries with strictly synchronous
+//! `pwrite`+`fsync`, paying the inner device's latency once per entry.
+//! [`NvCacheConfig::queue_depth`] instead drains each batch through an
+//! io_uring-style submission ring ([`fiosim::IoRing`]): up to `queue_depth`
+//! propagation writes overlap on the inner device, completions are reaped,
+//! and one coalesced `fsync` per touched file closes the batch. The stripe
+//! tail only advances after the *whole* batch's completions (writes and
+//! fsyncs) have landed, so the crash-consistency contract — recovery
+//! replays everything past the persistent tail — is unchanged, and
+//! `queue_depth = 1` (the default) is behaviorally *and* temporally
+//! identical to the synchronous drain.
+//!
+//! Inner-file-system errors during the drain no longer panic the worker:
+//! they are counted ([`NvCacheStats::inner_io_errors`]) and **poison** the
+//! stripe — writes routed to it fail fast, flush barriers return instead of
+//! hanging, and the stripe's pending entries stay in NVMM for
+//! [`NvCache::recover`] (see [`NvCache::poisoned_stripes`]).
 //!
 //! ## Quick start
 //!

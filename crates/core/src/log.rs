@@ -1,9 +1,15 @@
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+//! The striped circular NVMM write log: [`Stripe`] (per-stripe heads/tails,
+//! commit protocol, virtual-time back-pressure coupling, poisoned-stripe
+//! error state) and [`Log`] (hash routing, global sequence assignment,
+//! cross-stripe flush barriers).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use nvmm::{NvRegion, PmemInts};
 use parking_lot::{Condvar, Mutex};
 use simclock::{ActorClock, SimTime};
+use vfs::{IoError, IoResult};
 
 use crate::layout::{
     self, CommitWord, Layout, COMMIT_LEADER, ENT_COMMIT, ENT_FD, ENT_FILE_OFF, ENT_GROUP_LEN,
@@ -67,6 +73,11 @@ pub(crate) struct Stripe {
     /// Stripe-local sequence number the cleanup worker must drain to (flush
     /// barrier).
     pub flush_target: AtomicU64,
+    /// Set when this stripe's cleanup worker hit an inner-file-system error
+    /// it cannot recover from. A poisoned stripe stops draining (its
+    /// entries stay in NVMM for recovery), rejects new writes with an I/O
+    /// error, and releases flush waiters instead of blocking them forever.
+    poisoned: AtomicBool,
     /// Serializes head advancement with global-sequence assignment, keeping
     /// ring order == global order within the stripe.
     alloc_lock: Mutex<()>,
@@ -105,6 +116,7 @@ impl Stripe {
             tail_time: AtomicU64::new(0),
             space_waiters: AtomicUsize::new(0),
             flush_target: AtomicU64::new(start_seq),
+            poisoned: AtomicBool::new(false),
             alloc_lock: Mutex::new(()),
             space_lock: Mutex::new(()),
             space_cv: Condvar::new(),
@@ -237,6 +249,20 @@ impl Stripe {
         self.notify_space();
     }
 
+    /// Marks this stripe poisoned after an inner-file-system error and
+    /// releases everyone blocked on it (writers, flush barriers, peer
+    /// workers in the propagation handoff).
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        self.notify_space();
+        self.notify_work();
+    }
+
+    /// Whether this stripe is poisoned (see [`Stripe::poison`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
     /// Wakes this stripe's cleanup worker.
     pub fn notify_work(&self) {
         let _g = self.work_lock.lock();
@@ -257,13 +283,18 @@ impl Stripe {
 
     /// Requests a drain to at least `target` and blocks until the volatile
     /// tail passes it. Used by `close`/`flush` (paper: close pushes all
-    /// user-space writes to the kernel).
+    /// user-space writes to the kernel). Returns early (without reaching the
+    /// target) if the stripe is poisoned — its worker will never drain again
+    /// and the pending entries are only reachable through recovery.
     pub fn flush_to(&self, target: u64, clock: &ActorClock) {
         self.flush_target.fetch_max(target, Ordering::AcqRel);
         self.notify_work();
         loop {
             if self.vtail.load(Ordering::Acquire) >= target {
                 clock.advance_to(SimTime::from_nanos(self.tail_time.load(Ordering::Acquire)));
+                return;
+            }
+            if self.is_poisoned() {
                 return;
             }
             let mut guard = self.space_lock.lock();
@@ -362,6 +393,12 @@ impl Log {
     /// stripes). Returns `(stripe-local sequence, global sequence)` of the
     /// first entry.
     ///
+    /// # Errors
+    ///
+    /// [`IoError::Other`] if the stripe is (or becomes) poisoned: its
+    /// cleanup worker died on an inner-file-system error, so waiting for
+    /// space could block forever.
+    ///
     /// # Panics
     ///
     /// Panics if `k` exceeds the stripe capacity (such a write can never
@@ -372,11 +409,17 @@ impl Log {
         k: u64,
         clock: &ActorClock,
         stats: &NvCacheStats,
-    ) -> (u64, u64) {
+    ) -> IoResult<(u64, u64)> {
         let cap = stripe.capacity();
         assert!(k <= cap, "write of {k} entries exceeds stripe capacity {cap}");
         let mut waited = false;
         loop {
+            if stripe.is_poisoned() {
+                return Err(IoError::Other(format!(
+                    "NVCache log stripe {} is poisoned by an inner I/O error",
+                    stripe.index
+                )));
+            }
             let reserved = {
                 let _g = stripe.alloc_lock.lock();
                 let head = stripe.head.load(Ordering::Acquire);
@@ -410,7 +453,7 @@ impl Log {
                 if waited {
                     clock.advance_to(SimTime::from_nanos(stripe.tail_time.load(Ordering::Acquire)));
                 }
-                return (head, gseq);
+                return Ok((head, gseq));
             }
             if !waited {
                 stats.log_full_waits.fetch_add(1, Ordering::Relaxed);
@@ -476,6 +519,21 @@ impl Log {
             stripe.notify_work();
         }
     }
+
+    /// Whether any stripe is poisoned (used to break cross-stripe waits
+    /// that could otherwise spin on a dead worker).
+    pub fn any_poisoned(&self) -> bool {
+        self.stripes.iter().any(Stripe::is_poisoned)
+    }
+
+    /// Indices of the poisoned stripes.
+    pub fn poisoned_stripes(&self) -> Vec<usize> {
+        self.stripes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_poisoned().then_some(i))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -506,9 +564,9 @@ mod tests {
     fn alloc_is_monotonic_and_contiguous() {
         let (c, s, log) = mk_log(16);
         let stripe = &log.stripes[0];
-        assert_eq!(log.alloc(stripe, 1, &c, &s), (0, 0));
-        assert_eq!(log.alloc(stripe, 3, &c, &s), (1, 1));
-        assert_eq!(log.alloc(stripe, 1, &c, &s), (4, 4));
+        assert_eq!(log.alloc(stripe, 1, &c, &s).unwrap(), (0, 0));
+        assert_eq!(log.alloc(stripe, 3, &c, &s).unwrap(), (1, 1));
+        assert_eq!(log.alloc(stripe, 1, &c, &s).unwrap(), (4, 4));
         assert_eq!(log.in_flight(), 5);
     }
 
@@ -516,7 +574,7 @@ mod tests {
     fn fill_and_commit_round_trip() {
         let (c, s, log) = mk_log(16);
         let stripe = &log.stripes[0];
-        let (seq, gseq) = log.alloc(stripe, 1, &c, &s);
+        let (seq, gseq) = log.alloc(stripe, 1, &c, &s).unwrap();
         stripe.fill_entry(seq, gseq, 7, 4096, b"payload", 1, None, &c);
         let h = stripe.read_header(seq);
         assert_eq!(h.commit, CommitWord::Free, "not committed yet");
@@ -535,7 +593,7 @@ mod tests {
     fn group_members_point_to_leader() {
         let (c, s, log) = mk_log(16);
         let stripe = &log.stripes[0];
-        let (first, gseq) = log.alloc(stripe, 3, &c, &s);
+        let (first, gseq) = log.alloc(stripe, 3, &c, &s).unwrap();
         let leader_slot = stripe.slot(first);
         for i in 0..3u64 {
             let member = (i > 0).then_some(leader_slot);
@@ -551,10 +609,10 @@ mod tests {
     fn uncommitted_entries_are_lost_on_crash_committed_survive() {
         let (c, s, log) = mk_log(16);
         let stripe = &log.stripes[0];
-        let (a, ga) = log.alloc(stripe, 1, &c, &s);
+        let (a, ga) = log.alloc(stripe, 1, &c, &s).unwrap();
         stripe.fill_entry(a, ga, 1, 0, b"committed", 1, None, &c);
         stripe.commit_group(a, 1, &c);
-        let (b, gb) = log.alloc(stripe, 1, &c, &s);
+        let (b, gb) = log.alloc(stripe, 1, &c, &s).unwrap();
         stripe.fill_entry(b, gb, 1, 0, b"torn!", 1, None, &c);
         // no commit for b
         let crashed = log.region.dimm().crash_and_restart();
@@ -569,7 +627,7 @@ mod tests {
         let (c, s, log) = mk_log(4);
         let stripe = &log.stripes[0];
         for i in 0..4u64 {
-            let (seq, gseq) = log.alloc(stripe, 1, &c, &s);
+            let (seq, gseq) = log.alloc(stripe, 1, &c, &s).unwrap();
             stripe.fill_entry(seq, gseq, 0, i * 128, &[1; 8], 1, None, &c);
             stripe.commit_group(seq, 1, &c);
         }
@@ -578,7 +636,7 @@ mod tests {
         assert_eq!(log.in_flight(), 2);
         assert_eq!(log.region.read_u64(layout::OFF_PTAIL), 2);
         // Freed slots are reusable.
-        let (seq, _) = log.alloc(stripe, 2, &c, &s);
+        let (seq, _) = log.alloc(stripe, 2, &c, &s).unwrap();
         assert_eq!(seq, 4);
         assert_eq!(stripe.read_header(4).commit, CommitWord::Free);
     }
@@ -588,7 +646,7 @@ mod tests {
         let (c, s, log) = mk_log(4);
         for _ in 0..4 {
             let stripe = &log.stripes[0];
-            let (seq, gseq) = log.alloc(stripe, 1, &c, &s);
+            let (seq, gseq) = log.alloc(stripe, 1, &c, &s).unwrap();
             stripe.fill_entry(seq, gseq, 0, 0, &[0; 8], 1, None, &c);
             stripe.commit_group(seq, 1, &c);
         }
@@ -597,7 +655,7 @@ mod tests {
         let waiter = std::thread::spawn(move || {
             let c2 = ActorClock::new();
             let s2 = NvCacheStats::default();
-            let (seq, _) = log2.alloc(&log2.stripes[0], 1, &c2, &s2);
+            let (seq, _) = log2.alloc(&log2.stripes[0], 1, &c2, &s2).unwrap();
             (seq, s2.log_full_waits.load(Ordering::Relaxed))
         });
         std::thread::sleep(Duration::from_millis(30));
@@ -613,7 +671,7 @@ mod tests {
         let (c, s, log) = mk_log(2);
         for _ in 0..2 {
             let stripe = &log.stripes[0];
-            let (seq, gseq) = log.alloc(stripe, 1, &c, &s);
+            let (seq, gseq) = log.alloc(stripe, 1, &c, &s).unwrap();
             stripe.fill_entry(seq, gseq, 0, 0, &[0; 8], 1, None, &c);
             stripe.commit_group(seq, 1, &c);
         }
@@ -622,7 +680,7 @@ mod tests {
         let waiter = std::thread::spawn(move || {
             let c2 = ActorClock::new();
             let s2 = NvCacheStats::default();
-            log2.alloc(&log2.stripes[0], 1, &c2, &s2);
+            log2.alloc(&log2.stripes[0], 1, &c2, &s2).unwrap();
             c2.now()
         });
         std::thread::sleep(Duration::from_millis(30));
@@ -640,7 +698,7 @@ mod tests {
         let (c, s, log) = mk_log(8);
         for _ in 0..3 {
             let stripe = &log.stripes[0];
-            let (seq, gseq) = log.alloc(stripe, 1, &c, &s);
+            let (seq, gseq) = log.alloc(stripe, 1, &c, &s).unwrap();
             stripe.fill_entry(seq, gseq, 0, 0, &[0; 8], 1, None, &c);
             stripe.commit_group(seq, 1, &c);
         }
@@ -660,7 +718,7 @@ mod tests {
     #[should_panic(expected = "exceeds stripe capacity")]
     fn oversized_group_panics() {
         let (c, s, log) = mk_log(4);
-        log.alloc(&log.stripes[0], 5, &c, &s);
+        log.alloc(&log.stripes[0], 5, &c, &s).unwrap();
     }
 
     #[test]
@@ -670,7 +728,7 @@ mod tests {
         let (c, s, log) = mk_log(16);
         let stripe = &log.stripes[0];
         for _ in 0..5 {
-            let (seq, gseq) = log.alloc(stripe, 1, &c, &s);
+            let (seq, gseq) = log.alloc(stripe, 1, &c, &s).unwrap();
             assert_eq!(seq, gseq);
         }
     }
@@ -680,9 +738,9 @@ mod tests {
         let (c, s, log) = mk_log_sharded(16, 4);
         assert_eq!(log.stripes.len(), 4);
         assert_eq!(log.stripes[0].capacity(), 4);
-        let (l0, g0) = log.alloc(&log.stripes[0], 1, &c, &s);
-        let (l1, g1) = log.alloc(&log.stripes[2], 2, &c, &s);
-        let (l2, g2) = log.alloc(&log.stripes[0], 1, &c, &s);
+        let (l0, g0) = log.alloc(&log.stripes[0], 1, &c, &s).unwrap();
+        let (l1, g1) = log.alloc(&log.stripes[2], 2, &c, &s).unwrap();
+        let (l2, g2) = log.alloc(&log.stripes[0], 1, &c, &s).unwrap();
         // Local sequences restart per stripe…
         assert_eq!((l0, l1, l2), (0, 0, 1));
         // …while global sequences are unique and monotonic across stripes.
@@ -692,8 +750,8 @@ mod tests {
     #[test]
     fn stripes_own_disjoint_entry_windows() {
         let (c, s, log) = mk_log_sharded(8, 2);
-        let (a, ga) = log.alloc(&log.stripes[0], 1, &c, &s);
-        let (b, gb) = log.alloc(&log.stripes[1], 1, &c, &s);
+        let (a, ga) = log.alloc(&log.stripes[0], 1, &c, &s).unwrap();
+        let (b, gb) = log.alloc(&log.stripes[1], 1, &c, &s).unwrap();
         log.stripes[0].fill_entry(a, ga, 1, 0, b"left", 1, None, &c);
         log.stripes[1].fill_entry(b, gb, 2, 0, b"right", 1, None, &c);
         log.stripes[0].commit_group(a, 1, &c);
@@ -710,7 +768,7 @@ mod tests {
         let (c, s, log) = mk_log_sharded(8, 2);
         for stripe in log.stripes.iter() {
             for _ in 0..2 {
-                let (seq, gseq) = log.alloc(stripe, 1, &c, &s);
+                let (seq, gseq) = log.alloc(stripe, 1, &c, &s).unwrap();
                 stripe.fill_entry(seq, gseq, 0, 0, &[0; 8], 1, None, &c);
                 stripe.commit_group(seq, 1, &c);
             }
@@ -741,10 +799,29 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_stripe_rejects_allocs_and_releases_flushers() {
+        let (c, s, log) = mk_log(4);
+        let stripe = &log.stripes[0];
+        let (seq, gseq) = log.alloc(stripe, 1, &c, &s).unwrap();
+        stripe.fill_entry(seq, gseq, 0, 0, &[0; 8], 1, None, &c);
+        stripe.commit_group(seq, 1, &c);
+        assert!(!log.any_poisoned());
+        stripe.poison();
+        assert!(stripe.is_poisoned());
+        assert_eq!(log.poisoned_stripes(), vec![0]);
+        // New allocations fail instead of waiting on the dead worker…
+        assert!(log.alloc(stripe, 1, &c, &s).is_err());
+        // …and a flush barrier returns instead of blocking forever, leaving
+        // the entry in the log for recovery.
+        stripe.flush_to(1, &c);
+        assert_eq!(log.in_flight(), 1);
+    }
+
+    #[test]
     fn full_log_flush_barrier_covers_every_stripe() {
         let (c, s, log) = mk_log_sharded(8, 2);
         for stripe in log.stripes.iter() {
-            let (seq, gseq) = log.alloc(stripe, 1, &c, &s);
+            let (seq, gseq) = log.alloc(stripe, 1, &c, &s).unwrap();
             stripe.fill_entry(seq, gseq, 0, 0, &[0; 8], 1, None, &c);
             stripe.commit_group(seq, 1, &c);
         }

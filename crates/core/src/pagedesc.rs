@@ -1,3 +1,8 @@
+//! Per-page state: [`PageDescriptor`] with the paper's two-lock concurrency
+//! scheme (§II-D), the dirty counter, the Table II page states, and — on a
+//! striped log — the cross-stripe propagation queue that keeps per-page
+//! write order at the inner file system.
+
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 

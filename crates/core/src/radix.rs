@@ -1,3 +1,8 @@
+//! The per-file lock-free radix tree (paper §II-C): maps page numbers to
+//! [`PageDescriptor`]s with on-demand node allocation, so concurrent
+//! readers/writers can find or create a page's descriptor without a global
+//! lock.
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 

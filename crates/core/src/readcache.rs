@@ -1,3 +1,7 @@
+//! The bounded volatile read cache (paper §II-C): a pool of page contents
+//! installed into [`PageDescriptor`] slots, with approximate-LRU eviction
+//! driven by the descriptors' accessed bits.
+
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

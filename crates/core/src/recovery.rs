@@ -1,3 +1,8 @@
+//! The recovery procedure (paper §III): reopen files from the persistent
+//! fd table, k-way merge-replay every committed log entry in global commit
+//! order (per-stripe sorted runs), sync, and empty the log. Idempotent
+//! under crashes during recovery itself.
+
 use std::collections::HashMap;
 use std::sync::Arc;
 

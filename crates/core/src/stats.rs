@@ -1,3 +1,8 @@
+//! Operation counters: global [`NvCacheStats`] plus the per-stripe
+//! [`ShardStats`] breakdown (propagation, saturation, submission-ring
+//! overlap and inner-I/O-error counters), with plain-value snapshots for
+//! reporting.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-stripe operation counters of a sharded log.
@@ -13,6 +18,17 @@ pub struct ShardStats {
     pub cleanup_fsyncs: AtomicU64,
     /// Times a writer had to wait for space in this stripe.
     pub log_full_waits: AtomicU64,
+    /// Operations this stripe's worker submitted to its I/O ring.
+    pub uring_submitted: AtomicU64,
+    /// Operations reaped from the ring (equals submitted once idle).
+    pub uring_completed: AtomicU64,
+    /// Largest number of simultaneously in-flight ring operations observed
+    /// (how much overlap `queue_depth` actually bought; `1` on a
+    /// synchronous drain).
+    pub uring_inflight_peak: AtomicU64,
+    /// Inner-file-system errors hit while draining this stripe (each one
+    /// poisons the stripe instead of panicking the worker).
+    pub inner_io_errors: AtomicU64,
 }
 
 impl ShardStats {
@@ -23,6 +39,10 @@ impl ShardStats {
             cleanup_batches: self.cleanup_batches.load(Ordering::Relaxed),
             cleanup_fsyncs: self.cleanup_fsyncs.load(Ordering::Relaxed),
             log_full_waits: self.log_full_waits.load(Ordering::Relaxed),
+            uring_submitted: self.uring_submitted.load(Ordering::Relaxed),
+            uring_completed: self.uring_completed.load(Ordering::Relaxed),
+            uring_inflight_peak: self.uring_inflight_peak.load(Ordering::Relaxed),
+            inner_io_errors: self.inner_io_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -40,6 +60,14 @@ pub struct ShardStatsSnapshot {
     pub cleanup_fsyncs: u64,
     /// Times a writer had to wait for space in this stripe.
     pub log_full_waits: u64,
+    /// Operations this stripe's worker submitted to its I/O ring.
+    pub uring_submitted: u64,
+    /// Operations reaped from the ring.
+    pub uring_completed: u64,
+    /// Largest in-flight ring population observed.
+    pub uring_inflight_peak: u64,
+    /// Inner-file-system errors (stripe poisonings).
+    pub inner_io_errors: u64,
 }
 
 /// Operation counters of an [`NvCache`](crate::NvCache) instance.
@@ -75,6 +103,10 @@ pub struct NvCacheStats {
     pub cleanup_fsyncs: AtomicU64,
     /// Entries replayed by recovery.
     pub recovered_entries: AtomicU64,
+    /// Inner-file-system errors hit by the cleanup workers (each one
+    /// poisons the owning stripe; see
+    /// [`NvCache::poisoned_stripes`](crate::NvCache::poisoned_stripes)).
+    pub inner_io_errors: AtomicU64,
     /// Per-stripe breakdown of the log counters (one entry per
     /// [`log_shards`](crate::NvCacheConfig::log_shards)).
     pub per_shard: Box<[ShardStats]>,
@@ -101,6 +133,7 @@ impl NvCacheStats {
             entries_propagated: AtomicU64::new(0),
             cleanup_fsyncs: AtomicU64::new(0),
             recovered_entries: AtomicU64::new(0),
+            inner_io_errors: AtomicU64::new(0),
             per_shard: per_shard.into_boxed_slice(),
         }
     }
@@ -123,6 +156,7 @@ impl NvCacheStats {
             entries_propagated: self.entries_propagated.load(Ordering::Relaxed),
             cleanup_fsyncs: self.cleanup_fsyncs.load(Ordering::Relaxed),
             recovered_entries: self.recovered_entries.load(Ordering::Relaxed),
+            inner_io_errors: self.inner_io_errors.load(Ordering::Relaxed),
             per_shard: self.per_shard.iter().map(ShardStats::snapshot).collect(),
         }
     }
@@ -167,6 +201,8 @@ pub struct NvCacheStatsSnapshot {
     pub cleanup_fsyncs: u64,
     /// Entries replayed by recovery.
     pub recovered_entries: u64,
+    /// Inner-file-system errors (stripe poisonings).
+    pub inner_io_errors: u64,
     /// Per-stripe breakdown of the log counters.
     pub per_shard: Vec<ShardStatsSnapshot>,
 }

@@ -6,6 +6,10 @@
 //! virtual-time series of throughput, average latency and cumulative bytes —
 //! the three panels of paper Figures 4–7.
 //!
+//! The crate also hosts [`IoRing`], an io_uring-style submission/completion
+//! ring (see [`uring`]) that models batched, overlapping I/O under virtual
+//! time; the NVCache cleanup workers drain the NVMM log through it.
+//!
 //! # Example
 //!
 //! ```
@@ -28,6 +32,10 @@
 //! # Ok(())
 //! # }
 //! ```
+
+pub mod uring;
+
+pub use uring::{Cqe, IoRing};
 
 use std::sync::Arc;
 

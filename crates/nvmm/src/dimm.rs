@@ -292,7 +292,8 @@ impl NvDimm {
         Self::from_image(&image, self.profile.clone())
     }
 
-    /// Alias for [`crash_and_restart`]; reads as "crash" at call sites.
+    /// Alias for [`crash_and_restart`](NvDimm::crash_and_restart); reads as
+    /// "crash" at call sites.
     pub fn crash(&self) -> NvDimm {
         self.crash_and_restart()
     }

@@ -30,6 +30,6 @@ mod series;
 mod time;
 
 pub use clock::ActorClock;
-pub use resource::{Bandwidth, Resource};
+pub use resource::{Bandwidth, ChannelResource, Resource};
 pub use series::{Sample, SeriesBin, TimeSeries};
 pub use time::SimTime;

@@ -1,5 +1,3 @@
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use crate::SimTime;
 
 /// A serially-shared device timeline (an M/G/1-style service point).
@@ -21,44 +19,124 @@ use crate::SimTime;
 /// assert_eq!(a, SimTime::from_micros(10));
 /// assert_eq!(b, SimTime::from_micros(20));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Resource {
-    busy_until_ns: AtomicU64,
+    inner: ChannelResource,
+}
+
+impl Default for Resource {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Resource {
     /// Creates an idle resource.
     pub fn new() -> Self {
-        Resource { busy_until_ns: AtomicU64::new(0) }
+        // A serial timeline is exactly a one-channel queue; sharing the
+        // implementation keeps the two behaviorally identical by
+        // construction (`one_channel_matches_the_serial_resource`).
+        Resource { inner: ChannelResource::new(1) }
     }
 
     /// Submits a request arriving at `now` needing `service` time; returns the
     /// completion time. The caller should `advance_to` the returned instant.
     pub fn serve(&self, now: SimTime, service: SimTime) -> SimTime {
-        let mut cur = self.busy_until_ns.load(Ordering::Acquire);
-        loop {
-            let start = cur.max(now.as_nanos());
-            let end = start + service.as_nanos();
-            match self.busy_until_ns.compare_exchange_weak(
-                cur,
-                end,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => return SimTime::from_nanos(end),
-                Err(observed) => cur = observed,
-            }
-        }
+        self.inner.serve(now, service)
     }
 
     /// The time at which the device becomes idle.
     pub fn busy_until(&self) -> SimTime {
-        SimTime::from_nanos(self.busy_until_ns.load(Ordering::Acquire))
+        self.inner.busy_until()
     }
 
     /// Resets the device timeline (used when re-seeding an experiment).
     pub fn reset(&self) {
-        self.busy_until_ns.store(0, Ordering::Release);
+        self.inner.reset()
+    }
+}
+
+/// A device timeline with `ways` parallel service channels (a k-server
+/// queue) — the latency model behind command queueing (SATA NCQ, NVMe
+/// submission queues).
+///
+/// Each request is dispatched to the earliest-free channel: with one channel
+/// this is exactly [`Resource`] (strictly serial service); with `k` channels,
+/// up to `k` requests whose submission times overlap are served concurrently,
+/// which is what makes an io_uring-style batch of writes cheaper than the
+/// same writes issued back to back.
+///
+/// # Example
+///
+/// ```
+/// use simclock::{ChannelResource, SimTime};
+/// let dev = ChannelResource::new(2);
+/// let a = dev.serve(SimTime::ZERO, SimTime::from_micros(10));
+/// let b = dev.serve(SimTime::ZERO, SimTime::from_micros(10));
+/// let c = dev.serve(SimTime::ZERO, SimTime::from_micros(10));
+/// // Two requests overlap on the two channels; the third queues.
+/// assert_eq!(a, SimTime::from_micros(10));
+/// assert_eq!(b, SimTime::from_micros(10));
+/// assert_eq!(c, SimTime::from_micros(20));
+/// ```
+#[derive(Debug)]
+pub struct ChannelResource {
+    channels: std::sync::Mutex<Vec<u64>>,
+}
+
+impl ChannelResource {
+    /// Creates an idle resource with `ways` parallel channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways >= 1, "a device needs at least one service channel");
+        ChannelResource { channels: std::sync::Mutex::new(vec![0; ways]) }
+    }
+
+    /// Number of parallel service channels.
+    pub fn ways(&self) -> usize {
+        self.channels.lock().expect("channel lock").len()
+    }
+
+    /// Submits a request arriving at `now` needing `service` time; the
+    /// request is dispatched to the earliest-free channel. Returns the
+    /// completion time; the caller should `advance_to` it.
+    pub fn serve(&self, now: SimTime, service: SimTime) -> SimTime {
+        let mut channels = self.channels.lock().expect("channel lock");
+        let slot = channels
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &busy)| busy)
+            .map(|(i, _)| i)
+            .expect("at least one channel");
+        let start = channels[slot].max(now.as_nanos());
+        let end = start + service.as_nanos();
+        channels[slot] = end;
+        SimTime::from_nanos(end)
+    }
+
+    /// Submits a full-device barrier (flush/FUA): starts only once every
+    /// channel is idle and occupies all of them until completion.
+    pub fn serve_barrier(&self, now: SimTime, service: SimTime) -> SimTime {
+        let mut channels = self.channels.lock().expect("channel lock");
+        let start = channels.iter().copied().max().unwrap_or(0).max(now.as_nanos());
+        let end = start + service.as_nanos();
+        channels.iter_mut().for_each(|c| *c = end);
+        SimTime::from_nanos(end)
+    }
+
+    /// The time at which the whole device becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        SimTime::from_nanos(
+            self.channels.lock().expect("channel lock").iter().copied().max().unwrap_or(0),
+        )
+    }
+
+    /// Resets every channel timeline (used when re-seeding an experiment).
+    pub fn reset(&self) {
+        self.channels.lock().expect("channel lock").iter_mut().for_each(|c| *c = 0);
     }
 }
 
@@ -176,5 +254,41 @@ mod tests {
         r.serve(SimTime::ZERO, SimTime::from_secs(1));
         r.reset();
         assert_eq!(r.busy_until(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn one_channel_matches_the_serial_resource() {
+        let serial = Resource::new();
+        let one = ChannelResource::new(1);
+        for (now, service) in [(0u64, 5u64), (2, 3), (40, 7), (41, 1)] {
+            let a = serial.serve(SimTime::from_micros(now), SimTime::from_micros(service));
+            let b = one.serve(SimTime::from_micros(now), SimTime::from_micros(service));
+            assert_eq!(a, b);
+        }
+        assert_eq!(serial.busy_until(), one.busy_until());
+    }
+
+    #[test]
+    fn channels_overlap_up_to_the_way_count() {
+        let r = ChannelResource::new(4);
+        let done: Vec<SimTime> =
+            (0..8).map(|_| r.serve(SimTime::ZERO, SimTime::from_micros(10))).collect();
+        // First four overlap fully, next four queue one service time behind.
+        assert!(done[..4].iter().all(|&t| t == SimTime::from_micros(10)));
+        assert!(done[4..].iter().all(|&t| t == SimTime::from_micros(20)));
+    }
+
+    #[test]
+    fn barrier_waits_for_every_channel() {
+        let r = ChannelResource::new(2);
+        r.serve(SimTime::ZERO, SimTime::from_micros(10));
+        r.serve(SimTime::ZERO, SimTime::from_micros(30));
+        let done = r.serve_barrier(SimTime::ZERO, SimTime::from_micros(5));
+        assert_eq!(done, SimTime::from_micros(35));
+        // The barrier occupies both channels: the next request queues behind.
+        assert_eq!(r.serve(SimTime::ZERO, SimTime::from_micros(1)), SimTime::from_micros(36));
+        r.reset();
+        assert_eq!(r.busy_until(), SimTime::ZERO);
+        assert_eq!(r.ways(), 2);
     }
 }

@@ -55,7 +55,7 @@ struct DaxFd {
 }
 
 /// Simulated Ext4-DAX: the Ext4 code paths with file data mapped directly in
-/// NVMM (paper Table IV row "Ext4-DAX", [20], [56]).
+/// NVMM (paper Table IV row "Ext4-DAX", refs \[20\], \[56\]).
 ///
 /// Data writes go straight into persistent memory through the CPU caches
 /// (no page cache); in-place, not copy-on-write. Storage capacity is limited

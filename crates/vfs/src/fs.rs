@@ -100,7 +100,7 @@ pub trait FileSystem: Send + Sync {
     }
 
     /// Whether a read can only observe durable writes (durable
-    /// linearizability, paper Table I / [28]).
+    /// linearizability, paper Table I / ref \[28\]).
     fn durable_linearizability(&self) -> bool {
         false
     }

@@ -58,7 +58,7 @@ struct NovaFd {
 }
 
 /// Simulated NOVA: a log-structured file system for hybrid volatile /
-/// non-volatile main memories (paper Table IV row "NOVA", [57]).
+/// non-volatile main memories (paper Table IV row "NOVA", ref \[57\]).
 ///
 /// Every write allocates fresh NVMM pages (copy-on-write), persists them,
 /// then appends and persists a small entry in the per-inode log — after which
