@@ -26,8 +26,13 @@ fn mk_cache(cfg: NvCacheConfig) -> (ActorClock, Arc<NvCache>) {
         NvmmProfile::optane().without_durability_tracking(),
     ));
     let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
-    let cache =
-        Arc::new(NvCache::format(NvRegion::whole(dimm), inner, cfg, &clock).expect("format"));
+    let cache = Arc::new(
+        NvCache::builder(NvRegion::whole(dimm))
+            .backend(inner)
+            .config(cfg)
+            .mount(&clock)
+            .expect("mount"),
+    );
     (clock, cache)
 }
 
@@ -140,13 +145,11 @@ fn bench_recovery(c: &mut Criterion) {
                 };
                 let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
                 let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
-                let cache = NvCache::format(
-                    NvRegion::whole(Arc::clone(&dimm)),
-                    Arc::clone(&inner),
-                    cfg.clone(),
-                    &clock,
-                )
-                .unwrap();
+                let cache = NvCache::builder(NvRegion::whole(Arc::clone(&dimm)))
+                    .backend(Arc::clone(&inner))
+                    .config(cfg.clone())
+                    .mount(&clock)
+                    .unwrap();
                 let fd = cache.open("/r", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
                 for i in 0..1024u64 {
                     cache.pwrite(fd, &[i as u8; 512], i * 512, &clock).unwrap();
@@ -156,8 +159,13 @@ fn bench_recovery(c: &mut Criterion) {
             },
             |(dimm, inner, cfg, clock)| {
                 let crashed = Arc::new(dimm.crash_and_restart());
-                let (cache, report) =
-                    NvCache::recover(NvRegion::whole(crashed), inner, cfg, &clock).unwrap();
+                let cache = NvCache::builder(NvRegion::whole(crashed))
+                    .backend(inner)
+                    .config(cfg)
+                    .mode(nvcache::Mount::Recover)
+                    .mount(&clock)
+                    .unwrap();
+                let report = cache.recovery_report().expect("recover mode");
                 assert_eq!(report.entries_replayed, 1024);
                 cache.abort();
             },

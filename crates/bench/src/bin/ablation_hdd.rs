@@ -42,8 +42,13 @@ fn main() {
             cfg.required_nvmm_bytes(),
             NvmmProfile::optane().without_durability_tracking(),
         ));
-        let cache =
-            Arc::new(NvCache::format(NvRegion::whole(dimm), inner, cfg, &clock).expect("format"));
+        let cache = Arc::new(
+            NvCache::builder(NvRegion::whole(dimm))
+                .backend(inner)
+                .config(cfg)
+                .mount(&clock)
+                .expect("mount"),
+        );
         let fs: Arc<dyn FileSystem> = Arc::clone(&cache) as Arc<dyn FileSystem>;
         let job = JobSpec {
             name: format!("hdd-batch-{batch}"),

@@ -14,19 +14,19 @@
 //! overlaps up to `Q` cleanup propagation writes on a `Q`-channel SSD
 //! (1 = the paper's synchronous drain).
 
-use nvcache_bench::{arg_u64, print_table, Row, SystemKind, SystemSpec};
+use nvcache_bench::{arg_u64, print_table, CommonArgs, Row, SystemKind};
 use rocklet::{run_db_bench, BenchOptions, RockBench, RockletDb, RockletOptions};
 use simclock::ActorClock;
 use sqlight::{run_sql_bench, SqlBench, SqlBenchOptions, SqlightDb, SqlightOptions};
 
 fn main() {
-    let scale = arg_u64("--scale", 64);
+    let common = CommonArgs::parse();
+    let scale = common.scale;
     let rocks_num = arg_u64("--rocks-num", 20_000);
     let sql_num = arg_u64("--sql-num", 3_000);
-    let shards = arg_u64("--shards", 1).max(1) as usize;
-    let queue_depth = arg_u64("--queue-depth", 1).max(1) as usize;
     println!(
-        "Fig. 3 — db_bench mean latency [µs/op], sync writes (RocksDB stand-in: {rocks_num} ops, SQLite stand-in: {sql_num} ops, {shards} log shard(s), queue depth {queue_depth})"
+        "Fig. 3 — db_bench mean latency [µs/op], sync writes (RocksDB stand-in: {rocks_num} ops, SQLite stand-in: {sql_num} ops, {})",
+        common.describe()
     );
 
     let rock_writes = [RockBench::FillRandom, RockBench::FillSeq, RockBench::Overwrite];
@@ -42,12 +42,7 @@ fn main() {
         let mut cells = Vec::new();
         for bench in rock_writes.iter().chain(rock_reads.iter()) {
             let clock = ActorClock::new();
-            let sys = nvcache_bench::build_system(
-                &SystemSpec::new(kind, scale)
-                    .with_log_shards(shards)
-                    .with_queue_depth(queue_depth),
-                &clock,
-            );
+            let sys = nvcache_bench::build_system(&common.spec(kind), &clock);
             // Scale the engine's buffer capacities with the experiment so
             // flushes and compactions happen at the paper's relative
             // frequency (RocksDB: 64 MiB memtables at full scale).
@@ -74,12 +69,7 @@ fn main() {
         let mut cells = Vec::new();
         for bench in sql_writes.iter().chain(sql_reads.iter()) {
             let clock = ActorClock::new();
-            let sys = nvcache_bench::build_system(
-                &SystemSpec::new(kind, scale)
-                    .with_log_shards(shards)
-                    .with_queue_depth(queue_depth),
-                &clock,
-            );
+            let sys = nvcache_bench::build_system(&common.spec(kind), &clock);
             let db = SqlightDb::open(
                 std::sync::Arc::clone(&sys.fs),
                 "/sqlite.db",

@@ -19,18 +19,18 @@
 
 use fiosim::{run_job, JobSpec, RwMode};
 use nvcache::NvCacheConfig;
-use nvcache_bench::{arg_flag, arg_u64, print_series, print_table, Row, SystemKind, SystemSpec};
+use nvcache_bench::{arg_flag, arg_u64, print_series, print_table, CommonArgs, Row, SystemKind};
 use simclock::{ActorClock, SimTime};
 
 fn main() {
-    let scale = arg_u64("--scale", 64);
+    let common = CommonArgs::parse();
+    let scale = common.scale;
     let gib = arg_u64("--gib", 20);
-    let shards = arg_u64("--shards", 1).max(1) as usize;
-    let queue_depth = arg_u64("--queue-depth", 1).max(1) as usize;
     let io_total = (gib << 30) / scale;
     let want_series = arg_flag("--series");
     println!(
-        "Fig. 5 — NVCache+SSD randwrite {gib} GiB with variable log size (scale 1/{scale}, {shards} log shard(s), queue depth {queue_depth})"
+        "Fig. 5 — NVCache+SSD randwrite {gib} GiB with variable log size ({})",
+        common.describe()
     );
 
     let log_sizes: [(&str, u64); 4] =
@@ -41,13 +41,10 @@ fn main() {
         let mut cfg = NvCacheConfig::default()
             .scaled(scale)
             .with_log_entries((bytes / 4096 / scale).max(64));
-        if shards > 1 {
-            cfg = cfg.with_log_shards(shards);
+        if common.shards > 1 {
+            cfg = cfg.with_log_shards(common.shards);
         }
-        let spec = SystemSpec::new(SystemKind::NvcacheSsd, scale)
-            .with_nvcache_cfg(cfg)
-            .with_queue_depth(queue_depth)
-            .timing_only();
+        let spec = common.spec(SystemKind::NvcacheSsd).with_nvcache_cfg(cfg).timing_only();
         let sys = nvcache_bench::build_system(&spec, &clock);
         let job = JobSpec {
             name: format!("log-{label}"),

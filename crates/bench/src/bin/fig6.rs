@@ -1,98 +1,155 @@
 //! Figure 6: influence of the cleanup-thread batch size (1 / 10 / 100 / 500
-//! / 1000 / 5000 entries) under a 20 GiB random-write load with an 8 GiB log.
+//! / 1000 / 5000 entries) under a 20 GiB random-write load with an 8 GiB
+//! log — extended with a second axis, the submission-ring queue depth.
 //!
-//! Paper reference points: before saturation the batch size is irrelevant;
-//! after it, batch=1 collapses to ≈21 MiB/s (one fsync per entry) while
-//! batches ≥100 all land near the SSD's ≈80 MiB/s random-write speed.
+//! Paper reference points (queue depth 1): before saturation the batch size
+//! is irrelevant; after it, batch=1 collapses to ≈21 MiB/s (one fsync per
+//! entry) while batches ≥100 all land near the SSD's ≈80 MiB/s random-write
+//! speed. Deeper rings overlap the batch's propagation `pwrite`s on a
+//! multi-channel SSD, which raises the post-saturation floor until the
+//! per-batch flush barrier — not fsync amortization — becomes the ceiling:
+//! once the pwrites overlap, growing the batch past the ring depth stops
+//! paying.
 //!
 //! Usage: `fig6 [--scale N] [--gib G] [--queue-depth Q] [--series]`
 //!
-//! `--queue-depth Q` overlaps up to `Q` of each batch's propagation writes
-//! (io_uring-style) on a `Q`-channel SSD; with `Q = 1` (default) the sweep
-//! reproduces the paper's synchronous-drain numbers.
+//! Without `--queue-depth`, the sweep covers Q ∈ {1, 8, 32} × every batch
+//! size and prints a post-saturation matrix over both axes; passing
+//! `--queue-depth Q` pins the single depth Q (Q = 1 reproduces the paper's
+//! synchronous-drain numbers).
 
 use fiosim::{run_job, JobSpec, RwMode};
 use nvcache::NvCacheConfig;
 use nvcache_bench::{arg_flag, arg_u64, print_series, print_table, Row, SystemKind, SystemSpec};
 use simclock::{ActorClock, SimTime};
 
+/// Result of one (batch, queue-depth) cell.
+struct Cell {
+    mean_mib_s: f64,
+    post_sat_mib_s: f64,
+    paper_secs: f64,
+    fsyncs: u64,
+    uring_peak: u64,
+}
+
+fn run_cell(
+    scale: u64,
+    io_total: u64,
+    batch: usize,
+    queue_depth: usize,
+    want_series: bool,
+) -> Cell {
+    let clock = ActorClock::new();
+    // Batch sizes are a *policy*, not a capacity: don't scale them.
+    let cfg = NvCacheConfig::default()
+        .scaled(scale)
+        .with_log_entries(((8u64 << 30) / 4096 / scale).max(64))
+        .with_batching(batch.max(1), batch.max(1));
+    let spec = SystemSpec::new(SystemKind::NvcacheSsd, scale)
+        .with_nvcache_cfg(cfg)
+        .with_queue_depth(queue_depth)
+        .timing_only();
+    let sys = nvcache_bench::build_system(&spec, &clock);
+    let job = JobSpec {
+        name: format!("batch-{batch}-qd-{queue_depth}"),
+        rw: RwMode::RandWrite,
+        file_size: io_total,
+        io_total,
+        fsync_every: 1,
+        direct: true,
+        sample_interval: SimTime::from_millis(1000 / scale.min(1000)),
+        ..JobSpec::default()
+    };
+    let result = run_job(&sys.fs, &job, &clock).expect("fio job");
+    let nc = sys.nvcache.as_ref().expect("nvcache system");
+    let stats = nc.stats().snapshot();
+    // Post-saturation throughput from the cumulative curve: rate over
+    // everything after the first interval that dropped below 60% of the
+    // initial plateau (robust to the burst/stall cycles of big batches).
+    let plateau = result.throughput.first().map_or(0.0, |&(_, v)| v);
+    let sat_t = result.throughput.iter().find(|&&(_, v)| v < plateau * 0.6).map(|&(t, _)| t);
+    let post_sat_mib_s = match sat_t {
+        Some(t0) => {
+            let at = |t: SimTime| {
+                result
+                    .cumulative_gib
+                    .iter()
+                    .rev()
+                    .find(|&&(ts, _)| ts <= t)
+                    .map_or(0.0, |&(_, v)| v * 1024.0)
+            };
+            let end = result.elapsed;
+            let mib = at(end) - at(t0);
+            mib / (end - t0).as_secs_f64().max(1e-9)
+        }
+        None => result.mean_throughput_mib_s(),
+    };
+    if want_series {
+        print_series(
+            &format!("batch-{batch} qd-{queue_depth} throughput"),
+            "MiB/s",
+            scale,
+            &result.throughput,
+        );
+    }
+    let uring_peak = stats.per_shard.iter().map(|s| s.uring_inflight_peak).max().unwrap_or(0);
+    let cell = Cell {
+        mean_mib_s: result.mean_throughput_mib_s(),
+        post_sat_mib_s,
+        paper_secs: result.elapsed.as_secs_f64() * scale as f64,
+        fsyncs: stats.cleanup_fsyncs,
+        uring_peak,
+    };
+    sys.shutdown(&clock);
+    cell
+}
+
 fn main() {
     let scale = arg_u64("--scale", 64);
     let gib = arg_u64("--gib", 20);
-    let queue_depth = arg_u64("--queue-depth", 1).max(1) as usize;
     let io_total = (gib << 30) / scale;
     let want_series = arg_flag("--series");
+    // Pin a single depth with --queue-depth; sweep the default set
+    // otherwise (1 = paper, 8/32 = overlapped drains).
+    let depths: Vec<usize> = match arg_u64("--queue-depth", 0) {
+        0 => vec![1, 8, 32],
+        q => vec![q.max(1) as usize],
+    };
     println!(
-        "Fig. 6 — NVCache+SSD batching sweep, 8 GiB log (scale 1/{scale}, queue depth {queue_depth})"
+        "Fig. 6 — NVCache+SSD batching × queue-depth sweep, 8 GiB log (scale 1/{scale}, \
+         queue depths {depths:?})"
     );
 
     let batch_sizes = [1usize, 10, 100, 500, 1000, 5000];
-    let mut rows = Vec::new();
+    let mut detail_rows = Vec::new();
+    // batch-major rows, one post-saturation column per queue depth.
+    let mut matrix: Vec<Row> = Vec::new();
     for batch in batch_sizes {
-        let clock = ActorClock::new();
-        // Batch sizes are a *policy*, not a capacity: don't scale them.
-        let scaled_batch = batch.max(1);
-        let cfg = NvCacheConfig::default()
-            .scaled(scale)
-            .with_log_entries(((8u64 << 30) / 4096 / scale).max(64))
-            .with_batching(scaled_batch, scaled_batch);
-        let spec = SystemSpec::new(SystemKind::NvcacheSsd, scale)
-            .with_nvcache_cfg(cfg)
-            .with_queue_depth(queue_depth)
-            .timing_only();
-        let sys = nvcache_bench::build_system(&spec, &clock);
-        let job = JobSpec {
-            name: format!("batch-{batch}"),
-            rw: RwMode::RandWrite,
-            file_size: io_total,
-            io_total,
-            fsync_every: 1,
-            direct: true,
-            sample_interval: SimTime::from_millis(1000 / scale.min(1000)),
-            ..JobSpec::default()
-        };
-        let result = run_job(&sys.fs, &job, &clock).expect("fio job");
-        let nc = sys.nvcache.as_ref().expect("nvcache system");
-        let stats = nc.stats().snapshot();
-        // Post-saturation throughput from the cumulative curve: rate over
-        // everything after the first interval that dropped below 60% of the
-        // initial plateau (robust to the burst/stall cycles of big batches).
-        let plateau = result.throughput.first().map_or(0.0, |&(_, v)| v);
-        let sat_t = result.throughput.iter().find(|&&(_, v)| v < plateau * 0.6).map(|&(t, _)| t);
-        let tail_tput = match sat_t {
-            Some(t0) => {
-                let at = |t: SimTime| {
-                    result
-                        .cumulative_gib
-                        .iter()
-                        .rev()
-                        .find(|&&(ts, _)| ts <= t)
-                        .map_or(0.0, |&(_, v)| v * 1024.0)
-                };
-                let end = result.elapsed;
-                let mib = at(end) - at(t0);
-                mib / (end - t0).as_secs_f64().max(1e-9)
-            }
-            None => result.mean_throughput_mib_s(),
-        };
-        let raw_s = result.elapsed.as_secs_f64();
-        rows.push(Row::new(
-            format!("batch {batch}"),
-            vec![
-                format!("{:.0}", result.mean_throughput_mib_s()),
-                format!("{tail_tput:.0}"),
-                format!("{:.0}", raw_s * scale as f64),
-                format!("{}", stats.cleanup_fsyncs),
-            ],
-        ));
-        if want_series {
-            print_series(&format!("batch-{batch} throughput"), "MiB/s", scale, &result.throughput);
+        let mut matrix_cells = Vec::new();
+        for &qd in &depths {
+            let cell = run_cell(scale, io_total, batch, qd, want_series);
+            matrix_cells.push(format!("{:.0}", cell.post_sat_mib_s));
+            detail_rows.push(Row::new(
+                format!("batch {batch} / qd {qd}"),
+                vec![
+                    format!("{:.0}", cell.mean_mib_s),
+                    format!("{:.0}", cell.post_sat_mib_s),
+                    format!("{:.0}", cell.paper_secs),
+                    format!("{}", cell.fsyncs),
+                    format!("{}", cell.uring_peak),
+                ],
+            ));
         }
-        sys.shutdown(&clock);
+        matrix.push(Row::new(format!("batch {batch}"), matrix_cells));
     }
     print_table(
-        "Fig. 6 summary",
-        &["mean MiB/s", "post-sat MiB/s", "total s (paper-equiv)", "fsyncs"],
-        &rows,
+        "Fig. 6 detail (per batch × queue depth)",
+        &["mean MiB/s", "post-sat MiB/s", "total s (paper-equiv)", "fsyncs", "ring peak"],
+        &detail_rows,
     );
+    if depths.len() > 1 {
+        let headers: Vec<String> = depths.iter().map(|q| format!("qd {q}")).collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table("Fig. 6 post-saturation MiB/s (batch × queue depth)", &header_refs, &matrix);
+    }
 }

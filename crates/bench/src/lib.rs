@@ -18,9 +18,11 @@
 //! paper scale. Each binary prints both raw virtual seconds and
 //! "paper-equivalent" seconds (`raw × N`).
 
+pub mod cli;
 pub mod report;
 pub mod systems;
 
+pub use cli::CommonArgs;
 pub use report::{print_series, print_table, Row};
 pub use systems::{build_system, System, SystemKind, SystemSpec};
 

@@ -264,8 +264,11 @@ pub fn build_system(spec: &SystemSpec, clock: &ActorClock) -> System {
                 cfg = cfg.with_queue_depth(spec.queue_depth);
             }
             let log_dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), nvmm_profile()));
-            let cache = NvCache::format(NvRegion::whole(log_dimm), inner, cfg, clock)
-                .expect("NVCache format");
+            let cache = NvCache::builder(NvRegion::whole(log_dimm))
+                .backend(inner)
+                .config(cfg)
+                .mount(clock)
+                .expect("NVCache mount");
             let cache = Arc::new(cache);
             System {
                 name: spec.kind.label(),

@@ -9,17 +9,19 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
-use nvmm::{NvRegion, PmemInts};
+use nvmm::NvRegion;
 use parking_lot::{Mutex, RwLock};
 use simclock::ActorClock;
 use vfs::{Fd, FileSystem, IoError, IoResult, Metadata, OpenFlags, SeekFrom};
 
+use crate::builder::{Mount, NvCacheBuilder};
 use crate::files::{FileState, OpenedFile, PersistentFdTable};
 use crate::layout::{self, Layout};
 use crate::log::Log;
 use crate::pagedesc::PageDescriptor;
 use crate::readcache::ReadCache;
 use crate::recovery::RecoveryReport;
+use crate::router::Router;
 use crate::{NvCacheConfig, NvCacheStats, Radix};
 
 /// A closed descriptor whose log entries have not all drained yet: the
@@ -35,11 +37,18 @@ pub(crate) struct Zombie {
 /// State shared between the application-facing API and the cleanup workers.
 pub(crate) struct Shared {
     pub cfg: NvCacheConfig,
-    pub inner: Arc<dyn FileSystem>,
+    /// The inner (propagation target) file systems; a single-backend mount
+    /// has exactly one. Indexed by the backend ids the router assigns.
+    pub backends: Box<[Arc<dyn FileSystem>]>,
+    /// Maps paths to backend indices (consulted at open and for path-based
+    /// calls; open descriptors carry their resolved index instead).
+    pub router: Arc<dyn Router>,
     pub log: Log,
     pub pool: ReadCache,
-    /// file table: (device, inode) -> file structure (paper §III "Open").
-    pub files: Mutex<HashMap<(u64, u64), Arc<FileState>>>,
+    /// file table: (backend, device, inode) -> file structure (paper §III
+    /// "Open"). The backend index is part of the key because two inner file
+    /// systems may hand out colliding `(dev, ino)` pairs.
+    pub files: Mutex<HashMap<(u32, u64, u64), Arc<FileState>>>,
     /// opened table: fd slot -> opened-file structure.
     pub opened: RwLock<HashMap<u32, Arc<OpenedFile>>>,
     pub free_slots: Mutex<Vec<u32>>,
@@ -58,6 +67,22 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
+    /// The inner file system behind an open descriptor (resolved through the
+    /// backend index recorded at open time — never by re-routing).
+    pub fn inner_of(&self, opened: &OpenedFile) -> &Arc<dyn FileSystem> {
+        &self.backends[opened.backend as usize]
+    }
+
+    /// The backend index owning `path` (always `0` on a single-backend
+    /// mount, skipping the router entirely).
+    pub fn route(&self, path: &str) -> usize {
+        if self.backends.len() == 1 {
+            0
+        } else {
+            self.router.route(path, 0)
+        }
+    }
+
     pub fn pages_of(&self, off: u64, len: usize) -> std::ops::Range<u64> {
         let ps = self.cfg.page_size as u64;
         if len == 0 {
@@ -110,7 +135,7 @@ impl Shared {
                 None => Vec::new(),
             };
             let guards: Vec<_> = descs.iter().map(|d| d.lock_cleanup()).collect();
-            let _ = self.inner.pwrite(opened.inner_fd, &data, hdr.file_off, clock);
+            let _ = self.inner_of(opened).pwrite(opened.inner_fd, &data, hdr.file_off, clock);
             drop(guards);
         }
     }
@@ -119,12 +144,13 @@ impl Shared {
     /// slot and, on last close, the file structure and its cached pages.
     pub fn finish_close(&self, opened: &Arc<OpenedFile>, clock: &ActorClock) {
         self.opened.write().remove(&opened.slot);
-        let _ = self.inner.close(opened.inner_fd, clock);
+        let _ = self.inner_of(opened).close(opened.inner_fd, clock);
         PersistentFdTable::clear(&self.log.region, &self.log.layout, opened.slot, clock);
         self.free_slots.lock().push(opened.slot);
         if opened.file.open_count.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.pool.purge_file(opened.file.file_id);
-            self.files.lock().remove(&opened.file.dev_ino);
+            let (dev, ino) = opened.file.dev_ino;
+            self.files.lock().remove(&(opened.backend, dev, ino));
         }
     }
 
@@ -308,7 +334,7 @@ impl Shared {
         let Some(radix) = file.radix.get() else {
             // Never opened for writing: the kernel page cache is fresh.
             self.stats.bypass_reads.fetch_add(1, Ordering::Relaxed);
-            return self.inner.pread(opened.inner_fd, &mut buf[..n], off, clock);
+            return self.inner_of(opened).pread(opened.inner_fd, &mut buf[..n], off, clock);
         };
         let ps = self.cfg.page_size as u64;
         let pages = self.pages_of(off, n);
@@ -322,7 +348,7 @@ impl Shared {
                 self.pool.make_room(&self.stats);
                 let cleanup_guard = d.lock_cleanup();
                 let mut page_buf = vec![0u8; ps as usize];
-                self.inner.pread(opened.inner_fd, &mut page_buf, p * ps, clock)?;
+                self.inner_of(opened).pread(opened.inner_fd, &mut page_buf, p * ps, clock)?;
                 if d.dirty_count() > 0 {
                     self.stats.dirty_misses.fetch_add(1, Ordering::Relaxed);
                     self.dirty_miss(file, p, &mut page_buf, clock);
@@ -368,7 +394,10 @@ impl Shared {
 /// let cfg = NvCacheConfig::tiny();
 /// let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
 /// let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
-/// let cache = NvCache::format(NvRegion::whole(dimm), inner, cfg, &clock)?;
+/// let cache = NvCache::builder(NvRegion::whole(dimm))
+///     .backend(inner)
+///     .config(cfg)
+///     .mount(&clock)?;
 /// let fd = cache.open("/hello", OpenFlags::RDWR | OpenFlags::CREATE, &clock)?;
 /// cache.pwrite(fd, b"durable on return", 0, &clock)?;
 /// let mut buf = [0u8; 17];
@@ -383,6 +412,9 @@ pub struct NvCache {
     pub(crate) shared: Arc<Shared>,
     name: String,
     cleanup: Mutex<Vec<JoinHandle<()>>>,
+    /// The recovery report when the instance was mounted with
+    /// [`Mount::Recover`]; `None` on a fresh format.
+    recovery: Option<RecoveryReport>,
 }
 
 impl std::fmt::Debug for NvCache {
@@ -395,60 +427,28 @@ impl std::fmt::Debug for NvCache {
 }
 
 impl NvCache {
+    /// Starts building a mount over `region` — the composable replacement
+    /// for the original `format`/`recover` constructor pair, and the only
+    /// way to assemble a **tiered** (multi-backend) stack. See
+    /// [`NvCacheBuilder`].
+    pub fn builder(region: NvRegion) -> NvCacheBuilder {
+        NvCacheBuilder::new(region)
+    }
+
     /// Formats `region` as a fresh NVCache log over `inner` and starts the
     /// cleanup thread.
     ///
     /// # Errors
     ///
     /// [`IoError::InvalidArgument`] if the region is too small for `cfg`.
+    #[deprecated(note = "use NvCache::builder(region).backend(inner).config(cfg).mount(clock)")]
     pub fn format(
         region: NvRegion,
         inner: Arc<dyn FileSystem>,
         cfg: NvCacheConfig,
         clock: &ActorClock,
     ) -> IoResult<NvCache> {
-        cfg.validate();
-        let lay = Layout::for_config(&cfg);
-        if region.len() < lay.total_bytes() {
-            return Err(IoError::InvalidArgument(format!(
-                "region of {} bytes cannot hold the configured log ({} bytes)",
-                region.len(),
-                lay.total_bytes()
-            )));
-        }
-        region.write_u64(layout::OFF_MAGIC, layout::MAGIC, clock);
-        region.write_u64(layout::OFF_ENTRY_SIZE, cfg.entry_size as u64, clock);
-        region.write_u64(layout::OFF_NB_ENTRIES, cfg.nb_entries, clock);
-        region.write_u64(layout::OFF_PTAIL, 0, clock);
-        region.write_u64(layout::OFF_FD_SLOTS, cfg.fd_slots as u64, clock);
-        region.write_u64(layout::OFF_PAGE_SIZE, cfg.page_size as u64, clock);
-        if cfg.log_shards > 1 {
-            // v2 header: the stripe count plus one persistent tail per
-            // stripe.
-            region.write_u64(layout::OFF_LOG_SHARDS, cfg.log_shards as u64, clock);
-            for s in 0..cfg.log_shards as u64 {
-                region.write_u64(layout::OFF_STRIPE_TAILS + 8 * s, 0, clock);
-            }
-        } else {
-            // Single stripe: store the v1 encoding (0). On a fresh region
-            // this writes the bytes already there — byte-for-byte seed
-            // compatibility — while clearing a stale shard count when a
-            // previously striped region is reformatted.
-            region.write_u64(layout::OFF_LOG_SHARDS, 0, clock);
-        }
-        region.pwb(0, layout::HEADER_BYTES as usize);
-        for slot in 0..cfg.fd_slots {
-            let base = lay.fd_slot(slot);
-            region.write_u64(base, 0, clock);
-            region.pwb(base, 8);
-        }
-        for slot in 0..cfg.nb_entries {
-            let base = lay.entry(slot);
-            region.write_u64(base + layout::ENT_COMMIT, 0, clock);
-            region.pwb(base + layout::ENT_COMMIT, 8);
-        }
-        region.psync(clock);
-        Ok(Self::start(region, inner, cfg))
+        Self::builder(region).backend(inner).config(cfg).mount(clock)
     }
 
     /// Runs the recovery procedure on a previously formatted region (replay
@@ -458,34 +458,31 @@ impl NvCache {
     ///
     /// [`IoError::InvalidArgument`] if the region is not a formatted NVCache
     /// log or its geometry disagrees with `cfg`.
+    #[deprecated(
+        note = "use NvCache::builder(region).backend(inner).config(cfg).mode(Mount::Recover).mount(clock)"
+    )]
     pub fn recover(
         region: NvRegion,
         inner: Arc<dyn FileSystem>,
         cfg: NvCacheConfig,
         clock: &ActorClock,
     ) -> IoResult<(NvCache, RecoveryReport)> {
-        cfg.validate();
-        if region.read_u64(layout::OFF_ENTRY_SIZE) != cfg.entry_size as u64
-            || region.read_u64(layout::OFF_NB_ENTRIES) != cfg.nb_entries
-            || region.read_u64(layout::OFF_FD_SLOTS) != cfg.fd_slots as u64
-            // 0 is the seed (v1) encoding of a single-stripe log.
-            || region.read_u64(layout::OFF_LOG_SHARDS).max(1) != cfg.log_shards as u64
-        {
-            return Err(IoError::InvalidArgument(
-                "configuration disagrees with the on-NVMM log geometry".into(),
-            ));
-        }
-        let report = crate::recovery::recover(&region, &inner, clock)?;
-        let cache = Self::start(region, inner, cfg);
-        cache
-            .shared
-            .stats
-            .recovered_entries
-            .store(report.entries_replayed, Ordering::Relaxed);
+        let cache = Self::builder(region)
+            .backend(inner)
+            .config(cfg)
+            .mode(Mount::Recover)
+            .mount(clock)?;
+        let report = cache.recovery_report().expect("recover mode always produces a report");
         Ok((cache, report))
     }
 
-    fn start(region: NvRegion, inner: Arc<dyn FileSystem>, cfg: NvCacheConfig) -> NvCache {
+    pub(crate) fn start(
+        region: NvRegion,
+        backends: Box<[Arc<dyn FileSystem>]>,
+        router: Arc<dyn Router>,
+        cfg: NvCacheConfig,
+        recovery: Option<RecoveryReport>,
+    ) -> NvCache {
         let lay = Layout::for_config(&cfg);
         let mut in_flight = Vec::with_capacity(cfg.fd_slots as usize);
         in_flight.resize_with(cfg.fd_slots as usize, || AtomicU32::new(0));
@@ -494,12 +491,13 @@ impl NvCache {
         let shared = Arc::new(Shared {
             pool: ReadCache::new(cfg.read_cache_pages),
             log: Log::new(region, lay, 0),
-            inner,
+            backends,
+            router,
             files: Mutex::new(HashMap::new()),
             opened: RwLock::new(HashMap::new()),
             free_slots: Mutex::new((0..cfg.fd_slots).rev().collect()),
             zombies: Mutex::new(Vec::new()),
-            stats: NvCacheStats::with_shards(cfg.log_shards),
+            stats: NvCacheStats::with_topology(cfg.log_shards, cfg.backends),
             stop: AtomicBool::new(false),
             kill: AtomicBool::new(false),
             cleanup_clocks: cleanup_clocks.into_boxed_slice(),
@@ -507,7 +505,15 @@ impl NvCache {
             in_flight: in_flight.into_boxed_slice(),
             cfg,
         });
-        let name = format!("nvcache+{}", shared.inner.name());
+        let name = if shared.backends.len() == 1 {
+            format!("nvcache+{}", shared.backends[0].name())
+        } else {
+            let tiers: Vec<&str> = shared.backends.iter().map(|b| b.name()).collect();
+            format!("nvcache+{}[{}]", shared.router.name(), tiers.join("|"))
+        };
+        if let Some(report) = &recovery {
+            shared.stats.recovered_entries.store(report.entries_replayed, Ordering::Relaxed);
+        }
         let handles = (0..shared.cfg.log_shards)
             .map(|stripe| {
                 let worker = Arc::clone(&shared);
@@ -517,7 +523,13 @@ impl NvCache {
                     .expect("spawn cleanup worker")
             })
             .collect();
-        NvCache { shared, name, cleanup: Mutex::new(handles) }
+        NvCache { shared, name, cleanup: Mutex::new(handles), recovery }
+    }
+
+    /// The recovery report of a [`Mount::Recover`] mount (`None` when the
+    /// instance was freshly formatted).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
     }
 
     /// The configuration in use.
@@ -530,9 +542,22 @@ impl NvCache {
         &self.shared.stats
     }
 
-    /// The inner (propagation target) file system.
+    /// The inner (propagation target) file system of a single-backend
+    /// mount; the first backend of a tiered one (see
+    /// [`backends`](NvCache::backends)).
     pub fn inner(&self) -> &Arc<dyn FileSystem> {
-        &self.shared.inner
+        &self.shared.backends[0]
+    }
+
+    /// All inner backends, indexed by the ids the router assigns.
+    pub fn backends(&self) -> &[Arc<dyn FileSystem>] {
+        &self.shared.backends
+    }
+
+    /// The router mapping files to backends
+    /// ([`SingleBackend`](crate::SingleBackend) on a one-backend mount).
+    pub fn router(&self) -> &Arc<dyn Router> {
+        &self.shared.router
     }
 
     /// The first cleanup worker's virtual clock (the only one on a
@@ -723,6 +748,11 @@ impl FileSystem for NvCache {
     fn open(&self, path: &str, flags: OpenFlags, clock: &ActorClock) -> IoResult<Fd> {
         clock.advance(self.shared.cfg.libc_overhead);
         let path = vfs::normalize_path(path);
+        // Tiering decision: the router places the file once, here; the index
+        // then travels with the descriptor (volatile) and the fd slot
+        // (persistent), so every later resolution agrees with this one.
+        let backend_idx = self.shared.route(&path);
+        let inner = &self.shared.backends[backend_idx];
         if flags.contains(OpenFlags::TRUNC) && flags.writable() {
             // Pending log entries for the victim content must not resurface.
             self.drained_flush(clock)?;
@@ -730,11 +760,11 @@ impl FileSystem for NvCache {
         // NVCache provides durability itself; the inner file is opened
         // without O_SYNC (the cleanup thread fsyncs batches explicitly).
         let inner_flags = flags.without(OpenFlags::SYNC);
-        let inner_fd = self.shared.inner.open(&path, inner_flags, clock)?;
-        let meta = self.shared.inner.fstat(inner_fd, clock)?;
+        let inner_fd = inner.open(&path, inner_flags, clock)?;
+        let meta = inner.fstat(inner_fd, clock)?;
         let file = {
             let mut files = self.shared.files.lock();
-            Arc::clone(files.entry((meta.dev, meta.ino)).or_insert_with(|| {
+            Arc::clone(files.entry((backend_idx as u32, meta.dev, meta.ino)).or_insert_with(|| {
                 Arc::new(FileState {
                     file_id: self.shared.next_file_id.fetch_add(1, Ordering::Relaxed),
                     dev_ino: (meta.dev, meta.ino),
@@ -795,7 +825,7 @@ impl FileSystem for NvCache {
                 Some(s) => s,
                 None => {
                     file.open_count.fetch_sub(1, Ordering::AcqRel);
-                    let _ = self.shared.inner.close(inner_fd, clock);
+                    let _ = inner.close(inner_fd, clock);
                     let cause = if self.shared.log.any_poisoned() {
                         "NVCache fd table exhausted: a poisoned log stripe pins \
                          closed descriptors (recovery required)"
@@ -811,6 +841,7 @@ impl FileSystem for NvCache {
             &self.shared.log.layout,
             slot,
             &path,
+            backend_idx as u32,
             clock,
         );
         let opened = Arc::new(OpenedFile {
@@ -818,6 +849,7 @@ impl FileSystem for NvCache {
             flags,
             cursor: Mutex::new(0),
             file,
+            backend: backend_idx as u32,
             inner_fd,
             closing: AtomicBool::new(false),
         });
@@ -879,7 +911,7 @@ impl FileSystem for NvCache {
         // Rare, non-critical path: drain then delegate, keeping NVCache's
         // size authoritative.
         self.drained_flush(clock)?;
-        self.shared.inner.ftruncate(opened.inner_fd, len, clock)?;
+        self.shared.inner_of(&opened).ftruncate(opened.inner_fd, len, clock)?;
         opened.file.size.store(len, Ordering::Release);
         self.shared.pool.purge_file(opened.file.file_id);
         Ok(())
@@ -898,10 +930,12 @@ impl FileSystem for NvCache {
 
     fn stat(&self, path: &str, clock: &ActorClock) -> IoResult<Metadata> {
         clock.advance(self.shared.cfg.libc_overhead);
-        let mut meta = self.shared.inner.stat(path, clock)?;
+        let path = vfs::normalize_path(path);
+        let backend = self.shared.route(&path);
+        let mut meta = self.shared.backends[backend].stat(&path, clock)?;
         // The kernel's size may be stale; NVCache's own is authoritative
         // (paper Table III: stat uses NVCache size).
-        if let Some(file) = self.shared.files.lock().get(&(meta.dev, meta.ino)) {
+        if let Some(file) = self.shared.files.lock().get(&(backend as u32, meta.dev, meta.ino)) {
             meta.size = file.size.load(Ordering::Acquire);
         }
         Ok(meta)
@@ -912,19 +946,56 @@ impl FileSystem for NvCache {
         // Pending log entries for the victim are neutralized at recovery,
         // which refuses to recreate files that no longer exist.
         clock.advance(self.shared.cfg.libc_overhead);
-        self.shared.inner.unlink(path, clock)
+        let path = vfs::normalize_path(path);
+        self.shared.backends[self.shared.route(&path)].unlink(&path, clock)
     }
 
     fn rename(&self, from: &str, to: &str, clock: &ActorClock) -> IoResult<()> {
         clock.advance(self.shared.cfg.libc_overhead);
+        let from = vfs::normalize_path(from);
+        let to = vfs::normalize_path(to);
+        let backend = self.shared.route(&from);
+        if backend != self.shared.route(&to) {
+            // The two names live on different tiers: moving the bytes across
+            // backends behind a metadata call would break the router's
+            // placement invariant. Legacy applications already handle EXDEV
+            // (mv falls back to copy+unlink across mount points).
+            return Err(IoError::CrossDevice(format!("{from} -> {to}")));
+        }
         // Pending entries logically precede the rename; replaying them after
         // it (recovery) would corrupt the new name's content.
         self.drained_flush(clock)?;
-        self.shared.inner.rename(from, to, clock)
+        self.shared.backends[backend].rename(&from, &to, clock)
     }
 
     fn list_dir(&self, dir: &str, clock: &ActorClock) -> IoResult<Vec<String>> {
-        self.shared.inner.list_dir(dir, clock)
+        let dir = vfs::normalize_path(dir);
+        if self.shared.backends.len() == 1 {
+            return self.shared.backends[0].list_dir(&dir, clock);
+        }
+        // A directory's children may be spread over several tiers (the
+        // router partitions by path, not by subtree): merge every backend's
+        // view, deduplicate, and keep a deterministic order. Backends where
+        // the directory does not exist contribute nothing; the listing only
+        // fails when *no* backend knows the directory.
+        let mut merged: Vec<String> = Vec::new();
+        let mut found = false;
+        let mut last_err = None;
+        for backend in self.shared.backends.iter() {
+            match backend.list_dir(&dir, clock) {
+                Ok(entries) => {
+                    found = true;
+                    merged.extend(entries);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if !found {
+            return Err(last_err.unwrap_or(IoError::NotFound(dir)));
+        }
+        merged.sort();
+        merged.dedup();
+        Ok(merged)
     }
 
     fn sync(&self, clock: &ActorClock) -> IoResult<()> {
@@ -935,9 +1006,11 @@ impl FileSystem for NvCache {
 
     fn simulate_power_failure(&self) {
         // The faithful crash path goes through `NvDimm::crash_and_restart` +
-        // `NvCache::recover`; this in-place approximation only drops the
-        // volatile state below NVCache.
-        self.shared.inner.simulate_power_failure();
+        // a `Mount::Recover` mount; this in-place approximation only drops
+        // the volatile state below NVCache.
+        for backend in self.shared.backends.iter() {
+            backend.simulate_power_failure();
+        }
     }
 
     fn synchronous_durability(&self) -> bool {

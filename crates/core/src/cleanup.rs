@@ -1,10 +1,12 @@
 //! The per-stripe cleanup workers (paper §III "Cleanup thread and
 //! batching"): each worker consumes committed entries from its stripe's
-//! tail in batches and propagates them to the inner file system through an
-//! io_uring-style submission ring ([`fiosim::IoRing`]), overlapping up to
-//! [`queue_depth`](crate::NvCacheConfig::queue_depth) inner writes before
-//! the batch's coalesced `fsync`s. Inner-file-system errors poison the
-//! stripe (see [`crate::NvCache::poisoned_stripes`]) instead of panicking.
+//! tail in batches and propagates them to the inner file systems through
+//! io_uring-style submission rings ([`fiosim::IoRing`]) — one ring per
+//! backend of a tiered mount, so each tier gets its own
+//! [`queue_depth`](crate::NvCacheConfig::queue_depth)-deep overlap window
+//! before the batch's per-(backend, file) coalesced `fsync`s.
+//! Inner-file-system errors poison the stripe (see
+//! [`crate::NvCache::poisoned_stripes`]) instead of panicking.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -62,7 +64,15 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
     let stripe = &shared.log.stripes[stripe_idx];
     let ordered_handoff = !shared.log.single();
     let shard_stats = &shared.stats.per_shard[stripe_idx];
-    let mut ring = IoRing::new(Arc::clone(&shared.inner), shared.cfg.queue_depth);
+    // One submission ring per inner backend — the per-tier queues of a
+    // tiered mount. Entries routed to different tiers overlap freely (each
+    // ring has its own `queue_depth` window); a single-backend mount
+    // degenerates to exactly the old one-ring drain.
+    let mut rings: Vec<IoRing> = shared
+        .backends
+        .iter()
+        .map(|backend| IoRing::new(Arc::clone(backend), shared.cfg.queue_depth))
+        .collect();
     loop {
         if shared.kill.load(Ordering::Acquire) {
             // Crash simulation: leave everything in the log for recovery.
@@ -99,7 +109,9 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
 
         let budget = (shared.cfg.batch_max as u64).min(pending);
         let mut consumed = 0u64;
-        let mut touched_fds: Vec<vfs::Fd> = Vec::new();
+        // `(backend, inner fd)` pairs the batch touched — the fsync
+        // coalescing key (an fd is only meaningful on its own backend).
+        let mut touched_fds: Vec<(u32, vfs::Fd)> = Vec::new();
         let mut batch_failed = false;
 
         // Phase 1: submit the batch's propagation writes onto the ring.
@@ -177,8 +189,14 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
                 // write itself executes here (submission order is execution
                 // order); only its completion time is deferred to the reap.
                 let guards: Vec<_> = descs.iter().map(|d| d.lock_cleanup()).collect();
-                let cqe =
-                    ring.submit_pwrite(opened.inner_fd, &data, e.file_off, e.seq, clock.now());
+                let backend = opened.backend as usize;
+                let cqe = rings[backend].submit_pwrite(
+                    opened.inner_fd,
+                    &data,
+                    e.file_off,
+                    e.seq,
+                    clock.now(),
+                );
                 let failed = cqe.result.is_err();
                 shard_stats.uring_submitted.fetch_add(1, Ordering::Relaxed);
                 if failed {
@@ -193,11 +211,12 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
                     }
                 }
                 drop(guards);
-                if !touched_fds.contains(&opened.inner_fd) {
-                    touched_fds.push(opened.inner_fd);
+                if !touched_fds.contains(&(opened.backend, opened.inner_fd)) {
+                    touched_fds.push((opened.backend, opened.inner_fd));
                 }
                 shared.stats.entries_propagated.fetch_add(1, Ordering::Relaxed);
                 shard_stats.entries_propagated.fetch_add(1, Ordering::Relaxed);
+                shared.stats.per_backend_propagated[backend].fetch_add(1, Ordering::Relaxed);
             }
             if batch_failed {
                 break;
@@ -205,14 +224,15 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
             consumed += group_len;
         }
 
-        // Phase 2: reap the writes, then overlap the coalesced fsyncs.
-        let write_cqes = ring.wait_all(&clock);
+        // Phase 2: reap the writes from every tier's ring (the clock joins
+        // the latest completion across all backends), then overlap the
+        // coalesced fsyncs.
+        let write_cqes: Vec<_> = rings.iter_mut().flat_map(|r| r.wait_all(&clock)).collect();
         shard_stats
             .uring_completed
             .fetch_add(write_cqes.len() as u64, Ordering::Relaxed);
-        shard_stats
-            .uring_inflight_peak
-            .fetch_max(ring.peak_in_flight() as u64, Ordering::Relaxed);
+        let peak = rings.iter().map(IoRing::peak_in_flight).max().unwrap_or(0);
+        shard_stats.uring_inflight_peak.fetch_max(peak as u64, Ordering::Relaxed);
         let write_errors = write_cqes.iter().filter(|c| c.result.is_err()).count() as u64;
         if batch_failed || write_errors > 0 {
             // `write_errors` may be 0 when the batch failed because a *peer*
@@ -226,14 +246,15 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
         }
 
         // One fsync per batch per touched file: this is the batching knob of
-        // paper Fig. 6 (each stripe applies the policy independently). The
-        // fd may have raced to close after we propagated its last entry; an
-        // error here would mean the drain ordering broke — poison, as above.
-        for (i, fd) in touched_fds.iter().enumerate() {
-            ring.submit_fsync(*fd, i as u64, clock.now());
+        // paper Fig. 6 (each stripe applies the policy independently, each
+        // tier on its own ring). The fd may have raced to close after we
+        // propagated its last entry; an error here would mean the drain
+        // ordering broke — poison, as above.
+        for (i, (backend, fd)) in touched_fds.iter().enumerate() {
+            rings[*backend as usize].submit_fsync(*fd, i as u64, clock.now());
             shard_stats.uring_submitted.fetch_add(1, Ordering::Relaxed);
         }
-        let fsync_cqes = ring.wait_all(&clock);
+        let fsync_cqes: Vec<_> = rings.iter_mut().flat_map(|r| r.wait_all(&clock)).collect();
         shard_stats
             .uring_completed
             .fetch_add(fsync_cqes.len() as u64, Ordering::Relaxed);

@@ -47,6 +47,14 @@ pub struct NvCacheConfig {
     /// hash; a global sequence number preserves recoverability (entries from
     /// all stripes merge-replay in total order).
     pub log_shards: usize,
+    /// Number of inner backends this cache propagates to. `1` (the default)
+    /// is the paper's deployment — one legacy file system below the cache —
+    /// and keeps the persistent image seed-compatible. `B > 1` switches the
+    /// fd table to the v3 tiered slot layout (each slot records which
+    /// backend owns the file) and is set by
+    /// [`NvCacheBuilder::backends`](crate::NvCacheBuilder::backends); it
+    /// must equal the length of the backend vector handed to the builder.
+    pub backends: usize,
     /// Queue depth of each cleanup worker's submission ring. `1` (the
     /// default) reproduces the paper's synchronous drain exactly: every
     /// propagation `pwrite` waits for the previous one. `N > 1` lets each
@@ -76,6 +84,7 @@ impl Default for NvCacheConfig {
             // worth of closes), or opens start forcing log drains.
             fd_slots: 4096,
             log_shards: 1,
+            backends: 1,
             queue_depth: 1,
             libc_overhead: SimTime::from_nanos(1_500),
             copy_bandwidth: Bandwidth::gib_per_sec(8.0),
@@ -134,6 +143,24 @@ impl NvCacheConfig {
         self.log_shards = shards;
         let shards = shards as u64;
         self.nb_entries = self.nb_entries.max(2 * shards).div_ceil(shards) * shards;
+        self
+    }
+
+    /// Sets the number of inner backends (normally done by
+    /// [`NvCacheBuilder::backends`](crate::NvCacheBuilder::backends), which
+    /// keeps it in sync with the backend vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is zero or exceeds
+    /// [`MAX_BACKENDS`](crate::layout::MAX_BACKENDS).
+    pub fn with_backends(mut self, backends: usize) -> Self {
+        assert!(
+            (1..=crate::layout::MAX_BACKENDS).contains(&backends),
+            "backends must be in 1..={}",
+            crate::layout::MAX_BACKENDS
+        );
+        self.backends = backends;
         self
     }
 
@@ -196,6 +223,11 @@ impl NvCacheConfig {
             "each log stripe needs at least two entries"
         );
         assert!(self.queue_depth >= 1, "queue_depth must be at least 1");
+        assert!(
+            (1..=crate::layout::MAX_BACKENDS).contains(&self.backends),
+            "backends must be in 1..={}",
+            crate::layout::MAX_BACKENDS
+        );
     }
 }
 
@@ -241,6 +273,20 @@ mod tests {
     fn default_is_single_shard() {
         assert_eq!(NvCacheConfig::default().log_shards, 1);
         assert_eq!(NvCacheConfig::tiny().log_shards, 1);
+    }
+
+    #[test]
+    fn default_is_single_backend() {
+        assert_eq!(NvCacheConfig::default().backends, 1);
+        let cfg = NvCacheConfig::tiny().with_backends(3);
+        assert_eq!(cfg.backends, 3);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "backends must be in")]
+    fn zero_backends_panics() {
+        NvCacheConfig::tiny().with_backends(0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! File bookkeeping: the volatile per-file and per-descriptor structures
 //! (paper §III "Open") plus [`PersistentFdTable`], the NVMM table mapping
-//! fd slots to paths so recovery can reopen the files referenced by
-//! pending log entries.
+//! fd slots to paths — and, on a tiered (header v3) mount, to the backend
+//! that owns the file — so recovery can reopen the files referenced by
+//! pending log entries on the right inner file system.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64};
 use std::sync::{Arc, OnceLock};
@@ -10,7 +11,7 @@ use nvmm::{NvRegion, PmemInts};
 use parking_lot::Mutex;
 use simclock::ActorClock;
 
-use crate::layout::{Layout, FD_SLOT_BYTES, PATH_MAX};
+use crate::layout::{Layout, FD_BACKEND_OFF, FD_SLOT_BYTES};
 use crate::Radix;
 
 /// Volatile per-file state: the *file table* entry of paper §III "Open",
@@ -49,6 +50,10 @@ pub(crate) struct OpenedFile {
     pub cursor: Mutex<u64>,
     /// The shared file structure.
     pub file: Arc<FileState>,
+    /// Index of the inner backend the router placed this file on (`0` on a
+    /// single-backend mount). The cleanup workers, read misses and recovery
+    /// all resolve the inner file system through this — never by re-routing.
+    pub backend: u32,
     /// Descriptor on the inner (kernel) file system, used by the cleanup
     /// thread and by read misses.
     pub inner_fd: vfs::Fd,
@@ -57,25 +62,41 @@ pub(crate) struct OpenedFile {
     pub closing: AtomicBool,
 }
 
-/// Accessors for the persistent fd→path table (paper §II-B: "NVCache stores
-/// in NVMM a table that associates the file path to each file descriptor, in
-/// order to retrieve the state after a crash").
+/// Accessors for the persistent fd table (paper §II-B: "NVCache stores in
+/// NVMM a table that associates the file path to each file descriptor, in
+/// order to retrieve the state after a crash"). On a tiered mount (layout
+/// v3) each slot additionally records the backend index, so a crash cannot
+/// silently re-route a file's pending writes to a different tier.
 pub(crate) struct PersistentFdTable;
 
 impl PersistentFdTable {
-    /// Persists `path` into `slot` (write + flush + fence: the slot must be
-    /// durable before any entry referencing it commits).
+    /// Persists `path` (and, on a tiered layout, `backend`) into `slot`
+    /// (write + flush + fence: the slot must be durable before any entry
+    /// referencing it commits).
     ///
     /// # Panics
     ///
-    /// Panics if the path exceeds [`PATH_MAX`].
-    pub fn set(region: &NvRegion, layout: &Layout, slot: u32, path: &str, clock: &ActorClock) {
+    /// Panics if the path exceeds [`Layout::path_max`], or if `backend` is
+    /// non-zero on a legacy (v1/v2) layout that has nowhere to store it.
+    pub fn set(
+        region: &NvRegion,
+        layout: &Layout,
+        slot: u32,
+        path: &str,
+        backend: u32,
+        clock: &ActorClock,
+    ) {
         let bytes = path.as_bytes();
-        assert!(bytes.len() <= PATH_MAX, "path longer than PATH_MAX: {path}");
+        assert!(bytes.len() <= layout.path_max(), "path longer than PATH_MAX: {path}");
         let base = layout.fd_slot(slot);
-        let mut buf = vec![0u8; PATH_MAX];
+        let mut buf = vec![0u8; layout.path_max()];
         buf[..bytes.len()].copy_from_slice(bytes);
-        region.write(base + 8, &buf, clock);
+        if layout.tiered() {
+            region.write_u64(base + FD_BACKEND_OFF, backend as u64, clock);
+        } else {
+            assert_eq!(backend, 0, "legacy fd slots cannot record a backend index");
+        }
+        region.write(base + layout.fd_path_off(), &buf, clock);
         region.write_u64(base, 1, clock);
         region.pwb(base, FD_SLOT_BYTES as usize);
         region.pfence(clock);
@@ -90,60 +111,90 @@ impl PersistentFdTable {
         region.pfence(clock);
     }
 
-    /// Reads `slot`, returning the stored path if valid. Uses charged reads
-    /// (recovery runs with a cold CPU cache).
+    /// Reads `slot`, returning the stored `(path, backend)` if valid (the
+    /// backend is `0` on legacy layouts). Uses charged reads (recovery runs
+    /// with a cold CPU cache).
     pub fn get(
         region: &NvRegion,
         layout: &Layout,
         slot: u32,
         clock: &ActorClock,
-    ) -> Option<String> {
+    ) -> Option<(String, u32)> {
         let base = layout.fd_slot(slot);
         let mut head = [0u8; 8];
         region.read(base, &mut head, clock);
         if u64::from_le_bytes(head) != 1 {
             return None;
         }
-        let mut buf = vec![0u8; PATH_MAX];
-        region.read(base + 8, &mut buf, clock);
-        let end = buf.iter().position(|&b| b == 0).unwrap_or(PATH_MAX);
-        Some(String::from_utf8_lossy(&buf[..end]).into_owned())
+        let backend = if layout.tiered() {
+            let mut b = [0u8; 8];
+            region.read(base + FD_BACKEND_OFF, &mut b, clock);
+            u64::from_le_bytes(b) as u32
+        } else {
+            0
+        };
+        let mut buf = vec![0u8; layout.path_max()];
+        region.read(base + layout.fd_path_off(), &mut buf, clock);
+        let end = buf.iter().position(|&b| b == 0).unwrap_or(layout.path_max());
+        Some((String::from_utf8_lossy(&buf[..end]).into_owned(), backend))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layout::PATH_MAX;
     use crate::NvCacheConfig;
     use nvmm::{NvDimm, NvmmProfile};
 
-    fn setup() -> (ActorClock, NvRegion, Layout) {
-        let cfg = NvCacheConfig::tiny();
+    fn setup_with(cfg: NvCacheConfig) -> (ActorClock, NvRegion, Layout) {
         let layout = Layout::for_config(&cfg);
         let dimm = Arc::new(NvDimm::new(layout.total_bytes(), NvmmProfile::instant()));
         (ActorClock::new(), NvRegion::whole(dimm), layout)
+    }
+
+    fn setup() -> (ActorClock, NvRegion, Layout) {
+        setup_with(NvCacheConfig::tiny())
     }
 
     #[test]
     fn set_get_clear_round_trip() {
         let (c, region, layout) = setup();
         assert_eq!(PersistentFdTable::get(&region, &layout, 3, &c), None);
-        PersistentFdTable::set(&region, &layout, 3, "/data/wal.log", &c);
+        PersistentFdTable::set(&region, &layout, 3, "/data/wal.log", 0, &c);
         assert_eq!(
-            PersistentFdTable::get(&region, &layout, 3, &c).as_deref(),
-            Some("/data/wal.log")
+            PersistentFdTable::get(&region, &layout, 3, &c),
+            Some(("/data/wal.log".into(), 0))
         );
         PersistentFdTable::clear(&region, &layout, 3, &c);
         assert_eq!(PersistentFdTable::get(&region, &layout, 3, &c), None);
     }
 
     #[test]
+    fn tiered_slots_round_trip_the_backend_index() {
+        let (c, region, layout) = setup_with(NvCacheConfig::tiny().with_backends(4));
+        PersistentFdTable::set(&region, &layout, 2, "/hot/wal", 3, &c);
+        PersistentFdTable::set(&region, &layout, 5, "/cold/blob", 0, &c);
+        assert_eq!(PersistentFdTable::get(&region, &layout, 2, &c), Some(("/hot/wal".into(), 3)));
+        assert_eq!(PersistentFdTable::get(&region, &layout, 5, &c), Some(("/cold/blob".into(), 0)));
+    }
+
+    #[test]
     fn slots_survive_crash() {
         let (c, region, layout) = setup();
-        PersistentFdTable::set(&region, &layout, 0, "/survivor", &c);
+        PersistentFdTable::set(&region, &layout, 0, "/survivor", 0, &c);
         let crashed = region.dimm().crash_and_restart();
         let region2 = NvRegion::whole(Arc::new(crashed));
-        assert_eq!(PersistentFdTable::get(&region2, &layout, 0, &c).as_deref(), Some("/survivor"));
+        assert_eq!(PersistentFdTable::get(&region2, &layout, 0, &c), Some(("/survivor".into(), 0)));
+    }
+
+    #[test]
+    fn tiered_backend_word_survives_crash() {
+        let (c, region, layout) = setup_with(NvCacheConfig::tiny().with_backends(2));
+        PersistentFdTable::set(&region, &layout, 1, "/tiered", 1, &c);
+        let crashed = region.dimm().crash_and_restart();
+        let region2 = NvRegion::whole(Arc::new(crashed));
+        assert_eq!(PersistentFdTable::get(&region2, &layout, 1, &c), Some(("/tiered".into(), 1)));
     }
 
     #[test]
@@ -151,6 +202,13 @@ mod tests {
     fn oversized_path_panics() {
         let (c, region, layout) = setup();
         let long = "x".repeat(PATH_MAX + 1);
-        PersistentFdTable::set(&region, &layout, 0, &long, &c);
+        PersistentFdTable::set(&region, &layout, 0, &long, 0, &c);
+    }
+
+    #[test]
+    #[should_panic(expected = "legacy fd slots")]
+    fn backend_on_legacy_layout_panics() {
+        let (c, region, layout) = setup();
+        PersistentFdTable::set(&region, &layout, 0, "/x", 1, &c);
     }
 }

@@ -14,7 +14,8 @@
 //!
 //! # Header versioning
 //!
-//! The header is versioned implicitly through [`OFF_LOG_SHARDS`]:
+//! The header is versioned implicitly through [`OFF_LOG_SHARDS`] and
+//! [`OFF_BACKENDS`]:
 //!
 //! * **v1 (seed format)** — the word at [`OFF_LOG_SHARDS`] is `0` (never
 //!   written). One circular log over the whole entry array, with its single
@@ -26,6 +27,18 @@
 //!   tail at [`OFF_STRIPE_TAILS`]` + 8·s`. Every entry additionally carries a
 //!   globally monotonic sequence number ([`ENT_SEQ`]) so recovery can
 //!   merge-replay committed entries from all stripes in total order.
+//! * **v3 (tiered)** — the word at [`OFF_BACKENDS`] holds `B > 1`: the mount
+//!   propagates to `B` inner backends selected by a
+//!   [`Router`](crate::Router). Each fd slot then stores the file's backend
+//!   index in a second word ([`FD_BACKEND_OFF`], before the path, which
+//!   moves to [`FD_PATH_OFF_V3`] and shrinks to [`PATH_MAX_V3`] bytes) so
+//!   recovery replays every pending entry to the backend that acknowledged
+//!   it — the router is *not* re-consulted for v3 slots. A v1/v2 image
+//!   (backends word `0`) migrates forward on recovery: its slots are
+//!   re-routed by path and the backends word is written afterwards.
+//!   Orthogonal to v2 — a region can be striped, tiered, both, or neither;
+//!   total region size is unchanged (the fd slot is re-partitioned, not
+//!   grown).
 //!
 //! Entry commit words (offset 0 of each entry header) encode the paper's
 //! packed commit-flag/group-index integer:
@@ -41,8 +54,18 @@ use crate::NvCacheConfig;
 pub const HEADER_BYTES: u64 = 4096;
 /// Bytes per persistent fd slot.
 pub const FD_SLOT_BYTES: u64 = 256;
-/// Maximum stored path length (rest of the slot after the valid word).
+/// Maximum stored path length (rest of the slot after the valid word,
+/// v1/v2 slot layout).
 pub const PATH_MAX: usize = (FD_SLOT_BYTES - 8) as usize;
+/// Maximum stored path length in a v3 (tiered) slot: the backend word takes
+/// eight bytes off the front of the path area.
+pub const PATH_MAX_V3: usize = (FD_SLOT_BYTES - 16) as usize;
+/// Offset (within a v3 fd slot) of the backend-index word.
+pub const FD_BACKEND_OFF: u64 = 8;
+/// Offset (within an fd slot) of the path bytes, v1/v2 layout.
+pub const FD_PATH_OFF: u64 = 8;
+/// Offset (within an fd slot) of the path bytes, v3 layout.
+pub const FD_PATH_OFF_V3: u64 = 16;
 /// Bytes of each entry header.
 pub const ENTRY_HEADER_BYTES: u64 = 64;
 
@@ -64,6 +87,9 @@ pub const OFF_PAGE_SIZE: u64 = 40;
 /// Number of log stripes; `0` (the seed format, which never writes this
 /// word) means one.
 pub const OFF_LOG_SHARDS: u64 = 48;
+/// Number of inner backends of a tiered mount; `0` (v1/v2 formats, which
+/// never write this word) means one.
+pub const OFF_BACKENDS: u64 = 56;
 /// Base of the per-stripe persistent tail array (v2 format only; stripe `s`
 /// persists its tail at `OFF_STRIPE_TAILS + 8 * s`).
 pub const OFF_STRIPE_TAILS: u64 = 64;
@@ -71,6 +97,10 @@ pub const OFF_STRIPE_TAILS: u64 = 64;
 /// Upper bound on `log_shards` (the per-stripe tail array must fit in the
 /// 4 KiB header with room to spare).
 pub const MAX_LOG_SHARDS: usize = 64;
+
+/// Upper bound on the backend count of a tiered mount (the index must fit
+/// comfortably in the fd slot's backend word; 64 matches the stripe bound).
+pub const MAX_BACKENDS: usize = 64;
 
 // Entry header field offsets (relative to the entry base).
 pub const ENT_COMMIT: u64 = 0;
@@ -91,6 +121,9 @@ pub struct Layout {
     pub fd_slots: u64,
     /// Log stripes the entry array is split into (1 = seed format).
     pub log_shards: u64,
+    /// Inner backends of the mount (1 = v1/v2 single-backend fd slots,
+    /// `B > 1` = v3 slots carrying a backend word).
+    pub backends: u64,
 }
 
 impl Layout {
@@ -101,6 +134,30 @@ impl Layout {
             entry_size: cfg.entry_size as u64,
             fd_slots: cfg.fd_slots as u64,
             log_shards: cfg.log_shards as u64,
+            backends: cfg.backends as u64,
+        }
+    }
+
+    /// Whether fd slots use the v3 (tiered) partitioning.
+    pub fn tiered(&self) -> bool {
+        self.backends > 1
+    }
+
+    /// Offset of the path bytes within an fd slot.
+    pub fn fd_path_off(&self) -> u64 {
+        if self.tiered() {
+            FD_PATH_OFF_V3
+        } else {
+            FD_PATH_OFF
+        }
+    }
+
+    /// Maximum storable path length for this layout's fd slots.
+    pub fn path_max(&self) -> usize {
+        if self.tiered() {
+            PATH_MAX_V3
+        } else {
+            PATH_MAX
         }
     }
 
@@ -214,7 +271,7 @@ mod tests {
     use super::*;
 
     fn layout() -> Layout {
-        Layout { nb_entries: 8, entry_size: 128, fd_slots: 4, log_shards: 1 }
+        Layout { nb_entries: 8, entry_size: 128, fd_slots: 4, log_shards: 1, backends: 1 }
     }
 
     #[test]
@@ -273,6 +330,27 @@ mod tests {
     #[test]
     fn stripe_tail_array_fits_the_header() {
         assert!(OFF_STRIPE_TAILS + 8 * MAX_LOG_SHARDS as u64 <= HEADER_BYTES);
+    }
+
+    #[test]
+    fn backend_word_does_not_collide_with_other_header_fields() {
+        const { assert!(OFF_BACKENDS > OFF_LOG_SHARDS) }
+        const { assert!(OFF_BACKENDS < OFF_STRIPE_TAILS) }
+    }
+
+    #[test]
+    fn tiered_slots_repartition_but_do_not_grow() {
+        let legacy = layout();
+        let tiered = Layout { backends: 3, ..layout() };
+        assert!(!legacy.tiered());
+        assert!(tiered.tiered());
+        // Same slot size and total footprint: only the interior moves.
+        assert_eq!(legacy.total_bytes(), tiered.total_bytes());
+        assert_eq!(legacy.fd_path_off(), FD_PATH_OFF);
+        assert_eq!(tiered.fd_path_off(), FD_PATH_OFF_V3);
+        assert_eq!(legacy.path_max(), PATH_MAX);
+        assert_eq!(tiered.path_max(), PATH_MAX_V3);
+        assert_eq!(tiered.fd_path_off() + tiered.path_max() as u64, FD_SLOT_BYTES);
     }
 
     #[test]

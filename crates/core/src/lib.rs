@@ -85,8 +85,25 @@
 //! Inner-file-system errors during the drain no longer panic the worker:
 //! they are counted ([`NvCacheStats::inner_io_errors`]) and **poison** the
 //! stripe — writes routed to it fail fast, flush barriers return instead of
-//! hanging, and the stripe's pending entries stay in NVMM for
-//! [`NvCache::recover`] (see [`NvCache::poisoned_stripes`]).
+//! hanging, and the stripe's pending entries stay in NVMM for a
+//! [`Mount::Recover`] mount (see [`NvCache::poisoned_stripes`]).
+//!
+//! ## The mount stack
+//!
+//! Mounting goes through [`NvCache::builder`]: pick the NVMM region, the
+//! inner backend(s), the configuration and the [`Mount`] mode, then
+//! [`mount`](NvCacheBuilder::mount). The original `format`/`recover`
+//! constructors remain as deprecated wrappers.
+//!
+//! A **tiered** stack supplies several backends and a [`Router`] that maps
+//! each file to one of them (hot files over NOVA, cold bulk over ext4+HDD —
+//! the ROADMAP's multi-backend item): [`PathPrefixRouter`] for explicit
+//! placement, [`HashRouter`] for uniform spreading. The routing decision is
+//! taken once per open, recorded in the volatile descriptor *and* in the
+//! persistent fd slot (region header v3), and the per-stripe cleanup
+//! workers drain each tier through its own submission ring — so a crash
+//! replays every pending entry to the backend that acknowledged it, never
+//! to wherever the router would place the file today.
 //!
 //! ## Quick start
 //!
@@ -102,7 +119,10 @@
 //! let cfg = NvCacheConfig::tiny();
 //! let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
 //! let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
-//! let cache = NvCache::format(NvRegion::whole(dimm), inner, cfg, &clock)?;
+//! let cache = NvCache::builder(NvRegion::whole(dimm))
+//!     .backend(inner)
+//!     .config(cfg)
+//!     .mount(&clock)?;
 //!
 //! let fd = cache.open("/db/wal", OpenFlags::RDWR | OpenFlags::CREATE, &clock)?;
 //! cache.pwrite(fd, b"synchronously durable", 0, &clock)?;
@@ -113,6 +133,7 @@
 //! # }
 //! ```
 
+mod builder;
 mod cache;
 mod cleanup;
 mod config;
@@ -123,14 +144,20 @@ mod pagedesc;
 mod radix;
 mod readcache;
 mod recovery;
+mod router;
 mod stats;
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy format/recover wrappers stay under test
 mod tests;
+#[cfg(test)]
+mod tiering_tests;
 
+pub use builder::{Mount, NvCacheBuilder};
 pub use cache::NvCache;
 pub use config::NvCacheConfig;
 pub use pagedesc::{PageDescriptor, PageSlot, PageState};
 pub use radix::Radix;
 pub use recovery::RecoveryReport;
+pub use router::{HashRouter, PathPrefixRouter, Router, SingleBackend};
 pub use stats::{NvCacheStats, NvCacheStatsSnapshot, ShardStats, ShardStatsSnapshot};

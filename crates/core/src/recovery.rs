@@ -1,7 +1,9 @@
 //! The recovery procedure (paper §III): reopen files from the persistent
-//! fd table, k-way merge-replay every committed log entry in global commit
-//! order (per-stripe sorted runs), sync, and empty the log. Idempotent
-//! under crashes during recovery itself.
+//! fd table — each on the backend its slot records (header v3), or on the
+//! router-chosen backend when migrating a legacy image — k-way merge-replay
+//! every committed log entry in global commit order (per-stripe sorted
+//! runs), sync every backend, and empty the log. Idempotent under crashes
+//! during recovery itself.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -11,11 +13,12 @@ use simclock::ActorClock;
 use vfs::{FileSystem, IoError, IoResult, OpenFlags};
 
 use crate::layout::{self, CommitWord, Layout};
+use crate::router::Router;
 
 /// Outcome of a recovery run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
-    /// Committed entries replayed to the inner file system.
+    /// Committed entries replayed to the inner file system(s).
     pub entries_replayed: u64,
     /// Torn/uncommitted entries skipped.
     pub entries_skipped: u64,
@@ -26,6 +29,17 @@ pub struct RecoveryReport {
     pub files_missing: usize,
     /// Payload bytes replayed.
     pub bytes_replayed: u64,
+    /// Distinct inner backends that received replayed files (`1` on a
+    /// single-backend mount; up to the tier count on a tiered one).
+    pub backends_touched: usize,
+    /// Recovered files whose backend disagrees with the router's *current*
+    /// placement of their path (possible after a v2 → v3 migration or a
+    /// routing-policy change). Their bytes are intact on the recovered
+    /// backend but unreachable through the mount — a fresh `open` routes
+    /// (and may create an empty shadow) elsewhere — until the operator
+    /// moves the files or aligns the routing rules. `0` means every
+    /// recovered file is where the router expects it.
+    pub files_misplaced: usize,
 }
 
 /// A committed group found by the scan phase: `stripe`'s ring position
@@ -51,12 +65,24 @@ struct CommittedGroup {
 /// per-stripe scans yield sorted runs that a k-way merge by stamped sequence
 /// number turns into the exact global commit order.
 ///
+/// **Backend resolution.** A v3 (tiered) image stores each fd slot's backend
+/// index; the slot's pending entries replay to exactly that backend — the
+/// router is *not* consulted, because its policy may have changed across the
+/// reboot while the acknowledged bytes live where they were written. A
+/// legacy (v1/v2) image carries no backend word: when recovered into a
+/// multi-backend stack, each reopened file goes to the router's placement if
+/// it already exists there (a pre-moved file), falling back to backend 0 —
+/// the legacy backend that owned every pre-migration file — so acknowledged
+/// writes survive any routing policy. This is the v2 → v3 migration path
+/// (the caller stamps the header afterwards).
+///
 /// Idempotent: crashing *during* recovery and running it again converges to
 /// the same state, because replay only overwrites with logged data and the
 /// log is emptied only after the final `sync`.
 pub(crate) fn recover(
     region: &NvRegion,
-    inner: &Arc<dyn FileSystem>,
+    backends: &[Arc<dyn FileSystem>],
+    router: &dyn Router,
     clock: &ActorClock,
 ) -> IoResult<RecoveryReport> {
     // Read the layout back from the header (charged reads: cold caches).
@@ -72,28 +98,95 @@ pub(crate) fn recover(
     let fd_slots = u64::from_le_bytes(header[32..40].try_into().expect("8 bytes"));
     // 0 = v1 (seed) header that never wrote the shard word.
     let log_shards = u64::from_le_bytes(header[48..56].try_into().expect("8 bytes")).max(1);
-    let lay = Layout { nb_entries, entry_size, fd_slots, log_shards };
+    // 0 = v1/v2 header: single backend, no backend word in the fd slots.
+    let image_backends = u64::from_le_bytes(header[56..64].try_into().expect("8 bytes")).max(1);
+    if image_backends as usize > backends.len() {
+        return Err(IoError::InvalidArgument(format!(
+            "region references {image_backends} backends but recovery got only {}",
+            backends.len()
+        )));
+    }
+    let lay = Layout { nb_entries, entry_size, fd_slots, log_shards, backends: image_backends };
 
-    // Reopen the files referenced by the fd table.
-    let mut fds: HashMap<u32, vfs::Fd> = HashMap::new();
+    // Reopen the files referenced by the fd table, each on its backend.
+    let mut fds: HashMap<u32, (usize, vfs::Fd)> = HashMap::new();
     let mut report = RecoveryReport::default();
     for slot in 0..fd_slots as u32 {
-        if let Some(path) = crate::files::PersistentFdTable::get(region, &lay, slot, clock) {
-            // No O_CREAT: a file that disappeared was deliberately unlinked
-            // (NVCache opens files on the inner FS synchronously), and its
-            // pending writes must not resurrect it.
-            match inner.open(&path, OpenFlags::RDWR, clock) {
-                Ok(fd) => {
-                    fds.insert(slot, fd);
-                    report.files_reopened += 1;
+        if let Some((path, stored)) =
+            crate::files::PersistentFdTable::get(region, &lay, slot, clock)
+        {
+            // Candidate backends, in resolution order. A v3 slot's recorded
+            // placement is authoritative. A legacy (v1/v2) slot entering a
+            // multi-backend stack migrates: prefer the router's placement
+            // when the file already exists there (the operator pre-moved
+            // it), and fall back to backend 0 — the legacy backend, which
+            // owned every file before the migration — so acknowledged
+            // writes are never discarded by a routing-policy change.
+            let candidates: Vec<usize> = if lay.tiered() {
+                vec![stored as usize]
+            } else if backends.len() == 1 {
+                vec![0]
+            } else {
+                let routed = router.route(&path, 0);
+                if routed == 0 {
+                    vec![0]
+                } else {
+                    vec![routed, 0]
                 }
-                Err(IoError::NotFound(_)) => {
-                    report.files_missing += 1;
+            };
+            let mut resolved = None;
+            for &backend in &candidates {
+                let Some(inner) = backends.get(backend) else {
+                    return Err(IoError::InvalidArgument(format!(
+                        "fd slot {slot} ({path}) references backend {backend}, \
+                         but recovery got only {} backends",
+                        backends.len()
+                    )));
+                };
+                // No O_CREAT: a file that disappeared was deliberately
+                // unlinked (NVCache opens files on the inner FS
+                // synchronously), and its pending writes must not resurrect
+                // it.
+                match inner.open(&path, OpenFlags::RDWR, clock) {
+                    Ok(fd) => {
+                        fds.insert(slot, (backend, fd));
+                        report.files_reopened += 1;
+                        resolved = Some(backend);
+                        break;
+                    }
+                    Err(IoError::NotFound(_)) => {}
+                    Err(e) => return Err(e),
                 }
-                Err(e) => return Err(e),
+            }
+            // Replay lands on `resolved`, but every post-recovery open of
+            // this path will route through the (possibly different) current
+            // policy — such a file is intact below yet unreachable (and
+            // shadowable by a fresh create) through the mount until the
+            // operator moves it or fixes the rules. Count it so the
+            // mismatch is visible instead of silent.
+            if let Some(backend) = resolved {
+                if backends.len() > 1 && backend != router.route(&path, 0) {
+                    report.files_misplaced += 1;
+                }
+            }
+            if resolved.is_none() {
+                // The file was deliberately unlinked before the crash: its
+                // pending entries are skipped below, and the slot must be
+                // cleared here — a stale slot would otherwise survive a
+                // v2 → v3 migration and be re-parsed under the v3
+                // partitioning on the *next* recovery, where its path bytes
+                // masquerade as a (garbage) backend word and wedge the
+                // region permanently.
+                crate::files::PersistentFdTable::clear(region, &lay, slot, clock);
+                report.files_missing += 1;
             }
         }
     }
+    let mut touched = vec![false; backends.len()];
+    for &(backend, _) in fds.values() {
+        touched[backend] = true;
+    }
+    report.backends_touched = touched.iter().filter(|&&t| t).count();
 
     // Scan phase: collect committed groups per stripe, in ring order from
     // each stripe's persistent tail. On the seed format this is one scan
@@ -143,7 +236,8 @@ pub(crate) fn recover(
     // into one sort of the (few) committed groups.
     groups.sort_by_key(|g| g.gseq);
 
-    // Replay phase, in global commit order.
+    // Replay phase, in global commit order, each entry to the backend its
+    // fd slot resolved to.
     for group in &groups {
         for g in 0..group.len {
             // Group slots are contiguous in the owning stripe's window and
@@ -158,7 +252,7 @@ pub(crate) fn recover(
             let fd_slot = u32::from_le_bytes(gh[8..12].try_into().expect("4 bytes"));
             let len = u32::from_le_bytes(gh[12..16].try_into().expect("4 bytes"));
             let file_off = u64::from_le_bytes(gh[16..24].try_into().expect("8 bytes"));
-            let Some(&fd) = fds.get(&fd_slot) else {
+            let Some(&(backend, fd)) = fds.get(&fd_slot) else {
                 // Entry for a slot missing from the fd table: can only
                 // happen if the slot was cleared, which requires a prior
                 // full drain — the entry is already on disk.
@@ -167,14 +261,17 @@ pub(crate) fn recover(
             };
             let mut data = vec![0u8; len as usize];
             region.read(lay.entry_data(gslot), &mut data, clock);
-            inner.pwrite(fd, &data, file_off, clock)?;
+            backends[backend].pwrite(fd, &data, file_off, clock)?;
             report.entries_replayed += 1;
             report.bytes_replayed += len as u64;
         }
     }
 
-    // Make the replay durable, then (and only then) empty the log.
-    inner.sync(clock)?;
+    // Make the replay durable on every backend, then (and only then) empty
+    // the log.
+    for backend in backends {
+        backend.sync(clock)?;
+    }
     for slot in 0..nb_entries {
         let base = lay.entry(slot);
         region.write_u64(base + layout::ENT_COMMIT, 0, clock);
@@ -190,8 +287,8 @@ pub(crate) fn recover(
     }
     region.pfence(clock);
     // Close and clear the fd table.
-    for (slot, fd) in fds {
-        inner.close(fd, clock)?;
+    for (slot, (backend, fd)) in fds {
+        backends[backend].close(fd, clock)?;
         crate::files::PersistentFdTable::clear(region, &lay, slot, clock);
     }
     region.psync(clock);

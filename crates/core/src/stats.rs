@@ -110,13 +110,26 @@ pub struct NvCacheStats {
     /// Per-stripe breakdown of the log counters (one entry per
     /// [`log_shards`](crate::NvCacheConfig::log_shards)).
     pub per_shard: Box<[ShardStats]>,
+    /// Entries propagated to each inner backend (one entry per
+    /// [`backends`](crate::NvCacheConfig::backends) — a single element on a
+    /// non-tiered mount). Shows how the router actually spread the write
+    /// traffic over the tiers.
+    pub per_backend_propagated: Box<[AtomicU64]>,
 }
 
 impl NvCacheStats {
-    /// Counters for a log with `shards` stripes.
+    /// Counters for a log with `shards` stripes (single backend).
     pub fn with_shards(shards: usize) -> NvCacheStats {
+        Self::with_topology(shards, 1)
+    }
+
+    /// Counters for a log with `shards` stripes propagating to `backends`
+    /// inner file systems.
+    pub fn with_topology(shards: usize, backends: usize) -> NvCacheStats {
         let mut per_shard = Vec::with_capacity(shards.max(1));
         per_shard.resize_with(shards.max(1), ShardStats::default);
+        let mut per_backend = Vec::with_capacity(backends.max(1));
+        per_backend.resize_with(backends.max(1), || AtomicU64::new(0));
         NvCacheStats {
             writes: AtomicU64::new(0),
             reads: AtomicU64::new(0),
@@ -135,6 +148,7 @@ impl NvCacheStats {
             recovered_entries: AtomicU64::new(0),
             inner_io_errors: AtomicU64::new(0),
             per_shard: per_shard.into_boxed_slice(),
+            per_backend_propagated: per_backend.into_boxed_slice(),
         }
     }
 
@@ -158,6 +172,11 @@ impl NvCacheStats {
             recovered_entries: self.recovered_entries.load(Ordering::Relaxed),
             inner_io_errors: self.inner_io_errors.load(Ordering::Relaxed),
             per_shard: self.per_shard.iter().map(ShardStats::snapshot).collect(),
+            per_backend_propagated: self
+                .per_backend_propagated
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -205,6 +224,9 @@ pub struct NvCacheStatsSnapshot {
     pub inner_io_errors: u64,
     /// Per-stripe breakdown of the log counters.
     pub per_shard: Vec<ShardStatsSnapshot>,
+    /// Entries propagated to each inner backend (tiered mounts; one element
+    /// otherwise).
+    pub per_backend_propagated: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -237,5 +259,15 @@ mod tests {
     #[test]
     fn default_has_one_shard() {
         assert_eq!(NvCacheStats::default().per_shard.len(), 1);
+        assert_eq!(NvCacheStats::default().per_backend_propagated.len(), 1);
+    }
+
+    #[test]
+    fn per_backend_counters_follow_the_topology() {
+        let s = NvCacheStats::with_topology(2, 3);
+        assert_eq!(s.per_shard.len(), 2);
+        assert_eq!(s.per_backend_propagated.len(), 3);
+        s.per_backend_propagated[2].store(5, Ordering::Relaxed);
+        assert_eq!(s.snapshot().per_backend_propagated, vec![0, 0, 5]);
     }
 }

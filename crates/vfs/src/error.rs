@@ -27,6 +27,9 @@ pub enum IoError {
     IsDirectory(String),
     /// ENOTEMPTY — directory removal with children.
     NotEmpty(String),
+    /// EXDEV — the operation would cross file-system (backend) boundaries,
+    /// e.g. a rename between two tiers of a multi-backend mount.
+    CrossDevice(String),
     /// Any other condition, with context.
     Other(String),
 }
@@ -42,6 +45,7 @@ impl fmt::Display for IoError {
             IoError::NoSpace => write!(f, "no space left on device"),
             IoError::IsDirectory(p) => write!(f, "is a directory: {p}"),
             IoError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            IoError::CrossDevice(m) => write!(f, "invalid cross-device link: {m}"),
             IoError::Other(m) => write!(f, "{m}"),
         }
     }

@@ -8,7 +8,7 @@ use std::error::Error;
 use std::sync::Arc;
 
 use nvcache_repro::blockdev::{SsdDevice, SsdProfile};
-use nvcache_repro::nvcache::{NvCache, NvCacheConfig};
+use nvcache_repro::nvcache::{Mount, NvCache, NvCacheConfig};
 use nvcache_repro::nvmm::{NvDimm, NvRegion, NvmmProfile};
 use nvcache_repro::simclock::ActorClock;
 use nvcache_repro::vfs::{Ext4, Ext4Profile, FileSystem, OpenFlags};
@@ -26,12 +26,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
     let ssd = Arc::new(SsdDevice::new(SsdProfile::s4600()));
     let inner: Arc<dyn FileSystem> = Arc::new(Ext4::new("ext4+ssd", ssd, Ext4Profile::default()));
-    let cache = NvCache::format(
-        NvRegion::whole(Arc::clone(&dimm)),
-        Arc::clone(&inner),
-        cfg.clone(),
-        &clock,
-    )?;
+    let cache = NvCache::builder(NvRegion::whole(Arc::clone(&dimm)))
+        .backend(Arc::clone(&inner))
+        .config(cfg.clone())
+        .mount(&clock)?;
 
     let fd = cache.open("/ledger", OpenFlags::RDWR | OpenFlags::CREATE, &clock)?;
     let mut acknowledged = Vec::new();
@@ -53,8 +51,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     inner.simulate_power_failure(); // the kernel page cache is gone too
 
     // ---- reboot + recovery ------------------------------------------------
-    let (recovered, report) =
-        NvCache::recover(NvRegion::whole(restarted), Arc::clone(&inner), cfg, &clock)?;
+    let recovered = NvCache::builder(NvRegion::whole(restarted))
+        .backend(Arc::clone(&inner))
+        .config(cfg)
+        .mode(Mount::Recover)
+        .mount(&clock)?;
+    let report = recovered.recovery_report().expect("recover mode");
     println!(
         "recovery: {} entries replayed ({} bytes), {} files reopened",
         report.entries_replayed, report.bytes_replayed, report.files_reopened

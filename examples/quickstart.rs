@@ -20,10 +20,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     let ext4: Arc<dyn FileSystem> = Arc::new(Ext4::new("ext4+ssd", ssd, Ext4Profile::default()));
 
     // ...boosted by NVCache: a write log in NVMM (scaled to 1/256 of the
-    // paper's 64 GiB here) in front of the kernel I/O stack.
+    // paper's 64 GiB here) in front of the kernel I/O stack. The mount
+    // stack is assembled with the builder: region, backend(s), config, go.
     let cfg = NvCacheConfig::default().scaled(256);
     let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
-    let cache = NvCache::format(NvRegion::whole(dimm), ext4, cfg, &clock)?;
+    let cache = NvCache::builder(NvRegion::whole(dimm))
+        .backend(ext4)
+        .config(cfg)
+        .mount(&clock)?;
 
     // A legacy application sees plain POSIX.
     let fd = cache.open("/data/app.log", OpenFlags::RDWR | OpenFlags::CREATE, &clock)?;

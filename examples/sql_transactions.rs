@@ -54,7 +54,8 @@ fn main() -> Result<(), Box<dyn Error>> {
         cfg.required_nvmm_bytes(),
         NvmmProfile::optane().without_durability_tracking(),
     ));
-    let cache = Arc::new(NvCache::format(NvRegion::whole(log), ext4, cfg, &clock)?);
+    let cache =
+        Arc::new(NvCache::builder(NvRegion::whole(log)).backend(ext4).config(cfg).mount(&clock)?);
     run_txns("NVCache+SSD", Arc::clone(&cache) as Arc<dyn FileSystem>)?;
     cache.shutdown(&clock);
     Ok(())

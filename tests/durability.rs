@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use nvcache_repro::blockdev::{SsdDevice, SsdProfile};
-use nvcache_repro::nvcache::{NvCache, NvCacheConfig};
+use nvcache_repro::nvcache::{Mount, NvCache, NvCacheConfig};
 use nvcache_repro::nvmm::{NvDimm, NvRegion, NvmmProfile};
 use nvcache_repro::simclock::ActorClock;
 use nvcache_repro::vfs::{Ext4, Ext4Profile, FileSystem, OpenFlags};
@@ -27,13 +27,11 @@ fn rig(cfg: NvCacheConfig, eviction_probability: f64) -> Rig {
     let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), profile));
     let ssd = Arc::new(SsdDevice::new(SsdProfile::s4600()));
     let inner: Arc<dyn FileSystem> = Arc::new(Ext4::new("ext4+ssd", ssd, Ext4Profile::default()));
-    let cache = NvCache::format(
-        NvRegion::whole(Arc::clone(&dimm)),
-        Arc::clone(&inner),
-        cfg.clone(),
-        &clock,
-    )
-    .expect("format");
+    let cache = NvCache::builder(NvRegion::whole(Arc::clone(&dimm)))
+        .backend(Arc::clone(&inner))
+        .config(cfg.clone())
+        .mount(&clock)
+        .expect("mount");
     Rig { clock, dimm, inner, cfg, cache: Some(cache) }
 }
 
@@ -46,14 +44,12 @@ impl Rig {
         let crashed = Arc::new(self.dimm.crash_and_restart_seeded(seed));
         self.dimm = Arc::clone(&crashed);
         self.inner.simulate_power_failure();
-        let (cache, _report) = NvCache::recover(
-            NvRegion::whole(crashed),
-            Arc::clone(&self.inner),
-            self.cfg.clone(),
-            &self.clock,
-        )
-        .expect("recover");
-        cache
+        NvCache::builder(NvRegion::whole(crashed))
+            .backend(Arc::clone(&self.inner))
+            .config(self.cfg.clone())
+            .mode(Mount::Recover)
+            .mount(&self.clock)
+            .expect("recover")
     }
 }
 

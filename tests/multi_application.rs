@@ -4,10 +4,37 @@
 
 use std::sync::Arc;
 
-use nvcache_repro::nvcache::{NvCache, NvCacheConfig};
+use nvcache_repro::nvcache::{Mount, NvCache, NvCacheConfig};
 use nvcache_repro::nvmm::{NvDimm, NvRegion, NvmmProfile};
 use nvcache_repro::simclock::ActorClock;
 use nvcache_repro::vfs::{FileSystem, MemFs, OpenFlags};
+
+fn mount(
+    region: NvRegion,
+    inner: &Arc<dyn FileSystem>,
+    cfg: &NvCacheConfig,
+    clock: &ActorClock,
+) -> NvCache {
+    NvCache::builder(region)
+        .backend(Arc::clone(inner))
+        .config(cfg.clone())
+        .mount(clock)
+        .expect("mount")
+}
+
+fn remount(
+    region: NvRegion,
+    inner: &Arc<dyn FileSystem>,
+    cfg: &NvCacheConfig,
+    clock: &ActorClock,
+) -> NvCache {
+    NvCache::builder(region)
+        .backend(Arc::clone(inner))
+        .config(cfg.clone())
+        .mode(Mount::Recover)
+        .mount(clock)
+        .expect("recover")
+}
 
 fn cfg() -> NvCacheConfig {
     NvCacheConfig {
@@ -30,10 +57,8 @@ fn two_instances_share_one_dimm() {
 
     let inner_a: Arc<dyn FileSystem> = Arc::new(MemFs::new());
     let inner_b: Arc<dyn FileSystem> = Arc::new(MemFs::new());
-    let app_a =
-        NvCache::format(region_a.clone(), Arc::clone(&inner_a), cfg.clone(), &clock).unwrap();
-    let app_b =
-        NvCache::format(region_b.clone(), Arc::clone(&inner_b), cfg.clone(), &clock).unwrap();
+    let app_a = mount(region_a.clone(), &inner_a, &cfg, &clock);
+    let app_b = mount(region_b.clone(), &inner_b, &cfg, &clock);
 
     let fa = app_a.open("/a", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
     let fb = app_b.open("/b", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
@@ -56,10 +81,10 @@ fn two_instances_share_one_dimm() {
     let restarted = Arc::new(dimm.crash_and_restart());
     let region_a = NvRegion::new(Arc::clone(&restarted), 0, per_instance);
     let region_b = NvRegion::new(Arc::clone(&restarted), per_instance, per_instance);
-    let (rec_a, rep_a) = NvCache::recover(region_a, inner_a, cfg.clone(), &clock).unwrap();
-    let (rec_b, rep_b) = NvCache::recover(region_b, inner_b, cfg, &clock).unwrap();
-    assert_eq!(rep_a.entries_replayed, 50);
-    assert_eq!(rep_b.entries_replayed, 50);
+    let rec_a = remount(region_a, &inner_a, &cfg, &clock);
+    let rec_b = remount(region_b, &inner_b, &cfg, &clock);
+    assert_eq!(rec_a.recovery_report().unwrap().entries_replayed, 50);
+    assert_eq!(rec_b.recovery_report().unwrap().entries_replayed, 50);
 
     let fa = rec_a.open("/a", OpenFlags::RDONLY, &clock).unwrap();
     let fb = rec_b.open("/b", OpenFlags::RDONLY, &clock).unwrap();
@@ -80,20 +105,9 @@ fn crash_of_one_instance_does_not_disturb_the_other() {
     let inner_a: Arc<dyn FileSystem> = Arc::new(MemFs::new());
     let inner_b: Arc<dyn FileSystem> = Arc::new(MemFs::new());
 
-    let app_a = NvCache::format(
-        NvRegion::new(Arc::clone(&dimm), 0, per_instance),
-        Arc::clone(&inner_a),
-        cfg.clone(),
-        &clock,
-    )
-    .unwrap();
-    let app_b = NvCache::format(
-        NvRegion::new(Arc::clone(&dimm), per_instance, per_instance),
-        Arc::clone(&inner_b),
-        cfg.clone(),
-        &clock,
-    )
-    .unwrap();
+    let app_a = mount(NvRegion::new(Arc::clone(&dimm), 0, per_instance), &inner_a, &cfg, &clock);
+    let app_b =
+        mount(NvRegion::new(Arc::clone(&dimm), per_instance, per_instance), &inner_b, &cfg, &clock);
 
     let fa = app_a.open("/a", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
     app_a.pwrite(fa, b"application A state", 0, &clock).unwrap();
@@ -104,13 +118,12 @@ fn crash_of_one_instance_does_not_disturb_the_other() {
     app_b.pwrite(fb, b"application B state", 0, &clock).unwrap();
     app_b.abort();
     drop(app_b);
-    let (rec_b, _) = NvCache::recover(
+    let rec_b = remount(
         NvRegion::new(Arc::clone(&dimm), per_instance, per_instance),
-        inner_b,
-        cfg,
+        &inner_b,
+        &cfg,
         &clock,
-    )
-    .unwrap();
+    );
 
     let mut buf = [0u8; 19];
     app_a.pread(fa, &mut buf, 0, &clock).unwrap();

@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use nvcache_repro::blockdev::{SsdDevice, SsdProfile};
-use nvcache_repro::nvcache::{NvCache, NvCacheConfig};
+use nvcache_repro::nvcache::{Mount, NvCache, NvCacheConfig};
 use nvcache_repro::nvmm::{NvDimm, NvRegion, NvmmProfile};
 use nvcache_repro::simclock::ActorClock;
 use nvcache_repro::vfs::{Ext4, Ext4Profile, FileSystem, OpenFlags};
@@ -68,13 +68,11 @@ fn run_crash_scenario(
     let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), profile));
     let ssd = Arc::new(SsdDevice::new(SsdProfile::s4600()));
     let inner: Arc<dyn FileSystem> = Arc::new(Ext4::new("ext4+ssd", ssd, Ext4Profile::default()));
-    let cache = NvCache::format(
-        NvRegion::whole(Arc::clone(&dimm)),
-        Arc::clone(&inner),
-        cfg.clone(),
-        &clock,
-    )
-    .expect("format");
+    let cache = NvCache::builder(NvRegion::whole(Arc::clone(&dimm)))
+        .backend(Arc::clone(&inner))
+        .config(cfg.clone())
+        .mount(&clock)
+        .expect("mount");
 
     let mut fds = BTreeMap::new();
     for f in 0..3u8 {
@@ -112,9 +110,12 @@ fn run_crash_scenario(
     drop(cache);
     let crashed = Arc::new(dimm.crash_and_restart_seeded(crash_seed));
     inner.simulate_power_failure();
-    let (recovered, _report) =
-        NvCache::recover(NvRegion::whole(crashed), Arc::clone(&inner), cfg, &clock)
-            .expect("recover");
+    let recovered = NvCache::builder(NvRegion::whole(crashed))
+        .backend(Arc::clone(&inner))
+        .config(cfg)
+        .mode(Mount::Recover)
+        .mount(&clock)
+        .expect("recover");
 
     let mut contents = BTreeMap::new();
     for (f, expect) in &model.files {

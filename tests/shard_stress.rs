@@ -24,7 +24,11 @@ fn setup(shards: usize) -> (ActorClock, Arc<dyn FileSystem>, Arc<NvCache>) {
     let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
     let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
     let cache = Arc::new(
-        NvCache::format(NvRegion::whole(dimm), Arc::clone(&inner), cfg, &clock).expect("format"),
+        NvCache::builder(NvRegion::whole(dimm))
+            .backend(Arc::clone(&inner))
+            .config(cfg)
+            .mount(&clock)
+            .expect("mount"),
     );
     (clock, inner, cache)
 }
