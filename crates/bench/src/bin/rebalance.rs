@@ -1,0 +1,152 @@
+//! Tier-rebalancing sweep: shows hot/cold convergence after a routing-policy
+//! change leaves files misplaced.
+//!
+//! Phase 1 mounts a two-tier stack (Ext4+HDD bulk tier 0, NOVA hot tier 1)
+//! under a *cold-everything* policy, writes a hot set under `/hot/**` and a
+//! cold set under `/cold/**`, and crashes. Phase 2 recovers under the real
+//! policy (`/hot/** → NOVA`): recovery replays every file to the tier that
+//! acknowledged it — tier 0 — and reports the whole hot set as misplaced.
+//! With `--rebalance`, `NvCache::rebalance` sweeps run until the catalog is
+//! converged, and the scan time of the hot set is compared before (bulk
+//! tier) and after (NOVA tier).
+//!
+//! Usage: `rebalance [--files N] [--kib K] [--rebalance]`
+
+use std::sync::Arc;
+
+use blockdev::{HddDevice, HddProfile};
+use nvcache::{MigrationPolicy, Mount, NvCache, NvCacheConfig, PathPrefixRouter, Router};
+use nvcache_bench::{arg_flag, arg_u64};
+use nvmm::{NvDimm, NvRegion, NvmmProfile};
+use simclock::ActorClock;
+use vfs::{Ext4, Ext4Profile, FileSystem, NovaFs, NovaProfile, OpenFlags};
+
+/// Virtual time to read every `/hot` file once, sequentially, off `fs`.
+fn scan_hot(fs: &Arc<dyn FileSystem>, files: u64, kib: u64) -> simclock::SimTime {
+    let clock = ActorClock::new();
+    let mut buf = vec![0u8; (kib << 10) as usize];
+    for i in 0..files {
+        let path = format!("/hot/f{i:03}");
+        let fd = fs.open(&path, OpenFlags::RDONLY, &clock).expect("hot file");
+        fs.pread(fd, &mut buf, 0, &clock).expect("read");
+        fs.close(fd, &clock).expect("close");
+    }
+    clock.now()
+}
+
+fn placement(hot: &Arc<dyn FileSystem>, bulk: &Arc<dyn FileSystem>, clock: &ActorClock) {
+    let count = |fs: &Arc<dyn FileSystem>| fs.list_dir("/hot", clock).map_or(0, |l| l.len());
+    println!(
+        "  placement of /hot/**: {} file(s) on NOVA, {} file(s) on ext4+hdd",
+        count(hot),
+        count(bulk)
+    );
+}
+
+fn main() {
+    let files = arg_u64("--files", 16);
+    let kib = arg_u64("--kib", 256);
+    let do_rebalance = arg_flag("--rebalance");
+    println!(
+        "Tier rebalancer — {files} hot + {files} cold files of {kib} KiB, \
+         policy change while crashed{}",
+        if do_rebalance { ", then --rebalance sweep" } else { "" }
+    );
+
+    let clock = ActorClock::new();
+    let hdd = Arc::new(HddDevice::new(HddProfile::seven_k2()));
+    let bulk: Arc<dyn FileSystem> = Arc::new(Ext4::new("ext4+hdd", hdd, Ext4Profile::default()));
+    let nova_dimm = Arc::new(NvDimm::new(1 << 30, NvmmProfile::optane()));
+    let hot: Arc<dyn FileSystem> =
+        Arc::new(NovaFs::new(NvRegion::whole(nova_dimm), NovaProfile::default()));
+
+    let cfg = NvCacheConfig {
+        nb_entries: (2 * files * kib.div_ceil(4)).max(64).next_multiple_of(2),
+        fd_slots: (2 * files + 8) as u32,
+        batch_min: usize::MAX >> 1, // park the drain: the crash finds everything in the log
+        batch_max: usize::MAX >> 1,
+        ..NvCacheConfig::default()
+    }
+    .with_migration(MigrationPolicy::OnDemand);
+    let log_dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
+
+    // Phase 1 — the old policy: everything lands on the bulk tier.
+    let cold_everything: Arc<dyn Router> = Arc::new(PathPrefixRouter::new(vec![], 0));
+    let cache = NvCache::builder(NvRegion::whole(Arc::clone(&log_dimm)))
+        .backends(cold_everything, vec![Arc::clone(&bulk), Arc::clone(&hot)])
+        .config(cfg.clone())
+        .mount(&clock)
+        .expect("phase-1 mount");
+    let payload = vec![0xA5u8; (kib << 10) as usize];
+    for i in 0..files {
+        for prefix in ["/hot", "/cold"] {
+            let fd = cache
+                .open(&format!("{prefix}/f{i:03}"), OpenFlags::RDWR | OpenFlags::CREATE, &clock)
+                .expect("create");
+            cache.pwrite(fd, &payload, 0, &clock).expect("write");
+        }
+    }
+    println!(
+        "phase 1: {} entries pending under the cold-everything policy — power failure",
+        cache.pending_entries()
+    );
+    cache.abort();
+    drop(cache);
+    let restarted = Arc::new(log_dimm.crash_and_restart());
+
+    // Phase 2 — recover under the real policy: /hot/** belongs on NOVA.
+    let hot_policy: Arc<dyn Router> = Arc::new(PathPrefixRouter::new(vec![("/hot".into(), 1)], 0));
+    let cache = NvCache::builder(NvRegion::whole(restarted))
+        .backends(Arc::clone(&hot_policy), vec![Arc::clone(&bulk), Arc::clone(&hot)])
+        .config(cfg)
+        .mode(Mount::Recover)
+        .mount(&clock)
+        .expect("phase-2 recovery");
+    let report = cache.recovery_report().expect("recover mode");
+    println!(
+        "phase 2: recovery replayed {} entries; files_misplaced = {}",
+        report.entries_replayed, report.files_misplaced
+    );
+    placement(&hot, &bulk, &clock);
+    // Drop the bulk tier's volatile page cache (warm from the recovery
+    // replay) so both scans measure the device, not DRAM.
+    bulk.simulate_power_failure();
+    let before = scan_hot(&bulk, files, kib);
+    println!("  hot-set scan on its current (bulk) tier, cold caches: {before}");
+
+    if !do_rebalance {
+        println!("pass --rebalance to re-home the misplaced files and re-measure");
+        cache.shutdown(&clock);
+        return;
+    }
+
+    // The sweep: loop until converged (one round unless files are busy).
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let sweep = cache.rebalance(&clock).expect("rebalance sweep");
+        println!(
+            "sweep {rounds}: {} migrated ({} bytes), {} busy, {} in place",
+            sweep.files_migrated, sweep.bytes_moved, sweep.files_busy, sweep.files_in_place
+        );
+        if sweep.files_migrated == 0 && sweep.files_busy == 0 {
+            break;
+        }
+    }
+    let snap = cache.stats().snapshot();
+    println!(
+        "stats: files_migrated = {}, migration_bytes = {}",
+        snap.files_migrated, snap.migration_bytes
+    );
+    placement(&hot, &bulk, &clock);
+    hot.simulate_power_failure(); // NOVA is NVMM-native: nothing volatile to lose
+    let after = scan_hot(&hot, files, kib);
+    println!("  hot-set scan on its rebalanced (NOVA) tier: {after}");
+    let speedup = before.as_nanos() as f64 / after.as_nanos().max(1) as f64;
+    println!("  convergence: hot reads {speedup:.1}x faster after the sweep");
+    assert!(
+        cache.stats().snapshot().files_migrated >= files,
+        "the sweep must have re-homed the whole hot set"
+    );
+    cache.shutdown(&clock);
+}

@@ -59,8 +59,18 @@ pub enum Mount {
     /// committed entries to their recorded backends, sync, empty the log —
     /// then mount. Recovering a legacy (single-backend) image into a
     /// multi-backend stack migrates it: the router places each reopened
-    /// file, and the header is stamped v3 afterwards.
+    /// file, and the header is stamped v3 afterwards. Interrupted tier
+    /// migrations are always repaired from their journal slots; files found
+    /// *misplaced* (recovered backend ≠ current router placement) are only
+    /// counted, not moved.
     Recover,
+    /// [`Mount::Recover`], plus a **repair pass**: after the replay is
+    /// durable, every misplaced file is re-homed to the router's current
+    /// placement through the crash-safe migration protocol
+    /// (copy → stamp → unlink, `core/src/migrate.rs`), so the mount comes
+    /// up with `files_misplaced == 0` and the moves counted in
+    /// [`RecoveryReport::files_repaired`](crate::RecoveryReport::files_repaired).
+    RecoverRepair,
 }
 
 /// Builder for mounting an [`NvCache`] stack; obtained from
@@ -167,20 +177,22 @@ impl NvCacheBuilder {
         match mode {
             Mount::Format => {
                 format_region(&region, &cfg, clock)?;
-                Ok(NvCache::start(region, backends, router, cfg, None))
+                Ok(NvCache::start(region, backends, router, cfg, None, Vec::new()))
             }
-            Mount::Recover => {
+            Mount::Recover | Mount::RecoverRepair => {
                 check_geometry(&region, &cfg)?;
-                let report = crate::recovery::recover(&region, &backends, router.as_ref(), clock)?;
-                // Stamp the (possibly migrated) backend count: a legacy
-                // image mounted over N backends is v3 from here on; a
-                // single-backend mount keeps the 0 encoding (bytes
-                // unchanged on v1/v2 images).
-                let word = if cfg.backends > 1 { cfg.backends as u64 } else { 0 };
-                region.write_u64(layout::OFF_BACKENDS, word, clock);
-                region.pwb(layout::OFF_BACKENDS, 8);
-                region.psync(clock);
-                Ok(NvCache::start(region, backends, router, cfg, Some(report)))
+                // Recovery stamps the (possibly migrated) backend count
+                // itself — before its repair pass, whose journal slots need
+                // the v3 header to be parseable after a crash mid-repair.
+                let (report, misplaced) = crate::recovery::recover(
+                    &region,
+                    &backends,
+                    router.as_ref(),
+                    cfg.backends,
+                    mode == Mount::RecoverRepair,
+                    clock,
+                )?;
+                Ok(NvCache::start(region, backends, router, cfg, Some(report), misplaced))
             }
         }
     }

@@ -18,6 +18,7 @@ use crate::builder::{Mount, NvCacheBuilder};
 use crate::files::{FileState, OpenedFile, PersistentFdTable};
 use crate::layout::{self, Layout};
 use crate::log::Log;
+use crate::migrate::{MigrationPolicy, Migrator, RebalanceReport};
 use crate::pagedesc::PageDescriptor;
 use crate::readcache::ReadCache;
 use crate::recovery::RecoveryReport;
@@ -64,6 +65,10 @@ pub(crate) struct Shared {
     pub next_file_id: AtomicU64,
     /// In-flight intercepted calls per fd slot, for close synchronization.
     pub in_flight: Box<[AtomicU32]>,
+    /// The tier migrator: closed-file catalog, migration/path-op gate and
+    /// the background worker's clock. Fully inert under
+    /// [`MigrationPolicy::Disabled`] or a single backend.
+    pub migrator: Migrator,
 }
 
 impl Shared {
@@ -93,6 +98,93 @@ impl Shared {
 
     pub fn opened_by_slot(&self, slot: u32) -> Option<Arc<OpenedFile>> {
         self.opened.read().get(&slot).cloned()
+    }
+
+    /// Whether any file can move between tiers on this mount (≥ 2 backends
+    /// and either a [`MigrationPolicy`] other than `Disabled` or the
+    /// cross-tier-rename flag). When `false` the migrator is bypassed
+    /// entirely — no gate leases, no catalog growth — so legacy mounts stay
+    /// byte- and virtual-time-identical.
+    pub fn migration_enabled(&self) -> bool {
+        self.backends.len() > 1
+            && (self.cfg.migration != MigrationPolicy::Disabled || self.cfg.cross_tier_rename)
+    }
+
+    /// Wakes the background migration worker, if one is running.
+    pub fn migrator_notify(&self) {
+        if self.migration_enabled() && self.cfg.migration == MigrationPolicy::Background {
+            self.migrator.notify();
+        }
+    }
+
+    /// Whether any open descriptor or closed-but-undrained zombie still
+    /// references `path` — such a file owns pending log entries tied to its
+    /// recorded backend and must not migrate.
+    pub fn path_is_open_or_draining(&self, path: &str) -> bool {
+        if self.opened.read().values().any(|o| o.file.path == path) {
+            return true;
+        }
+        self.zombies.lock().iter().any(|z| z.opened.file.path == path)
+    }
+
+    /// Pops a free persistent fd slot (draining finished zombies once if
+    /// the list is empty), or `None` when the table is genuinely full.
+    pub fn take_free_slot(&self, clock: &ActorClock) -> Option<u32> {
+        if let Some(slot) = self.free_slots.lock().pop() {
+            return Some(slot);
+        }
+        self.drain_zombies(clock);
+        self.free_slots.lock().pop()
+    }
+
+    /// The backend recorded for `path` by this mount — from an open
+    /// descriptor, a draining zombie, or the migrator's closed-file catalog
+    /// — if any. This beats policy routing for path operations: a misplaced
+    /// file's bytes live where they were written, not where the router
+    /// would place the path today.
+    pub fn recorded_backend(&self, path: &str) -> Option<u32> {
+        if let Some(o) = self.opened.read().values().find(|o| o.file.path == path) {
+            return Some(o.backend);
+        }
+        if let Some(z) = self.zombies.lock().iter().find(|z| z.opened.file.path == path) {
+            return Some(z.opened.backend);
+        }
+        self.migrator.backend_of(path)
+    }
+
+    /// Backend probe order for path operations: the recorded backend first,
+    /// then the router's placement, then every remaining tier in index
+    /// order (a misplaced or policy-orphaned file must still be reachable
+    /// by `stat`/`unlink`, wherever its bytes sit).
+    pub fn resolution_order(&self, path: &str) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.backends.len());
+        if let Some(b) = self.recorded_backend(path) {
+            order.push(b as usize);
+        }
+        let routed = self.route(path);
+        if !order.contains(&routed) {
+            order.push(routed);
+        }
+        for b in 0..self.backends.len() {
+            if !order.contains(&b) {
+                order.push(b);
+            }
+        }
+        order
+    }
+
+    /// The backend actually holding `path`, probing in
+    /// [`resolution_order`](Shared::resolution_order). Distinguishes "found
+    /// nowhere" (`Ok(None)`) from a real backend error (`Err`).
+    pub fn existing_backend(&self, path: &str, clock: &ActorClock) -> IoResult<Option<usize>> {
+        for b in self.resolution_order(path) {
+            match self.backends[b].stat(path, clock) {
+                Ok(_) => return Ok(Some(b)),
+                Err(IoError::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
     }
 
     /// Collects this file's still-pending log entries from every stripe,
@@ -151,6 +243,18 @@ impl Shared {
             self.pool.purge_file(opened.file.file_id);
             let (dev, ino) = opened.file.dev_ino;
             self.files.lock().remove(&(opened.backend, dev, ino));
+            if self.migration_enabled() {
+                // The file is now closed and drained: catalog it (with its
+                // accumulated access heat) so sweeps can re-home it, and
+                // wake the background worker.
+                self.migrator.record_closed(
+                    &opened.file.path,
+                    opened.backend,
+                    opened.file.reads.load(Ordering::Relaxed),
+                    opened.file.writes.load(Ordering::Relaxed),
+                );
+                self.migrator_notify();
+            }
         }
     }
 
@@ -299,6 +403,7 @@ impl Shared {
             clock.advance(self.cfg.copy_bandwidth.time_for(updated_bytes));
         }
         file.size.fetch_max(off + data.len() as u64, Ordering::AcqRel);
+        file.writes.fetch_add(1, Ordering::Relaxed); // access heat for the migrator
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_logged.fetch_add(data.len() as u64, Ordering::Relaxed);
         self.stats.entries_logged.fetch_add(k, Ordering::Relaxed);
@@ -326,6 +431,7 @@ impl Shared {
         clock.advance(self.cfg.libc_overhead);
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
         let file = &opened.file;
+        file.reads.fetch_add(1, Ordering::Relaxed); // access heat for the migrator
         let size = file.size.load(Ordering::Acquire);
         if off >= size || buf.is_empty() {
             return Ok(0);
@@ -412,8 +518,13 @@ pub struct NvCache {
     pub(crate) shared: Arc<Shared>,
     name: String,
     cleanup: Mutex<Vec<JoinHandle<()>>>,
+    /// The background migration worker
+    /// ([`MigrationPolicy::Background`] on a tiered mount); `None`
+    /// otherwise.
+    migrator_worker: Mutex<Option<JoinHandle<()>>>,
     /// The recovery report when the instance was mounted with
-    /// [`Mount::Recover`]; `None` on a fresh format.
+    /// [`Mount::Recover`]/[`Mount::RecoverRepair`]; `None` on a fresh
+    /// format.
     recovery: Option<RecoveryReport>,
 }
 
@@ -482,6 +593,7 @@ impl NvCache {
         router: Arc<dyn Router>,
         cfg: NvCacheConfig,
         recovery: Option<RecoveryReport>,
+        misplaced: Vec<(String, u32)>,
     ) -> NvCache {
         let lay = Layout::for_config(&cfg);
         let mut in_flight = Vec::with_capacity(cfg.fd_slots as usize);
@@ -503,8 +615,14 @@ impl NvCache {
             cleanup_clocks: cleanup_clocks.into_boxed_slice(),
             next_file_id: AtomicU64::new(1),
             in_flight: in_flight.into_boxed_slice(),
+            migrator: Migrator::new(),
             cfg,
         });
+        if shared.migration_enabled() {
+            // Recovery's misplaced files become migration candidates: a
+            // rebalance sweep (or the background worker) re-homes them.
+            shared.migrator.seed(misplaced);
+        }
         let name = if shared.backends.len() == 1 {
             format!("nvcache+{}", shared.backends[0].name())
         } else {
@@ -523,7 +641,22 @@ impl NvCache {
                     .expect("spawn cleanup worker")
             })
             .collect();
-        NvCache { shared, name, cleanup: Mutex::new(handles), recovery }
+        let migrator_worker = (shared.migration_enabled()
+            && shared.cfg.migration == MigrationPolicy::Background)
+            .then(|| {
+                let worker = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("nvcache-migrator".into())
+                    .spawn(move || crate::migrate::run_migrator(worker))
+                    .expect("spawn migration worker")
+            });
+        NvCache {
+            shared,
+            name,
+            cleanup: Mutex::new(handles),
+            migrator_worker: Mutex::new(migrator_worker),
+            recovery,
+        }
     }
 
     /// The recovery report of a [`Mount::Recover`] mount (`None` when the
@@ -585,6 +718,49 @@ impl NvCache {
         self.shared.log.poisoned_stripes()
     }
 
+    /// Runs one tier-rebalancing sweep on the caller's clock: every closed
+    /// file the mount knows about (catalogued at close time, or reported
+    /// misplaced by recovery) whose backend disagrees with the router's
+    /// current placement is moved there through the crash-safe
+    /// copy → stamp → unlink protocol. Open or still-draining files are
+    /// skipped and retried on a later sweep. See
+    /// [`RebalanceReport`] and the `migrate` module docs.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::InvalidArgument`] when the mount's
+    /// [`MigrationPolicy`](crate::MigrationPolicy) is `Disabled`; any inner
+    /// I/O error a migration hits (the sweep stops there — already-moved
+    /// files stay moved, the rest stay catalogued).
+    pub fn rebalance(&self, clock: &ActorClock) -> IoResult<RebalanceReport> {
+        if self.shared.cfg.migration == MigrationPolicy::Disabled {
+            return Err(IoError::InvalidArgument(
+                "tier migration is disabled (MigrationPolicy::Disabled)".into(),
+            ));
+        }
+        crate::migrate::sweep(&self.shared, clock)
+    }
+
+    /// Moves the closed file at `path` to backend `to` with the crash-safe
+    /// migration protocol, regardless of the router's placement. Returns
+    /// the bytes copied (`0` if the file already lives there).
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::InvalidArgument`] when migration is disabled or `to` is
+    /// out of range; [`IoError::Busy`] (EBUSY) while the file is open or
+    /// draining; [`IoError::NotFound`] if no backend holds the file; any
+    /// inner I/O error from the copy.
+    pub fn migrate(&self, path: &str, to: usize, clock: &ActorClock) -> IoResult<u64> {
+        if self.shared.cfg.migration == MigrationPolicy::Disabled {
+            return Err(IoError::InvalidArgument(
+                "tier migration is disabled (MigrationPolicy::Disabled)".into(),
+            ));
+        }
+        let path = vfs::normalize_path(path);
+        crate::migrate::migrate_path(&self.shared, &path, to, clock)
+    }
+
     /// Descriptor-table occupancy: `(free, open, zombie)` slot counts.
     pub fn fd_slot_usage(&self) -> (usize, usize, usize) {
         (
@@ -634,7 +810,11 @@ impl NvCache {
         self.shared.kill.store(true, Ordering::Release);
         self.shared.stop.store(true, Ordering::Release);
         self.shared.log.notify_work_all();
+        self.shared.migrator.notify();
         for h in self.cleanup.lock().drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.migrator_worker.lock().take() {
             let _ = h.join();
         }
     }
@@ -738,21 +918,15 @@ impl NvCache {
         }
         Ok((opened, InFlightGuard(counter)))
     }
-}
 
-impl FileSystem for NvCache {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn open(&self, path: &str, flags: OpenFlags, clock: &ActorClock) -> IoResult<Fd> {
-        clock.advance(self.shared.cfg.libc_overhead);
-        let path = vfs::normalize_path(path);
+    /// Body of the intercepted `open`, after path normalization and the
+    /// migration-gate lease: routing, inner open, file/descriptor
+    /// bookkeeping.
+    fn open_at(&self, path: &str, flags: OpenFlags, clock: &ActorClock) -> IoResult<Fd> {
         // Tiering decision: the router places the file once, here; the index
         // then travels with the descriptor (volatile) and the fd slot
         // (persistent), so every later resolution agrees with this one.
-        let backend_idx = self.shared.route(&path);
-        let inner = &self.shared.backends[backend_idx];
+        let mut backend_idx = self.shared.route(path);
         if flags.contains(OpenFlags::TRUNC) && flags.writable() {
             // Pending log entries for the victim content must not resurface.
             self.drained_flush(clock)?;
@@ -760,16 +934,45 @@ impl FileSystem for NvCache {
         // NVCache provides durability itself; the inner file is opened
         // without O_SYNC (the cleanup thread fsyncs batches explicitly).
         let inner_flags = flags.without(OpenFlags::SYNC);
-        let inner_fd = inner.open(&path, inner_flags, clock)?;
+        let inner_fd = if self.shared.backends.len() == 1 {
+            self.shared.backends[0].open(path, inner_flags, clock)?
+        } else {
+            // Resolve where the file actually lives before touching any
+            // tier: an existing file is opened *in place* — POSIX O_CREAT
+            // opens, it does not shadow — even when a policy change left
+            // it misplaced. Only a genuinely new file is created on the
+            // router's tier (that is the placement decision).
+            match self.shared.existing_backend(path, clock)? {
+                Some(b) => {
+                    backend_idx = b;
+                    self.shared.backends[b].open(path, inner_flags, clock)?
+                }
+                None if flags.contains(OpenFlags::CREATE) => {
+                    self.shared.backends[backend_idx].open(path, inner_flags, clock)?
+                }
+                None => return Err(IoError::NotFound(path.to_string())),
+            }
+        };
+        let inner = &self.shared.backends[backend_idx];
         let meta = inner.fstat(inner_fd, clock)?;
         let file = {
             let mut files = self.shared.files.lock();
             Arc::clone(files.entry((backend_idx as u32, meta.dev, meta.ino)).or_insert_with(|| {
+                // The file leaves the migrator's closed-file catalog while
+                // open; its accumulated access heat seeds the fresh
+                // counters so temperature survives close/reopen cycles. A
+                // catalog entry pointing at a *different* tier stays: it
+                // tracks a copy this open did not touch, which a sweep may
+                // still need to find.
+                let heat =
+                    self.shared.migrator.take_if_on(path, backend_idx as u32).unwrap_or_default();
                 Arc::new(FileState {
                     file_id: self.shared.next_file_id.fetch_add(1, Ordering::Relaxed),
                     dev_ino: (meta.dev, meta.ino),
-                    path: path.clone(),
+                    path: path.to_string(),
                     size: AtomicU64::new(meta.size),
+                    reads: AtomicU64::new(heat.reads),
+                    writes: AtomicU64::new(heat.writes),
                     radix: OnceLock::new(),
                     open_count: AtomicU32::new(0),
                 })
@@ -840,7 +1043,7 @@ impl FileSystem for NvCache {
             &self.shared.log.region,
             &self.shared.log.layout,
             slot,
-            &path,
+            path,
             backend_idx as u32,
             clock,
         );
@@ -855,6 +1058,148 @@ impl FileSystem for NvCache {
         });
         self.shared.opened.write().insert(slot, opened);
         Ok(Fd(slot as u64))
+    }
+
+    /// Multi-backend `rename`, under the caller's gate leases. Checks POSIX
+    /// errno order — a nonexistent source is ENOENT *before* any
+    /// cross-device consideration — then renames in place or, across tiers,
+    /// fails with EXDEV unless
+    /// [`cross_tier_rename`](NvCacheConfig::cross_tier_rename) turns the
+    /// call into a migrate-then-rename.
+    fn rename_tiered(&self, from: &str, to: &str, clock: &ActorClock) -> IoResult<()> {
+        let Some(src) = self.shared.existing_backend(from, clock)? else {
+            return Err(IoError::NotFound(from.to_string()));
+        };
+        if from == to {
+            // POSIX: renaming an existing file onto itself succeeds and
+            // does nothing — even when the router would place the name on
+            // a different tier than the one holding it.
+            return Ok(());
+        }
+        let dst = self.shared.route(to);
+        if src == dst {
+            // Pending entries logically precede the rename; replaying them
+            // after it (recovery) would corrupt the new name's content.
+            self.drained_flush(clock)?;
+            self.shared.backends[src].rename(from, to, clock)?;
+            // rename replaces the destination on the mount's *merged*
+            // view: stale copies of the new name on other tiers must go.
+            self.scrub_other_copies(to, src, clock)?;
+            if self.shared.migration_enabled() {
+                if self.shared.path_is_open_or_draining(from) {
+                    // The file is still open under its old name —
+                    // `FileState.path` keeps `from`, so the open-file
+                    // guard could not protect a catalog entry under `to`
+                    // and a sweep would migrate a file with live
+                    // descriptors. Leave both names uncatalogued (path
+                    // ops still reach the file by probing); stale entries
+                    // self-heal via the sweep's NotFound handling.
+                    self.shared.migrator.forget(from);
+                    self.shared.migrator.forget(to);
+                } else {
+                    self.shared.migrator.rename_entry(from, to, src as u32);
+                }
+            }
+            return Ok(());
+        }
+        if !self.shared.cfg.cross_tier_rename {
+            // The two names live on different tiers: moving the bytes
+            // across backends behind a metadata call would break the
+            // router's placement invariant. Legacy applications already
+            // handle EXDEV (mv falls back to copy+unlink across mount
+            // points).
+            return Err(IoError::CrossDevice(format!("{from} -> {to}")));
+        }
+        self.migrate_rename(from, to, src, dst, clock)
+    }
+
+    /// Removes stale copies of `path` from every backend except `keep`:
+    /// a successful rename must replace the destination on the mount's
+    /// merged view, not just on the tier that executed it.
+    fn scrub_other_copies(&self, path: &str, keep: usize, clock: &ActorClock) -> IoResult<()> {
+        for (b, backend) in self.shared.backends.iter().enumerate() {
+            if b == keep {
+                continue;
+            }
+            match backend.unlink(path, clock) {
+                Ok(()) | Err(IoError::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross-tier rename as a journaled migration: copy `from`@`src` to
+    /// `to`@`dst`, fsync, stamp, unlink the source — `mv` semantics across
+    /// mount points, not crash-atomic (a crash can briefly leave both
+    /// names; recovery converges every name to one authoritative copy).
+    fn migrate_rename(
+        &self,
+        from: &str,
+        to: &str,
+        src: usize,
+        dst: usize,
+        clock: &ActorClock,
+    ) -> IoResult<()> {
+        let shared = &self.shared;
+        let gate = &shared.migrator.gate;
+        // Trade the caller's path-op leases for exclusive migration claims
+        // (a lease blocks a claim, even our own). The unprotected gap is
+        // covered by the open/zombie re-check under the claims.
+        gate.exit_op(to);
+        gate.exit_op(from);
+        let claimed_from = gate.try_claim(from);
+        let claimed_to = claimed_from && gate.try_claim(to);
+        let result = if !claimed_to {
+            Err(IoError::Busy(format!("{from} -> {to}: another migration is in flight")))
+        } else if shared.path_is_open_or_draining(from) || shared.path_is_open_or_draining(to) {
+            Err(IoError::Busy(format!("{from} -> {to}: open or draining descriptors exist")))
+        } else {
+            self.drained_flush(clock).and_then(|()| {
+                let moved = crate::migrate::journaled_move(shared, from, to, src, dst, clock);
+                moved.and_then(|bytes| {
+                    // The destination name is replaced mount-wide: drop any
+                    // stale copy of `to` on tiers other than `dst`.
+                    self.scrub_other_copies(to, dst, clock)?;
+                    shared.migrator.rename_entry(from, to, dst as u32);
+                    shared.stats.files_migrated.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.migration_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    Ok(())
+                })
+            })
+        };
+        if claimed_from {
+            gate.release(from);
+        }
+        if claimed_to {
+            gate.release(to);
+        }
+        // Restore the leases so the caller's exits stay balanced.
+        gate.enter_op(from);
+        gate.enter_op(to);
+        result
+    }
+}
+
+impl FileSystem for NvCache {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags, clock: &ActorClock) -> IoResult<Fd> {
+        clock.advance(self.shared.cfg.libc_overhead);
+        let path = vfs::normalize_path(path);
+        // A file mid-migration must not be opened (the copy is incomplete
+        // on the target tier): take a gate lease for the whole open.
+        let gated = self.shared.migration_enabled();
+        if gated {
+            self.shared.migrator.gate.enter_op(&path);
+        }
+        let result = self.open_at(&path, flags, clock);
+        if gated {
+            self.shared.migrator.gate.exit_op(&path);
+        }
+        result
     }
 
     fn close(&self, fd: Fd, clock: &ActorClock) -> IoResult<()> {
@@ -931,41 +1276,98 @@ impl FileSystem for NvCache {
     fn stat(&self, path: &str, clock: &ActorClock) -> IoResult<Metadata> {
         clock.advance(self.shared.cfg.libc_overhead);
         let path = vfs::normalize_path(path);
-        let backend = self.shared.route(&path);
-        let mut meta = self.shared.backends[backend].stat(&path, clock)?;
-        // The kernel's size may be stale; NVCache's own is authoritative
-        // (paper Table III: stat uses NVCache size).
-        if let Some(file) = self.shared.files.lock().get(&(backend as u32, meta.dev, meta.ino)) {
-            meta.size = file.size.load(Ordering::Acquire);
+        // Probe the *recorded* backend first, then the router's placement,
+        // then the remaining tiers: a misplaced (or policy-orphaned) file's
+        // bytes sit intact on some tier, and routing by the current policy
+        // alone would report ENOENT for them. Non-NotFound errors abort the
+        // probe — they are real failures, not absence.
+        let mut order = self.shared.resolution_order(&path).into_iter();
+        loop {
+            let Some(backend) = order.next() else {
+                return Err(IoError::NotFound(path));
+            };
+            match self.shared.backends[backend].stat(&path, clock) {
+                Ok(mut meta) => {
+                    // The kernel's size may be stale; NVCache's own is
+                    // authoritative (paper Table III: stat uses NVCache
+                    // size).
+                    if let Some(file) =
+                        self.shared.files.lock().get(&(backend as u32, meta.dev, meta.ino))
+                    {
+                        meta.size = file.size.load(Ordering::Acquire);
+                    }
+                    return Ok(meta);
+                }
+                Err(IoError::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
         }
-        Ok(meta)
     }
 
     fn unlink(&self, path: &str, clock: &ActorClock) -> IoResult<()> {
         // Pass-through, as in the paper (Table III does not intercept it).
         // Pending log entries for the victim are neutralized at recovery,
-        // which refuses to recreate files that no longer exist.
+        // which refuses to recreate files that no longer exist. Like
+        // `stat`, the probe honours the recorded backend before policy
+        // routing, so a misplaced file can actually be removed.
         clock.advance(self.shared.cfg.libc_overhead);
         let path = vfs::normalize_path(path);
-        self.shared.backends[self.shared.route(&path)].unlink(&path, clock)
+        let gated = self.shared.migration_enabled();
+        if gated {
+            // The victim must not be mid-migration (the copy would
+            // resurrect it).
+            self.shared.migrator.gate.enter_op(&path);
+        }
+        // Keep probing after the first hit: a misplaced file plus a shadow
+        // created on the routed tier are duplicate copies of one name, and
+        // unlinking only one would let the other resurrect it.
+        let mut removed = false;
+        let mut result = Err(IoError::NotFound(path.clone()));
+        for backend in self.shared.resolution_order(&path) {
+            match self.shared.backends[backend].unlink(&path, clock) {
+                Ok(()) => removed = true,
+                Err(IoError::NotFound(_)) => {}
+                Err(e) => {
+                    result = Err(e);
+                    removed = false;
+                    break;
+                }
+            }
+        }
+        if removed {
+            result = Ok(());
+        }
+        if gated {
+            self.shared.migrator.gate.exit_op(&path);
+        }
+        if result.is_ok() {
+            self.shared.migrator.forget(&path);
+        }
+        result
     }
 
     fn rename(&self, from: &str, to: &str, clock: &ActorClock) -> IoResult<()> {
         clock.advance(self.shared.cfg.libc_overhead);
         let from = vfs::normalize_path(from);
         let to = vfs::normalize_path(to);
-        let backend = self.shared.route(&from);
-        if backend != self.shared.route(&to) {
-            // The two names live on different tiers: moving the bytes across
-            // backends behind a metadata call would break the router's
-            // placement invariant. Legacy applications already handle EXDEV
-            // (mv falls back to copy+unlink across mount points).
-            return Err(IoError::CrossDevice(format!("{from} -> {to}")));
+        if self.shared.backends.len() == 1 {
+            // Single backend: the inner file system owns the whole errno
+            // surface (ENOENT included) — no probing, identical to the
+            // paper's deployment.
+            self.drained_flush(clock)?;
+            return self.shared.backends[0].rename(&from, &to, clock);
         }
-        // Pending entries logically precede the rename; replaying them after
-        // it (recovery) would corrupt the new name's content.
-        self.drained_flush(clock)?;
-        self.shared.backends[backend].rename(&from, &to, clock)
+        let gated = self.shared.migration_enabled();
+        if gated {
+            self.shared.migrator.gate.enter_op(&from);
+            self.shared.migrator.gate.enter_op(&to);
+        }
+        let result = self.rename_tiered(&from, &to, clock);
+        if gated {
+            self.shared.migrator.gate.exit_op(&to);
+            self.shared.migrator.gate.exit_op(&from);
+        }
+        result
     }
 
     fn list_dir(&self, dir: &str, clock: &ActorClock) -> IoResult<Vec<String>> {
@@ -980,18 +1382,21 @@ impl FileSystem for NvCache {
         // fails when *no* backend knows the directory.
         let mut merged: Vec<String> = Vec::new();
         let mut found = false;
-        let mut last_err = None;
         for backend in self.shared.backends.iter() {
             match backend.list_dir(&dir, clock) {
                 Ok(entries) => {
                     found = true;
                     merged.extend(entries);
                 }
-                Err(e) => last_err = Some(e),
+                // Absence on one tier is expected; anything else is a real
+                // I/O failure and the merged listing would be silently
+                // partial — propagate it instead of papering over it.
+                Err(IoError::NotFound(_)) => {}
+                Err(e) => return Err(e),
             }
         }
         if !found {
-            return Err(last_err.unwrap_or(IoError::NotFound(dir)));
+            return Err(IoError::NotFound(dir));
         }
         merged.sort();
         merged.dedup();

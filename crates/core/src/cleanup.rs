@@ -275,6 +275,10 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
         shared.stats.cleanup_batches.fetch_add(1, Ordering::Relaxed);
         shard_stats.cleanup_batches.fetch_add(1, Ordering::Relaxed);
         shared.drain_zombies(&clock);
+        // Files become migratable only once fully drained: zombies this
+        // batch finished may now move tiers, so wake the background
+        // migrator (no-op unless MigrationPolicy::Background).
+        shared.migrator_notify();
     }
 }
 

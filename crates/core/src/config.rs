@@ -5,6 +5,8 @@
 
 use simclock::{Bandwidth, SimTime};
 
+use crate::migrate::MigrationPolicy;
+
 /// Configuration of an [`NvCache`](crate::NvCache) instance.
 ///
 /// Defaults follow the paper's evaluation settings (§IV-A): 4 KiB log
@@ -63,6 +65,27 @@ pub struct NvCacheConfig {
     /// coalesced `fsync`s still act as completion barriers, so the stripe
     /// tail only advances once the whole batch is durable below.
     pub queue_depth: usize,
+    /// How the tier migrator may move files between backends of a tiered
+    /// mount. [`MigrationPolicy::Disabled`] (the default) keeps the migrator
+    /// fully inert — single-backend mounts stay byte- and
+    /// virtual-time-identical to a build without the migrator;
+    /// [`MigrationPolicy::OnDemand`] enables explicit
+    /// [`rebalance`](crate::NvCache::rebalance)/[`migrate`](crate::NvCache::migrate)
+    /// sweeps; [`MigrationPolicy::Background`] additionally runs a worker
+    /// thread that re-homes misplaced files on its own.
+    pub migration: MigrationPolicy,
+    /// Whether a `rename` whose source and destination resolve to different
+    /// tiers is executed as a migrate-then-rename (copy → stamp → unlink
+    /// through the migration journal) instead of failing with
+    /// `EXDEV`. `false` (the default) keeps the legacy mount-point-crossing
+    /// fidelity: applications see `EXDEV` and apply their own fallback, as
+    /// `mv` does. The migrated rename has `mv` semantics, **not**
+    /// `rename(2)` atomicity: a crash can leave both names briefly
+    /// (recovery converges every name to one authoritative copy), and a
+    /// pre-existing destination is truncated before the copy commits, so a
+    /// *failed* cross-tier rename can lose the old destination content —
+    /// exactly like `mv` across mount points.
+    pub cross_tier_rename: bool,
     /// User-space bookkeeping cost charged per intercepted call (NVCache
     /// replaces the syscall with this — the design's core bet).
     pub libc_overhead: SimTime,
@@ -86,6 +109,8 @@ impl Default for NvCacheConfig {
             log_shards: 1,
             backends: 1,
             queue_depth: 1,
+            migration: MigrationPolicy::Disabled,
+            cross_tier_rename: false,
             libc_overhead: SimTime::from_nanos(1_500),
             copy_bandwidth: Bandwidth::gib_per_sec(8.0),
         }
@@ -161,6 +186,22 @@ impl NvCacheConfig {
             crate::layout::MAX_BACKENDS
         );
         self.backends = backends;
+        self
+    }
+
+    /// Sets the tier-migration policy (see [`MigrationPolicy`]; normally
+    /// paired with a multi-backend
+    /// [`NvCacheBuilder::backends`](crate::NvCacheBuilder::backends) mount —
+    /// on a single backend every policy is inert).
+    pub fn with_migration(mut self, policy: MigrationPolicy) -> Self {
+        self.migration = policy;
+        self
+    }
+
+    /// Allows `rename` across tiers as a migrate-then-rename instead of
+    /// `EXDEV` (see [`NvCacheConfig::cross_tier_rename`]).
+    pub fn with_cross_tier_rename(mut self, allow: bool) -> Self {
+        self.cross_tier_rename = allow;
         self
     }
 
@@ -266,6 +307,17 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_page_size_panics() {
         let cfg = NvCacheConfig { page_size: 3000, ..NvCacheConfig::tiny() };
+        cfg.validate();
+    }
+
+    #[test]
+    fn default_migration_is_disabled_and_exdev_preserved() {
+        let cfg = NvCacheConfig::default();
+        assert_eq!(cfg.migration, MigrationPolicy::Disabled);
+        assert!(!cfg.cross_tier_rename);
+        let cfg = cfg.with_migration(MigrationPolicy::Background).with_cross_tier_rename(true);
+        assert_eq!(cfg.migration, MigrationPolicy::Background);
+        assert!(cfg.cross_tier_rename);
         cfg.validate();
     }
 

@@ -11,7 +11,7 @@ use nvmm::{NvRegion, PmemInts};
 use parking_lot::Mutex;
 use simclock::ActorClock;
 
-use crate::layout::{Layout, FD_BACKEND_OFF, FD_SLOT_BYTES};
+use crate::layout::{Layout, FD_BACKEND_OFF, FD_SLOT_BYTES, FD_VALID_MIGRATION, FD_VALID_OPEN};
 use crate::Radix;
 
 /// Volatile per-file state: the *file table* entry of paper §III "Open",
@@ -23,13 +23,19 @@ pub(crate) struct FileState {
     pub file_id: u64,
     /// Identity on the inner file system.
     pub dev_ino: (u64, u64),
-    /// Canonical path (used in diagnostics; recovery reads paths from the
-    /// persistent fd table, not from here).
-    #[allow(dead_code)]
+    /// Canonical path. Path-based calls (`stat`, `unlink`, `rename`) consult
+    /// it to find the *recorded* backend of an open file before falling back
+    /// to policy routing; recovery still reads paths from the persistent fd
+    /// table, not from here.
     pub path: String,
     /// NVCache's own view of the file size — the kernel's may be stale while
     /// appends sit in the log (paper §II-C).
     pub size: AtomicU64,
+    /// Intercepted reads against this file (access heat for the tier
+    /// migrator; carried across close/reopen through the migrator catalog).
+    pub reads: AtomicU64,
+    /// Intercepted writes against this file (access heat, as above).
+    pub writes: AtomicU64,
     /// Read-cache index; created on the first writable open. Files never
     /// opened for writing have no tree and bypass the read cache entirely.
     pub radix: OnceLock<Radix>,
@@ -97,9 +103,84 @@ impl PersistentFdTable {
             assert_eq!(backend, 0, "legacy fd slots cannot record a backend index");
         }
         region.write(base + layout.fd_path_off(), &buf, clock);
-        region.write_u64(base, 1, clock);
+        region.write_u64(base, FD_VALID_OPEN, clock);
         region.pwb(base, FD_SLOT_BYTES as usize);
         region.pfence(clock);
+    }
+
+    /// Persists a **migration journal** into `slot` (v3 layouts only): the
+    /// authoritative copy of `path` lives on `backend`; any copy found
+    /// elsewhere after a crash is an incomplete migration artifact and must
+    /// be deleted. Same durability discipline as [`PersistentFdTable::set`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is not tiered (migration needs ≥ 2 backends) or
+    /// the path exceeds [`Layout::path_max`].
+    pub fn set_migration(
+        region: &NvRegion,
+        layout: &Layout,
+        slot: u32,
+        path: &str,
+        backend: u32,
+        clock: &ActorClock,
+    ) {
+        assert!(layout.tiered(), "migration journals need the v3 (tiered) slot layout");
+        let bytes = path.as_bytes();
+        assert!(bytes.len() <= layout.path_max(), "path longer than PATH_MAX: {path}");
+        let base = layout.fd_slot(slot);
+        let mut buf = vec![0u8; layout.path_max()];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        region.write_u64(base + FD_BACKEND_OFF, backend as u64, clock);
+        region.write(base + layout.fd_path_off(), &buf, clock);
+        region.write_u64(base, FD_VALID_MIGRATION, clock);
+        region.pwb(base, FD_SLOT_BYTES as usize);
+        region.pfence(clock);
+    }
+
+    /// Atomically flips the backend word of a journal (or open) slot — the
+    /// commit point of a migration: one aligned 8-byte store, flushed and
+    /// fenced, moving the authoritative copy from the source tier to the
+    /// target tier.
+    pub fn stamp_backend(
+        region: &NvRegion,
+        layout: &Layout,
+        slot: u32,
+        backend: u32,
+        clock: &ActorClock,
+    ) {
+        assert!(layout.tiered(), "backend stamps need the v3 (tiered) slot layout");
+        let base = layout.fd_slot(slot);
+        region.write_u64(base + FD_BACKEND_OFF, backend as u64, clock);
+        region.pwb(base + FD_BACKEND_OFF, 8);
+        region.pfence(clock);
+    }
+
+    /// Reads `slot` as a migration journal, returning `(path, backend)` if
+    /// its valid word is [`FD_VALID_MIGRATION`]. Charged reads, like
+    /// [`PersistentFdTable::get`].
+    pub fn get_migration(
+        region: &NvRegion,
+        layout: &Layout,
+        slot: u32,
+        clock: &ActorClock,
+    ) -> Option<(String, u32)> {
+        if !layout.tiered() {
+            return None; // legacy layouts have no journal encoding
+        }
+        let base = layout.fd_slot(slot);
+        let mut head = [0u8; 8];
+        region.read(base, &mut head, clock);
+        if u64::from_le_bytes(head) != FD_VALID_MIGRATION {
+            return None;
+        }
+        let mut b = [0u8; 8];
+        region.read(base + FD_BACKEND_OFF, &mut b, clock);
+        let backend = u64::from_le_bytes(b) as u32;
+        let mut buf = vec![0u8; layout.path_max()];
+        region.read(base + layout.fd_path_off(), &mut buf, clock);
+        let end = buf.iter().position(|&b| b == 0).unwrap_or(layout.path_max());
+        Some((String::from_utf8_lossy(&buf[..end]).into_owned(), backend))
     }
 
     /// Invalidates `slot` (close path — only after the log has been drained,
@@ -123,7 +204,7 @@ impl PersistentFdTable {
         let base = layout.fd_slot(slot);
         let mut head = [0u8; 8];
         region.read(base, &mut head, clock);
-        if u64::from_le_bytes(head) != 1 {
+        if u64::from_le_bytes(head) != FD_VALID_OPEN {
             return None;
         }
         let backend = if layout.tiered() {

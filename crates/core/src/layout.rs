@@ -38,7 +38,10 @@
 //!   re-routed by path and the backends word is written afterwards.
 //!   Orthogonal to v2 — a region can be striped, tiered, both, or neither;
 //!   total region size is unchanged (the fd slot is re-partitioned, not
-//!   grown).
+//!   grown). A v3 fd slot whose valid word is [`FD_VALID_MIGRATION`] is a
+//!   *migration journal* instead of an open file: it records the
+//!   authoritative location of a file mid-move between tiers (see
+//!   `core/src/migrate.rs`).
 //!
 //! Entry commit words (offset 0 of each entry header) encode the paper's
 //! packed commit-flag/group-index integer:
@@ -54,6 +57,16 @@ use crate::NvCacheConfig;
 pub const HEADER_BYTES: u64 = 4096;
 /// Bytes per persistent fd slot.
 pub const FD_SLOT_BYTES: u64 = 256;
+/// Valid word of an fd slot holding an open file (v1/v2/v3 layouts).
+pub const FD_VALID_OPEN: u64 = 1;
+/// Valid word of an fd slot used as a **migration journal** (v3 layouts
+/// only): the slot's path/backend pair names the *authoritative* copy of a
+/// file being moved between tiers. Recovery deletes the path from every
+/// other backend and clears the slot — the crash-repair half of the
+/// copy → stamp → unlink protocol (`core/src/migrate.rs`). No log entry
+/// ever references a journal slot (only closed, fully drained files
+/// migrate).
+pub const FD_VALID_MIGRATION: u64 = 2;
 /// Maximum stored path length (rest of the slot after the valid word,
 /// v1/v2 slot layout).
 pub const PATH_MAX: usize = (FD_SLOT_BYTES - 8) as usize;

@@ -105,6 +105,24 @@
 //! replays every pending entry to the backend that acknowledged it, never
 //! to wherever the router would place the file today.
 //!
+//! ## Tier rebalancing
+//!
+//! Placement is no longer fixed forever at open time: the **tier migrator**
+//! (`migrate` module) moves closed, fully drained files between backends
+//! with a crash-safe copy → stamp → unlink protocol journaled in a
+//! persistent fd slot — a crash at any step recovers to exactly one
+//! authoritative copy. [`NvCacheConfig::with_migration`] picks the
+//! [`MigrationPolicy`]: explicit [`NvCache::rebalance`] /
+//! [`NvCache::migrate`] sweeps (`OnDemand`) or a background worker that
+//! re-homes misplaced files on its own (`Background`), driven by the
+//! router's current placement, per-file access heat and the
+//! per-tier propagation load. A [`Mount::RecoverRepair`] mount re-homes
+//! every file recovery found misplaced before the cache comes up, and
+//! [`NvCacheConfig::with_cross_tier_rename`] optionally turns the
+//! EXDEV of a cross-tier `rename` into a migrate-then-rename. All of it is
+//! opt-in: the default policy keeps single-backend mounts byte- and
+//! virtual-time-identical to a migrator-less build.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -140,6 +158,7 @@ mod config;
 mod files;
 pub mod layout;
 mod log;
+mod migrate;
 mod pagedesc;
 mod radix;
 mod readcache;
@@ -147,6 +166,8 @@ mod recovery;
 mod router;
 mod stats;
 
+#[cfg(test)]
+mod migrate_tests;
 #[cfg(test)]
 #[allow(deprecated)] // the legacy format/recover wrappers stay under test
 mod tests;
@@ -156,6 +177,7 @@ mod tiering_tests;
 pub use builder::{Mount, NvCacheBuilder};
 pub use cache::NvCache;
 pub use config::NvCacheConfig;
+pub use migrate::{MigrationPolicy, RebalanceReport};
 pub use pagedesc::{PageDescriptor, PageSlot, PageState};
 pub use radix::Radix;
 pub use recovery::RecoveryReport;

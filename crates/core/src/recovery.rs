@@ -34,12 +34,25 @@ pub struct RecoveryReport {
     pub backends_touched: usize,
     /// Recovered files whose backend disagrees with the router's *current*
     /// placement of their path (possible after a v2 → v3 migration or a
-    /// routing-policy change). Their bytes are intact on the recovered
-    /// backend but unreachable through the mount — a fresh `open` routes
-    /// (and may create an empty shadow) elsewhere — until the operator
-    /// moves the files or aligns the routing rules. `0` means every
-    /// recovered file is where the router expects it.
+    /// routing-policy change). Their bytes stay fully reachable — `stat`,
+    /// `unlink` and `open` (creating or not) probe the recorded backend
+    /// before policy routing, so an existing file is always opened in
+    /// place — but they sit on the wrong tier until a repair-mode recovery
+    /// ([`Mount::RecoverRepair`](crate::Mount)), a
+    /// [`rebalance`](crate::NvCache::rebalance) sweep, or the operator
+    /// moves the files. `0` means every recovered file is where the router
+    /// expects it; a repair-mode recovery reports the count *after* its
+    /// re-homing pass (so `0` on success, with the moves counted in
+    /// [`files_repaired`](RecoveryReport::files_repaired)).
     pub files_misplaced: usize,
+    /// Misplaced files re-homed to the router's current placement by a
+    /// repair-mode recovery (always `0` under plain
+    /// [`Mount::Recover`](crate::Mount)).
+    pub files_repaired: usize,
+    /// Interrupted migrations rolled forward/back from their journal slots
+    /// (the crashed mount died inside a copy → stamp → unlink protocol run;
+    /// see `migrate.rs`). Each repair leaves exactly one authoritative copy.
+    pub migrations_repaired: usize,
 }
 
 /// A committed group found by the scan phase: `stripe`'s ring position
@@ -76,6 +89,20 @@ struct CommittedGroup {
 /// writes survive any routing policy. This is the v2 → v3 migration path
 /// (the caller stamps the header afterwards).
 ///
+/// **Repair mode** (`repair = true`, a [`Mount::RecoverRepair`](crate::Mount)
+/// mount): after the replay is durable and the fd table cleared, every
+/// recovered file whose backend disagrees with the router's current
+/// placement is re-homed to that placement through the journaled
+/// copy → stamp → unlink protocol of `migrate.rs` — so the next mount
+/// reports `files_misplaced == 0`. Leftover migration journals from a crash
+/// inside the protocol are repaired on *every* recovery, repair mode or
+/// not.
+///
+/// Returns the report plus the `(path, backend)` pairs still misplaced
+/// after recovery (empty in repair mode) — the mount seeds the migrator's
+/// catalog with them so a later [`rebalance`](crate::NvCache::rebalance)
+/// can find the files.
+///
 /// Idempotent: crashing *during* recovery and running it again converges to
 /// the same state, because replay only overwrites with logged data and the
 /// log is emptied only after the final `sync`.
@@ -83,8 +110,10 @@ pub(crate) fn recover(
     region: &NvRegion,
     backends: &[Arc<dyn FileSystem>],
     router: &dyn Router,
+    target_backends: usize,
+    repair: bool,
     clock: &ActorClock,
-) -> IoResult<RecoveryReport> {
+) -> IoResult<(RecoveryReport, Vec<(String, u32)>)> {
     // Read the layout back from the header (charged reads: cold caches).
     let mut header = [0u8; 64];
     region.read(0, &mut header, clock);
@@ -108,9 +137,18 @@ pub(crate) fn recover(
     }
     let lay = Layout { nb_entries, entry_size, fd_slots, log_shards, backends: image_backends };
 
+    // Repair interrupted migrations first (journal slots are invisible to
+    // the open-file scan below, but their non-authoritative copies must be
+    // gone before anything else looks at the backends). A v1/v2 image
+    // cannot hold journals.
+    let mut report = RecoveryReport {
+        migrations_repaired: crate::migrate::repair_journals(region, &lay, backends, clock)?,
+        ..RecoveryReport::default()
+    };
+
     // Reopen the files referenced by the fd table, each on its backend.
     let mut fds: HashMap<u32, (usize, vfs::Fd)> = HashMap::new();
-    let mut report = RecoveryReport::default();
+    let mut misplaced: Vec<(String, u32)> = Vec::new();
     for slot in 0..fd_slots as u32 {
         if let Some((path, stored)) =
             crate::files::PersistentFdTable::get(region, &lay, slot, clock)
@@ -158,15 +196,15 @@ pub(crate) fn recover(
                     Err(e) => return Err(e),
                 }
             }
-            // Replay lands on `resolved`, but every post-recovery open of
-            // this path will route through the (possibly different) current
-            // policy — such a file is intact below yet unreachable (and
-            // shadowable by a fresh create) through the mount until the
-            // operator moves it or fixes the rules. Count it so the
-            // mismatch is visible instead of silent.
+            // Replay lands on `resolved`; path operations keep reaching
+            // the file there (recorded-backend probing), but it sits on
+            // the wrong tier until a repair pass, a rebalance sweep, or
+            // the operator moves it. Count it so the mismatch is visible
+            // instead of silent.
             if let Some(backend) = resolved {
                 if backends.len() > 1 && backend != router.route(&path, 0) {
                     report.files_misplaced += 1;
+                    misplaced.push((path.clone(), backend as u32));
                 }
             }
             if resolved.is_none() {
@@ -182,6 +220,12 @@ pub(crate) fn recover(
             }
         }
     }
+    // A file open through several descriptors at crash time occupies one
+    // fd slot per descriptor: the misplaced list must carry each *path*
+    // once, or the repair pass would migrate it twice (and the second
+    // attempt would find the source gone).
+    misplaced.sort();
+    misplaced.dedup();
     let mut touched = vec![false; backends.len()];
     for &(backend, _) in fds.values() {
         touched[backend] = true;
@@ -291,6 +335,55 @@ pub(crate) fn recover(
         backends[backend].close(fd, clock)?;
         crate::files::PersistentFdTable::clear(region, &lay, slot, clock);
     }
+
+    // Stamp the (possibly migrated) backend count: a legacy image mounted
+    // over N backends is v3 from here on; a single-backend mount keeps the
+    // 0 encoding (bytes unchanged on v1/v2 images). Stamping *before* the
+    // repair pass matters: repair journals use the v3 slot partitioning, so
+    // a crash mid-repair must find a v3 header on the next mount.
+    let backends_word = if target_backends > 1 { target_backends as u64 } else { 0 };
+    region.write_u64(layout::OFF_BACKENDS, backends_word, clock);
+    region.pwb(layout::OFF_BACKENDS, 8);
+    region.pfence(clock);
+
+    // Repair mode: re-home every misplaced file to the router's current
+    // placement with the journaled migration protocol. Every fd slot was
+    // cleared above, so slot 0 is free to journal through; the files are
+    // closed and the log is empty, so no coordination is needed.
+    if repair && backends.len() > 1 {
+        let repair_lay = Layout { backends: target_backends as u64, ..lay };
+        let mut unrepairable = Vec::new();
+        for (path, from) in misplaced.drain(..) {
+            let to = router.route(&path, 0);
+            match crate::migrate::migrate_bytes(
+                region,
+                &repair_lay,
+                backends,
+                0,
+                &path,
+                &path,
+                from as usize,
+                to,
+                clock,
+                None,
+            ) {
+                Ok(_) => {
+                    report.files_repaired += 1;
+                    report.files_misplaced -= 1;
+                }
+                // A legacy path longer than the v3 journal slot capacity
+                // cannot be journaled: leave it counted misplaced instead
+                // of failing the whole mount.
+                Err(IoError::InvalidArgument(_)) => unrepairable.push((path, from)),
+                // Already gone from the recorded tier (the source is opened
+                // before anything is journaled or touched, so this is
+                // side-effect-free): nothing left to repair.
+                Err(IoError::NotFound(_)) => report.files_misplaced -= 1,
+                Err(e) => return Err(e),
+            }
+        }
+        misplaced = unrepairable;
+    }
     region.psync(clock);
-    Ok(report)
+    Ok((report, misplaced))
 }

@@ -10,6 +10,15 @@
 //! [`OpenedFile`](crate::files) and persistent in the NVMM fd table (header
 //! v3), so recovery replays every log entry to the backend that was actually
 //! written (see `docs/ARCHITECTURE.md`, "The mount stack").
+//!
+//! A file whose recorded backend disagrees with the router's *current*
+//! placement (a policy changed across a reboot, or an explicit
+//! [`NvCache::migrate`](crate::NvCache::migrate) moved it) is **misplaced**:
+//! `stat`/`unlink` still reach it by probing the recorded backend first,
+//! and the tier migrator — [`NvCache::rebalance`](crate::NvCache::rebalance)
+//! sweeps, the [`MigrationPolicy::Background`](crate::MigrationPolicy)
+//! worker, or a [`Mount::RecoverRepair`](crate::Mount) mount — re-homes it
+//! to where `route` says it belongs.
 
 /// Maps files to backend indices in a tiered
 /// [`NvCache`](crate::NvCache) mount.

@@ -107,6 +107,14 @@ pub struct NvCacheStats {
     /// poisons the owning stripe; see
     /// [`NvCache::poisoned_stripes`](crate::NvCache::poisoned_stripes)).
     pub inner_io_errors: AtomicU64,
+    /// Files moved between tiers by the migrator (background sweeps,
+    /// [`rebalance`](crate::NvCache::rebalance)/[`migrate`](crate::NvCache::migrate)
+    /// calls and cross-tier renames; recovery-repair moves are reported in
+    /// [`RecoveryReport::files_repaired`](crate::RecoveryReport::files_repaired)
+    /// instead). Always `0` on a single-backend mount.
+    pub files_migrated: AtomicU64,
+    /// Payload bytes copied across tiers by those migrations.
+    pub migration_bytes: AtomicU64,
     /// Per-stripe breakdown of the log counters (one entry per
     /// [`log_shards`](crate::NvCacheConfig::log_shards)).
     pub per_shard: Box<[ShardStats]>,
@@ -147,6 +155,8 @@ impl NvCacheStats {
             cleanup_fsyncs: AtomicU64::new(0),
             recovered_entries: AtomicU64::new(0),
             inner_io_errors: AtomicU64::new(0),
+            files_migrated: AtomicU64::new(0),
+            migration_bytes: AtomicU64::new(0),
             per_shard: per_shard.into_boxed_slice(),
             per_backend_propagated: per_backend.into_boxed_slice(),
         }
@@ -171,6 +181,8 @@ impl NvCacheStats {
             cleanup_fsyncs: self.cleanup_fsyncs.load(Ordering::Relaxed),
             recovered_entries: self.recovered_entries.load(Ordering::Relaxed),
             inner_io_errors: self.inner_io_errors.load(Ordering::Relaxed),
+            files_migrated: self.files_migrated.load(Ordering::Relaxed),
+            migration_bytes: self.migration_bytes.load(Ordering::Relaxed),
             per_shard: self.per_shard.iter().map(ShardStats::snapshot).collect(),
             per_backend_propagated: self
                 .per_backend_propagated
@@ -222,6 +234,10 @@ pub struct NvCacheStatsSnapshot {
     pub recovered_entries: u64,
     /// Inner-file-system errors (stripe poisonings).
     pub inner_io_errors: u64,
+    /// Files moved between tiers by the migrator.
+    pub files_migrated: u64,
+    /// Payload bytes copied across tiers by those migrations.
+    pub migration_bytes: u64,
     /// Per-stripe breakdown of the log counters.
     pub per_shard: Vec<ShardStatsSnapshot>,
     /// Entries propagated to each inner backend (tiered mounts; one element

@@ -538,6 +538,167 @@ fn single_backend_router_is_the_implicit_default() {
     assert_eq!(r.route("/whatever", 9), 0);
 }
 
+/// A backend whose `list_dir` always fails with a *real* I/O error (not
+/// `NotFound`) — fault injection for the merged-listing path.
+struct BrokenListFs {
+    inner: Arc<dyn FileSystem>,
+}
+
+impl FileSystem for BrokenListFs {
+    fn name(&self) -> &str {
+        "broken-list"
+    }
+    fn open(&self, path: &str, flags: OpenFlags, clock: &ActorClock) -> vfs::IoResult<vfs::Fd> {
+        self.inner.open(path, flags, clock)
+    }
+    fn close(&self, fd: vfs::Fd, clock: &ActorClock) -> vfs::IoResult<()> {
+        self.inner.close(fd, clock)
+    }
+    fn pread(
+        &self,
+        fd: vfs::Fd,
+        buf: &mut [u8],
+        off: u64,
+        clock: &ActorClock,
+    ) -> vfs::IoResult<usize> {
+        self.inner.pread(fd, buf, off, clock)
+    }
+    fn pwrite(
+        &self,
+        fd: vfs::Fd,
+        data: &[u8],
+        off: u64,
+        clock: &ActorClock,
+    ) -> vfs::IoResult<usize> {
+        self.inner.pwrite(fd, data, off, clock)
+    }
+    fn fsync(&self, fd: vfs::Fd, clock: &ActorClock) -> vfs::IoResult<()> {
+        self.inner.fsync(fd, clock)
+    }
+    fn ftruncate(&self, fd: vfs::Fd, len: u64, clock: &ActorClock) -> vfs::IoResult<()> {
+        self.inner.ftruncate(fd, len, clock)
+    }
+    fn fstat(&self, fd: vfs::Fd, clock: &ActorClock) -> vfs::IoResult<vfs::Metadata> {
+        self.inner.fstat(fd, clock)
+    }
+    fn stat(&self, path: &str, clock: &ActorClock) -> vfs::IoResult<vfs::Metadata> {
+        self.inner.stat(path, clock)
+    }
+    fn unlink(&self, path: &str, clock: &ActorClock) -> vfs::IoResult<()> {
+        self.inner.unlink(path, clock)
+    }
+    fn rename(&self, from: &str, to: &str, clock: &ActorClock) -> vfs::IoResult<()> {
+        self.inner.rename(from, to, clock)
+    }
+    fn list_dir(&self, _dir: &str, _clock: &ActorClock) -> vfs::IoResult<Vec<String>> {
+        Err(IoError::Other("injected list_dir failure".into()))
+    }
+    fn sync(&self, clock: &ActorClock) -> vfs::IoResult<()> {
+        self.inner.sync(clock)
+    }
+}
+
+#[test]
+fn list_dir_propagates_real_backend_errors_instead_of_partial_listings() {
+    // Regression: a non-NotFound error from one tier used to be swallowed
+    // whenever another tier answered — the merged listing was silently
+    // partial. Only absence may be tolerated.
+    let clock = ActorClock::new();
+    let cfg = NvCacheConfig::tiny();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let broken: Arc<dyn FileSystem> = Arc::new(BrokenListFs { inner: Arc::new(MemFs::new()) });
+    let cache = NvCache::builder(NvRegion::whole(dimm))
+        .backends(
+            Arc::new(PathPrefixRouter::new(vec![("/hot".into(), 1)], 0)),
+            vec![Arc::new(MemFs::new()), broken],
+        )
+        .config(cfg)
+        .mount(&clock)
+        .unwrap();
+    // The healthy tier knows the directory; the broken one errors — the
+    // listing must fail loudly, not come back partial.
+    let fd = cache
+        .open("/dir/on-tier0", OpenFlags::RDWR | OpenFlags::CREATE, &clock)
+        .unwrap();
+    cache.close(fd, &clock).unwrap();
+    let res = cache.list_dir("/dir", &clock);
+    assert!(
+        matches!(res, Err(IoError::Other(_))),
+        "a real backend error must propagate, got {res:?}"
+    );
+    cache.shutdown(&clock);
+}
+
+#[test]
+fn stat_and_unlink_reach_misplaced_files_on_their_recorded_tier() {
+    // Regression: `unlink`/`stat` routed by the *current* policy only, so a
+    // policy-orphaned file reported ENOENT while its bytes sat intact on
+    // another tier. The probe must honour recorded placement and fall back
+    // across tiers.
+    let cfg = NvCacheConfig {
+        nb_entries: 128,
+        batch_min: usize::MAX >> 1,
+        batch_max: usize::MAX >> 1,
+        ..NvCacheConfig::tiny()
+    };
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let legacy: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+    let cache = NvCache::builder(NvRegion::whole(Arc::clone(&dimm)))
+        .backend(Arc::clone(&legacy))
+        .config(cfg.clone())
+        .mount(&clock)
+        .unwrap();
+    let fd = cache.open("/hot/orphan", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    cache.pwrite(fd, b"orphaned bytes", 0, &clock).unwrap();
+    cache.abort();
+    drop(cache);
+    let restarted = Arc::new(dimm.crash_and_restart());
+
+    // Recover into a stack whose router claims /hot/** for tier 1: the
+    // file replays to tier 0 and is misplaced from now on.
+    let hot: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+    let recovered = NvCache::builder(NvRegion::whole(restarted))
+        .backends(
+            Arc::new(PathPrefixRouter::new(vec![("/hot".into(), 1)], 0)),
+            vec![Arc::clone(&legacy), Arc::clone(&hot)],
+        )
+        .config(cfg)
+        .mode(Mount::Recover)
+        .mount(&clock)
+        .expect("recovery");
+    assert_eq!(recovered.recovery_report().unwrap().files_misplaced, 1);
+
+    // stat finds the misplaced file (pre-fix: ENOENT from the routed tier).
+    assert_eq!(recovered.stat("/hot/orphan", &clock).unwrap().size, 14);
+    // unlink removes the actual bytes (pre-fix: ENOENT, bytes left behind).
+    recovered
+        .unlink("/hot/orphan", &clock)
+        .expect("unlink must reach the recorded tier");
+    assert!(matches!(legacy.stat("/hot/orphan", &clock), Err(IoError::NotFound(_))));
+    assert!(matches!(recovered.stat("/hot/orphan", &clock), Err(IoError::NotFound(_))));
+    recovered.shutdown(&clock);
+}
+
+#[test]
+fn rename_of_a_missing_source_is_enoent_not_exdev() {
+    // Regression: `rename("/hot/nope", "/cold/x")` compared routes before
+    // checking existence, reporting EXDEV for a file that does not exist.
+    // POSIX orders ENOENT first.
+    let (c, _dimm, _cold, _hot, cache) =
+        tiered_setup(NvCacheConfig::tiny(), Arc::new(MemFs::new()));
+    let res = cache.rename("/hot/nope", "/cold/nope", &c);
+    assert!(
+        matches!(res, Err(IoError::NotFound(_))),
+        "nonexistent source must be ENOENT even across tiers, got {res:?}"
+    );
+    // A real cross-tier source still reports EXDEV (default flag).
+    let fd = cache.open("/hot/real", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+    cache.close(fd, &c).unwrap();
+    assert!(matches!(cache.rename("/hot/real", "/cold/real", &c), Err(IoError::CrossDevice(_))));
+    cache.shutdown(&c);
+}
+
 #[test]
 fn unlinked_file_slot_is_cleared_by_migration_so_the_region_stays_mountable() {
     // Regression: a legacy slot whose file was deliberately unlinked could

@@ -30,6 +30,10 @@ pub enum IoError {
     /// EXDEV — the operation would cross file-system (backend) boundaries,
     /// e.g. a rename between two tiers of a multi-backend mount.
     CrossDevice(String),
+    /// EBUSY — the file is in use and the operation needs exclusive access,
+    /// e.g. migrating a file that is open or whose log entries are still
+    /// draining.
+    Busy(String),
     /// Any other condition, with context.
     Other(String),
 }
@@ -46,6 +50,7 @@ impl fmt::Display for IoError {
             IoError::IsDirectory(p) => write!(f, "is a directory: {p}"),
             IoError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
             IoError::CrossDevice(m) => write!(f, "invalid cross-device link: {m}"),
+            IoError::Busy(m) => write!(f, "device or resource busy: {m}"),
             IoError::Other(m) => write!(f, "{m}"),
         }
     }
