@@ -6,19 +6,21 @@
 //! NVCache ≈493 MiB/s finishing in 42 s; NOVA ≈403 MiB/s in 51 s;
 //! DM-WriteCache in 71 s; Ext4-DAX in 2 min 29 s; SSD in >22 min.
 //!
-//! Usage: `fig4 [--scale N] [--gib G] [--series]`
+//! Usage: `fig4 [--scale N] [--gib G] [--shards S] [--queue-depth Q]
+//! [--series]`
 
 use fiosim::{run_job, JobSpec, RwMode};
 use nvcache::NvCacheConfig;
-use nvcache_bench::{arg_flag, arg_u64, print_series, print_table, Row, SystemKind, SystemSpec};
+use nvcache_bench::{arg_flag, arg_u64, print_series, print_table, CommonArgs, Row, SystemKind};
 use simclock::{ActorClock, SimTime};
 
 fn main() {
-    let scale = arg_u64("--scale", 64);
+    let args = CommonArgs::parse();
+    let scale = args.scale;
     let gib = arg_u64("--gib", 20);
     let io_total = (gib << 30) / scale;
     let want_series = arg_flag("--series");
-    println!("Fig. 4 — FIO randwrite {gib} GiB, bs=4k fsync=1 direct=1 (scale 1/{scale})");
+    println!("Fig. 4 — FIO randwrite {gib} GiB, bs=4k fsync=1 direct=1 ({})", args.describe());
 
     let mut rows = Vec::new();
     for kind in SystemKind::fig4() {
@@ -27,7 +29,7 @@ fn main() {
         let cfg = NvCacheConfig::default()
             .scaled(scale)
             .with_log_entries(((32u64 << 30) / 4096 / scale).max(64));
-        let spec = SystemSpec::new(kind, scale).with_nvcache_cfg(cfg).timing_only();
+        let spec = args.spec(kind).with_nvcache_cfg(cfg).timing_only();
         let sys = nvcache_bench::build_system(&spec, &clock);
         let job = JobSpec {
             name: sys.name.into(),

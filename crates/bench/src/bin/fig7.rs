@@ -6,20 +6,25 @@
 //! correctness (dirty reads), not performance, because the kernel page cache
 //! already serves reads. The sweep must show no meaningful trend.
 //!
-//! Usage: `fig7 [--scale N] [--gib G] [--series]`
+//! Usage: `fig7 [--scale N] [--gib G] [--shards S] [--queue-depth Q]
+//! [--series]`
 
 use fiosim::{run_job, JobSpec, RwMode};
 use nvcache::NvCacheConfig;
-use nvcache_bench::{arg_flag, arg_u64, print_series, print_table, Row, SystemKind, SystemSpec};
+use nvcache_bench::{arg_flag, arg_u64, print_series, print_table, CommonArgs, Row, SystemKind};
 use simclock::{ActorClock, SimTime};
 
 fn main() {
-    let scale = arg_u64("--scale", 64);
+    let args = CommonArgs::parse();
+    let scale = args.scale;
     let gib = arg_u64("--gib", 10);
     let file_size = (gib << 30) / scale;
     let io_total = file_size / 2;
     let want_series = arg_flag("--series");
-    println!("Fig. 7 — NVCache+SSD randrw 50/50 on {gib} GiB, read-cache sweep (scale 1/{scale})");
+    println!(
+        "Fig. 7 — NVCache+SSD randrw 50/50 on {gib} GiB, read-cache sweep ({})",
+        args.describe()
+    );
 
     let cache_sizes: [(&str, usize); 5] =
         [("100", 100), ("10K", 10_000), ("100K", 100_000), ("250K", 250_000), ("1M", 1_000_000)];
@@ -30,7 +35,7 @@ fn main() {
             .scaled(scale)
             .with_log_entries(((8u64 << 30) / 4096 / scale).max(64))
             .with_read_cache_pages((pages / scale as usize).max(8));
-        let spec = SystemSpec::new(SystemKind::NvcacheSsd, scale).with_nvcache_cfg(cfg);
+        let spec = args.spec(SystemKind::NvcacheSsd).with_nvcache_cfg(cfg);
         let sys = nvcache_bench::build_system(&spec, &clock);
         let job = JobSpec {
             name: format!("cache-{label}"),

@@ -46,6 +46,7 @@ use vfs::{FileSystem, IoError, IoResult};
 
 use crate::cache::NvCache;
 use crate::layout::{self, Layout};
+use crate::placement::{PlacementPolicy, RouterPlacement};
 use crate::router::{Router, SingleBackend};
 use crate::NvCacheConfig;
 
@@ -181,6 +182,11 @@ impl NvCacheBuilder {
             }
             Mount::Recover | Mount::RecoverRepair => {
                 check_geometry(&region, &cfg)?;
+                // Misplacement (and the repair pass's target) is judged by
+                // the mount's placement policy; recovered files carry no
+                // temperature, so the policy's cold placement applies.
+                let placement: Arc<dyn PlacementPolicy> =
+                    cfg.placement.clone().unwrap_or_else(|| Arc::new(RouterPlacement));
                 // Recovery stamps the (possibly migrated) backend count
                 // itself — before its repair pass, whose journal slots need
                 // the v3 header to be parseable after a crash mid-repair.
@@ -188,6 +194,7 @@ impl NvCacheBuilder {
                     &region,
                     &backends,
                     router.as_ref(),
+                    placement.as_ref(),
                     cfg.backends,
                     mode == Mount::RecoverRepair,
                     clock,

@@ -20,6 +20,7 @@ use crate::layout::{self, Layout};
 use crate::log::Log;
 use crate::migrate::{MigrationPolicy, Migrator, RebalanceReport};
 use crate::pagedesc::PageDescriptor;
+use crate::placement::{PlacementPolicy, RouterPlacement};
 use crate::readcache::ReadCache;
 use crate::recovery::RecoveryReport;
 use crate::router::Router;
@@ -69,6 +70,19 @@ pub(crate) struct Shared {
     /// the background worker's clock. Fully inert under
     /// [`MigrationPolicy::Disabled`] or a single backend.
     pub migrator: Migrator,
+    /// The placement policy deciding the migrator's targets
+    /// ([`RouterPlacement`] unless the configuration installs another one;
+    /// see [`NvCacheConfig::placement`]).
+    pub placement: Arc<dyn PlacementPolicy>,
+    /// Whether per-I/O temperature bookkeeping runs: the mount can migrate
+    /// at all AND the policy reads heat
+    /// ([`PlacementPolicy::uses_temperature`] — `false` for the default
+    /// [`RouterPlacement`]). Computed once at mount; the policy `Arc` is
+    /// immutable, and the read/write hot path must not pay vtable calls to
+    /// re-derive a constant.
+    pub track_heat: bool,
+    /// The policy's decay half-life, cached alongside for the same reason.
+    pub heat_half_life: Option<simclock::SimTime>,
 }
 
 impl Shared {
@@ -245,13 +259,16 @@ impl Shared {
             self.files.lock().remove(&(opened.backend, dev, ino));
             if self.migration_enabled() {
                 // The file is now closed and drained: catalog it (with its
-                // accumulated access heat) so sweeps can re-home it, and
-                // wake the background worker.
+                // accumulated access heat, size and decaying temperature)
+                // so sweeps can re-home it, and wake the background
+                // worker.
                 self.migrator.record_closed(
                     &opened.file.path,
                     opened.backend,
                     opened.file.reads.load(Ordering::Relaxed),
                     opened.file.writes.load(Ordering::Relaxed),
+                    opened.file.size.load(Ordering::Relaxed),
+                    *opened.file.temperature.lock(),
                 );
                 self.migrator_notify();
             }
@@ -404,6 +421,11 @@ impl Shared {
         }
         file.size.fetch_max(off + data.len() as u64, Ordering::AcqRel);
         file.writes.fetch_add(1, Ordering::Relaxed); // access heat for the migrator
+        if self.track_heat {
+            let now = clock.now();
+            file.touch_heat(now, self.heat_half_life);
+            self.migrator.observe_time(now);
+        }
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_logged.fetch_add(data.len() as u64, Ordering::Relaxed);
         self.stats.entries_logged.fetch_add(k, Ordering::Relaxed);
@@ -434,7 +456,15 @@ impl Shared {
         file.reads.fetch_add(1, Ordering::Relaxed); // access heat for the migrator
         let size = file.size.load(Ordering::Acquire);
         if off >= size || buf.is_empty() {
+            // No data moved, no heat: a tail-style poller hammering EOF
+            // must not talk its file onto the fast tier (writes are
+            // symmetric — the empty-write return precedes the touch).
             return Ok(0);
+        }
+        if self.track_heat {
+            let now = clock.now();
+            file.touch_heat(now, self.heat_half_life);
+            self.migrator.observe_time(now);
         }
         let n = buf.len().min((size - off) as usize);
         let Some(radix) = file.radix.get() else {
@@ -600,6 +630,12 @@ impl NvCache {
         in_flight.resize_with(cfg.fd_slots as usize, || AtomicU32::new(0));
         let mut cleanup_clocks = Vec::with_capacity(cfg.log_shards);
         cleanup_clocks.resize_with(cfg.log_shards, || Arc::new(ActorClock::new()));
+        let placement: Arc<dyn PlacementPolicy> =
+            cfg.placement.clone().unwrap_or_else(|| Arc::new(RouterPlacement));
+        let migration_enabled = backends.len() > 1
+            && (cfg.migration != MigrationPolicy::Disabled || cfg.cross_tier_rename);
+        let track_heat = migration_enabled && placement.uses_temperature();
+        let heat_half_life = placement.half_life();
         let shared = Arc::new(Shared {
             pool: ReadCache::new(cfg.read_cache_pages),
             log: Log::new(region, lay, 0),
@@ -616,6 +652,9 @@ impl NvCache {
             next_file_id: AtomicU64::new(1),
             in_flight: in_flight.into_boxed_slice(),
             migrator: Migrator::new(),
+            placement,
+            track_heat,
+            heat_half_life,
             cfg,
         });
         if shared.migration_enabled() {
@@ -693,6 +732,14 @@ impl NvCache {
         &self.shared.router
     }
 
+    /// The placement policy driving the tier migrator's targets
+    /// ([`RouterPlacement`](crate::RouterPlacement) unless the
+    /// configuration installed another via
+    /// [`NvCacheConfig::with_placement`]).
+    pub fn placement(&self) -> &Arc<dyn PlacementPolicy> {
+        &self.shared.placement
+    }
+
     /// The first cleanup worker's virtual clock (the only one on a
     /// single-stripe log).
     pub fn cleanup_clock(&self) -> &ActorClock {
@@ -720,10 +767,12 @@ impl NvCache {
 
     /// Runs one tier-rebalancing sweep on the caller's clock: every closed
     /// file the mount knows about (catalogued at close time, or reported
-    /// misplaced by recovery) whose backend disagrees with the router's
-    /// current placement is moved there through the crash-safe
-    /// copy → stamp → unlink protocol. Open or still-draining files are
-    /// skipped and retried on a later sweep. See
+    /// misplaced by recovery) whose backend disagrees with the placement
+    /// policy's target — the router's static placement by default, or the
+    /// temperature-driven target of a configured
+    /// [`HeatPolicy`](crate::HeatPolicy) — is moved there through the
+    /// crash-safe copy → stamp → unlink protocol. Open or still-draining
+    /// files are skipped and retried on a later sweep. See
     /// [`RebalanceReport`] and the `migrate` module docs.
     ///
     /// # Errors
@@ -758,7 +807,8 @@ impl NvCache {
             ));
         }
         let path = vfs::normalize_path(path);
-        crate::migrate::migrate_path(&self.shared, &path, to, clock)
+        crate::migrate::migrate_path(&self.shared, &path, to, true, clock)
+            .map(|moved| moved.map_or(0, |(_, bytes)| bytes))
     }
 
     /// Descriptor-table occupancy: `(free, open, zombie)` slot counts.
@@ -973,6 +1023,7 @@ impl NvCache {
                     size: AtomicU64::new(meta.size),
                     reads: AtomicU64::new(heat.reads),
                     writes: AtomicU64::new(heat.writes),
+                    temperature: Mutex::new(heat.temp),
                     radix: OnceLock::new(),
                     open_count: AtomicU32::new(0),
                 })
@@ -1164,6 +1215,20 @@ impl NvCache {
                     shared.migrator.rename_entry(from, to, dst as u32);
                     shared.stats.files_migrated.fetch_add(1, Ordering::Relaxed);
                     shared.stats.migration_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    // A cross-tier rename is a migration like any other:
+                    // keep the fast-tier counters and occupancy gauge in
+                    // step with the catalog it just rewrote.
+                    if let Some(fast) = shared.placement.fast_tier() {
+                        if dst == fast {
+                            shared.stats.files_promoted.fetch_add(1, Ordering::Relaxed);
+                        } else if src == fast {
+                            shared.stats.files_demoted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        shared.stats.fast_tier_bytes.store(
+                            shared.migrator.fast_tier_occupancy(fast as u32),
+                            Ordering::Relaxed,
+                        );
+                    }
                     Ok(())
                 })
             })

@@ -3,9 +3,12 @@
 //! (`queue_depth`) extensions, and the scaling rules that shrink capacities
 //! for test machines while preserving the saturation dynamics.
 
+use std::sync::Arc;
+
 use simclock::{Bandwidth, SimTime};
 
 use crate::migrate::MigrationPolicy;
+use crate::placement::PlacementPolicy;
 
 /// Configuration of an [`NvCache`](crate::NvCache) instance.
 ///
@@ -86,6 +89,18 @@ pub struct NvCacheConfig {
     /// *failed* cross-tier rename can lose the old destination content —
     /// exactly like `mv` across mount points.
     pub cross_tier_rename: bool,
+    /// The placement policy deciding *where* the tier migrator should move
+    /// files (the migration protocol decides *how*). `None` (the default)
+    /// is [`RouterPlacement`](crate::RouterPlacement) — files belong
+    /// wherever the router's static rules put them, exactly the pre-policy
+    /// behavior, byte- and virtual-time-identical.
+    /// [`HeatPolicy`](crate::HeatPolicy) instead drives placement from
+    /// per-file access temperature: hot files are promoted onto a
+    /// designated fast tier regardless of path, cold ones demoted back to
+    /// the router baseline, with hysteresis and an optional fast-tier byte
+    /// budget. Set via
+    /// [`with_placement`](NvCacheConfig::with_placement).
+    pub placement: Option<Arc<dyn PlacementPolicy>>,
     /// User-space bookkeeping cost charged per intercepted call (NVCache
     /// replaces the syscall with this — the design's core bet).
     pub libc_overhead: SimTime,
@@ -111,6 +126,7 @@ impl Default for NvCacheConfig {
             queue_depth: 1,
             migration: MigrationPolicy::Disabled,
             cross_tier_rename: false,
+            placement: None,
             libc_overhead: SimTime::from_nanos(1_500),
             copy_bandwidth: Bandwidth::gib_per_sec(8.0),
         }
@@ -205,6 +221,41 @@ impl NvCacheConfig {
         self
     }
 
+    /// Installs a [`PlacementPolicy`] deciding where the tier migrator
+    /// moves files (see [`NvCacheConfig::placement`]). Without this the
+    /// mount uses [`RouterPlacement`](crate::RouterPlacement) — the
+    /// router's static rules, the pre-policy behavior.
+    ///
+    /// Heat tracking and rebalance sweeps only run when migration is
+    /// armed: pair a [`HeatPolicy`](crate::HeatPolicy) with a
+    /// [`MigrationPolicy`](crate::MigrationPolicy) other than `Disabled`
+    /// (or the cross-tier-rename flag), or no file will ever move and the
+    /// promotion counters stay at zero. The policy's *cold* judgement
+    /// ([`PlacementPolicy::place_cold`]) still applies either way — it
+    /// decides `files_misplaced` and the `RecoverRepair` targets at
+    /// recovery, which is why a `Disabled` + policy combination is legal
+    /// rather than rejected.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use nvcache::{HeatPolicy, MigrationPolicy, NvCacheConfig};
+    /// use simclock::SimTime;
+    ///
+    /// let cfg = NvCacheConfig::tiny()
+    ///     .with_migration(MigrationPolicy::Background)
+    ///     .with_placement(Arc::new(HeatPolicy::new(
+    ///         1,                        // promote onto backend 1
+    ///         8.0,                      // promote at 8 units of heat
+    ///         2.0,                      // demote below 2
+    ///         SimTime::from_secs(30),   // heat halves every 30 s
+    ///     )));
+    /// assert_eq!(cfg.placement.as_ref().map(|p| p.name().to_string()).as_deref(), Some("heat"));
+    /// ```
+    pub fn with_placement(mut self, policy: Arc<dyn PlacementPolicy>) -> Self {
+        self.placement = Some(policy);
+        self
+    }
+
     /// Sets the cleanup workers' submission-ring queue depth (`1` =
     /// synchronous drain, the paper's behavior).
     ///
@@ -269,6 +320,14 @@ impl NvCacheConfig {
             "backends must be in 1..={}",
             crate::layout::MAX_BACKENDS
         );
+        if let Some(fast) = self.placement.as_ref().and_then(|p| p.fast_tier()) {
+            assert!(
+                fast < self.backends,
+                "placement policy promotes onto backend {fast}, \
+                 but the mount has only {} backend(s)",
+                self.backends
+            );
+        }
     }
 }
 
@@ -319,6 +378,22 @@ mod tests {
         assert_eq!(cfg.migration, MigrationPolicy::Background);
         assert!(cfg.cross_tier_rename);
         cfg.validate();
+    }
+
+    #[test]
+    fn default_placement_is_router_static() {
+        assert!(NvCacheConfig::default().placement.is_none());
+        assert!(NvCacheConfig::tiny().placement.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "promotes onto backend")]
+    fn out_of_range_fast_tier_panics() {
+        let policy = crate::HeatPolicy::new(2, 4.0, 1.0, SimTime::from_secs(1));
+        NvCacheConfig::tiny()
+            .with_backends(2)
+            .with_placement(Arc::new(policy))
+            .validate();
     }
 
     #[test]

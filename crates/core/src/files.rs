@@ -9,9 +9,10 @@ use std::sync::{Arc, OnceLock};
 
 use nvmm::{NvRegion, PmemInts};
 use parking_lot::Mutex;
-use simclock::ActorClock;
+use simclock::{ActorClock, SimTime};
 
 use crate::layout::{Layout, FD_BACKEND_OFF, FD_SLOT_BYTES, FD_VALID_MIGRATION, FD_VALID_OPEN};
+use crate::placement::Temperature;
 use crate::Radix;
 
 /// Volatile per-file state: the *file table* entry of paper §III "Open",
@@ -36,11 +37,27 @@ pub(crate) struct FileState {
     pub reads: AtomicU64,
     /// Intercepted writes against this file (access heat, as above).
     pub writes: AtomicU64,
+    /// Exponentially decaying access temperature (drives the
+    /// [`HeatPolicy`](crate::HeatPolicy) placement): every intercepted
+    /// read/write decays the stored heat to the touching call's virtual
+    /// clock and adds one. A mutex, not atomics — decay folds two fields
+    /// (value + stamp) and the surrounding I/O path already serializes on
+    /// page locks.
+    pub temperature: Mutex<Temperature>,
     /// Read-cache index; created on the first writable open. Files never
     /// opened for writing have no tree and bypass the read cache entirely.
     pub radix: OnceLock<Radix>,
     /// Opens currently referencing this file.
     pub open_count: AtomicU32,
+}
+
+impl FileState {
+    /// One intercepted access at virtual instant `now`: decays the stored
+    /// temperature and adds one unit of heat. `half_life` comes from the
+    /// mount's placement policy (`None` = undecayed touch counting).
+    pub fn touch_heat(&self, now: SimTime, half_life: Option<SimTime>) {
+        self.temperature.lock().touch(now, half_life);
+    }
 }
 
 /// Volatile per-descriptor state: the *opened table* entry of paper §III,

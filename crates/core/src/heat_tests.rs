@@ -1,0 +1,425 @@
+//! Mount-level tests of the placement-policy layer: the byte/virtual-time
+//! oracle pinning the default (`RouterPlacement`) to the pre-policy
+//! behavior, temperature-driven promotion/demotion end to end (decay,
+//! hysteresis, close → reopen survival, the fast-tier budget), and
+//! recovery consulting the active policy for its misplacement judgement.
+
+use std::sync::Arc;
+
+use nvmm::{NvDimm, NvRegion, NvmmProfile};
+use simclock::{ActorClock, SimTime};
+use vfs::{FileSystem, MemFs, OpenFlags};
+
+use crate::migrate::MigrationPolicy;
+use crate::placement::{FileTemperature, PlacementPolicy};
+use crate::router::Router;
+use crate::{HeatPolicy, Mount, NvCache, NvCacheConfig, PathPrefixRouter, RouterPlacement};
+
+/// A tiered config with the drain parked (tests flush explicitly, so every
+/// comparison point is deterministic) and on-demand migration.
+fn parked_cfg() -> NvCacheConfig {
+    NvCacheConfig {
+        nb_entries: 128,
+        batch_min: usize::MAX >> 1,
+        batch_max: usize::MAX >> 1,
+        ..NvCacheConfig::tiny()
+    }
+    .with_migration(MigrationPolicy::OnDemand)
+}
+
+/// A router that sends everything to the bulk tier 0 — the "cold-routed
+/// prefix" of the acceptance scenario: no static rule ever places a file
+/// on the fast tier, so only a heat policy can.
+fn cold_everything() -> Arc<PathPrefixRouter> {
+    Arc::new(PathPrefixRouter::new(vec![], 0))
+}
+
+type Tiers = (Arc<dyn FileSystem>, Arc<dyn FileSystem>);
+
+fn two_memfs() -> Tiers {
+    (Arc::new(MemFs::new()), Arc::new(MemFs::new()))
+}
+
+fn mount(
+    cfg: NvCacheConfig,
+    router: Arc<dyn Router>,
+    tiers: &Tiers,
+    dimm: &Arc<NvDimm>,
+    mode: Mount,
+    clock: &ActorClock,
+) -> NvCache {
+    NvCache::builder(NvRegion::whole(Arc::clone(dimm)))
+        .backends(router, vec![Arc::clone(&tiers.0), Arc::clone(&tiers.1)])
+        .config(cfg)
+        .mode(mode)
+        .mount(clock)
+        .expect("tiered mount")
+}
+
+fn region_bytes(dimm: &NvDimm) -> Vec<u8> {
+    let mut buf = vec![0u8; dimm.len() as usize];
+    dimm.read_cached(0, &mut buf);
+    buf
+}
+
+fn on_tier(fs: &Arc<dyn FileSystem>, path: &str, clock: &ActorClock) -> bool {
+    fs.stat(path, clock).is_ok()
+}
+
+/// Open → read `times` → close, heating the file up.
+fn heat_up(cache: &NvCache, path: &str, times: usize, clock: &ActorClock) {
+    let fd = cache.open(path, OpenFlags::RDONLY, clock).unwrap();
+    let mut buf = [0u8; 64];
+    for _ in 0..times {
+        cache.pread(fd, &mut buf, 0, clock).unwrap();
+    }
+    cache.close(fd, clock).unwrap();
+}
+
+/// The tentpole oracle: a mount with no placement configured and a mount
+/// with an explicit [`RouterPlacement`] must be **byte- and
+/// virtual-time-identical** over a workload that exercises writes, reads,
+/// explicit migration and a rebalance sweep — i.e. the default config is
+/// exactly the pre-policy migrator.
+#[test]
+fn default_config_is_byte_and_time_identical_to_explicit_router_placement() {
+    let run = |cfg: NvCacheConfig| {
+        let clock = ActorClock::new();
+        let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
+        let tiers = two_memfs();
+        let router = Arc::new(PathPrefixRouter::new(vec![("/hot".into(), 1)], 0));
+        let cache = mount(cfg, router, &tiers, &dimm, Mount::Format, &clock);
+        let mut fds = Vec::new();
+        for (path, byte) in [("/hot/a", 1u8), ("/cold/b", 2), ("/cold/c", 3)] {
+            let fd = cache.open(path, OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+            cache.pwrite(fd, &[byte; 700], 0, &clock).unwrap();
+            fds.push(fd);
+        }
+        // Drain before closing: a close with entries still pending defers
+        // its slot teardown to a zombie drained by whoever gets there
+        // first, and that race would make slot reuse — and therefore the
+        // region bytes — scheduler-dependent in *both* runs.
+        cache.flush_log(&clock);
+        for fd in fds {
+            cache.close(fd, &clock).unwrap();
+        }
+        heat_up(&cache, "/cold/c", 5, &clock);
+        // Push one file off its routed tier, then let the sweep re-home it.
+        let moved = cache.migrate("/cold/c", 1, &clock).unwrap();
+        assert_eq!(moved, 700);
+        let report = cache.rebalance(&clock).expect("sweep");
+        cache.flush_log(&clock);
+        let snap = cache.stats().snapshot();
+        cache.shutdown(&clock);
+        // Compare only the scheduler-independent counters: how the drain
+        // happened to batch (cleanup_batches, fsyncs, ring peaks) races
+        // the OS scheduler and differs between *any* two runs.
+        let stats = (
+            snap.writes,
+            snap.reads,
+            snap.bytes_logged,
+            snap.entries_logged,
+            snap.entries_propagated,
+            snap.per_backend_propagated.clone(),
+            snap.files_migrated,
+            snap.migration_bytes,
+            snap.files_promoted,
+            snap.files_demoted,
+            snap.fast_tier_bytes,
+        );
+        (region_bytes(&dimm), clock.now(), report, stats)
+    };
+
+    let (bytes_default, time_default, report_default, stats_default) = run(parked_cfg());
+    let (bytes_router, time_router, report_router, stats_router) =
+        run(parked_cfg().with_placement(Arc::new(RouterPlacement)));
+
+    assert_eq!(bytes_default, bytes_router, "persistent images must be byte-identical");
+    assert_eq!(time_default, time_router, "virtual timelines must be identical");
+    assert_eq!(report_default, report_router, "sweep reports must agree");
+    assert_eq!(stats_default, stats_router, "stats must agree");
+    // And the sweep did what the pre-policy sweep would have done.
+    assert_eq!(report_default.files_migrated, 1, "the misplaced file went home");
+    assert_eq!((report_default.files_promoted, report_default.files_demoted), (0, 0));
+    let (.., promoted, demoted, fast_bytes) = stats_default;
+    assert_eq!((promoted, demoted), (0, 0));
+    assert_eq!(fast_bytes, 0, "no policy, no fast tier");
+}
+
+/// The acceptance scenario, end to end: a hot file under a cold-routed
+/// prefix is promoted onto the fast tier by heat alone, stays there inside
+/// the hysteresis band, and is demoted back once its temperature decays.
+#[test]
+fn heat_policy_promotes_hot_files_and_demotes_after_decay() {
+    let policy = Arc::new(HeatPolicy::new(1, 4.0, 1.0, SimTime::from_secs(10)));
+    let cfg = parked_cfg().with_placement(policy);
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let tiers = two_memfs();
+    let cache = mount(cfg, cold_everything(), &tiers, &dimm, Mount::Format, &clock);
+
+    for (path, reads) in [("/data/hot", 8usize), ("/data/cold", 0)] {
+        let fd = cache.open(path, OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+        cache.pwrite(fd, &[0xAB; 512], 0, &clock).unwrap();
+        cache.flush_log(&clock);
+        cache.close(fd, &clock).unwrap();
+        if reads > 0 {
+            heat_up(&cache, path, reads, &clock);
+        }
+    }
+    assert!(on_tier(&tiers.0, "/data/hot", &clock), "router placed everything on tier 0");
+
+    // Sweep 1: the hot file crosses the promote threshold (1 write + 8
+    // reads ≈ 9 units of barely decayed heat ≥ 4), the cold one (1 unit ≤
+    // demote) stays at its baseline.
+    let report = cache.rebalance(&clock).expect("sweep");
+    assert_eq!((report.files_migrated, report.files_promoted, report.files_demoted), (1, 1, 0));
+    assert!(on_tier(&tiers.1, "/data/hot", &clock), "hot file promoted by heat");
+    assert!(!on_tier(&tiers.0, "/data/hot", &clock), "source copy unlinked");
+    assert!(on_tier(&tiers.0, "/data/cold", &clock), "cold file never moved");
+    let snap = cache.stats().snapshot();
+    assert_eq!((snap.files_promoted, snap.files_demoted), (1, 0));
+    assert_eq!(snap.fast_tier_bytes, 512, "the promoted payload occupies the fast tier");
+    // The merged namespace still resolves the promoted file.
+    assert_eq!(cache.stat("/data/hot", &clock).unwrap().size, 512);
+
+    // Sweep 2, one half-life later: heat ≈ 4.5 — inside the hysteresis
+    // band (1, 4)? No: still ≥ demote, < promote → the file must stay.
+    clock.advance(SimTime::from_secs(10));
+    let report = cache.rebalance(&clock).expect("hysteresis sweep");
+    assert_eq!(report.files_migrated, 0, "inside the band nothing moves");
+    assert!(on_tier(&tiers.1, "/data/hot", &clock));
+
+    // Sweep 3, several half-lives later: heat ≈ 0.07 ≤ demote → demoted
+    // back to the router baseline.
+    clock.advance(SimTime::from_secs(60));
+    let report = cache.rebalance(&clock).expect("decay sweep");
+    assert_eq!((report.files_migrated, report.files_promoted, report.files_demoted), (1, 0, 1));
+    assert!(on_tier(&tiers.0, "/data/hot", &clock), "cooled file demoted to baseline");
+    assert!(!on_tier(&tiers.1, "/data/hot", &clock));
+    let snap = cache.stats().snapshot();
+    assert_eq!((snap.files_promoted, snap.files_demoted), (1, 1));
+    assert_eq!(snap.fast_tier_bytes, 0, "the fast tier emptied out");
+    cache.shutdown(&clock);
+}
+
+/// Temperature must survive close → reopen through the migrator catalog:
+/// heat earned across several open generations adds up to a promotion no
+/// single generation would have reached.
+#[test]
+fn temperature_survives_close_and_reopen() {
+    let policy = Arc::new(HeatPolicy::new(1, 6.0, 1.0, SimTime::from_secs(3600)));
+    let cfg = parked_cfg().with_placement(policy);
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let tiers = two_memfs();
+    let cache = mount(cfg, cold_everything(), &tiers, &dimm, Mount::Format, &clock);
+
+    let fd = cache.open("/wal", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    cache.pwrite(fd, &[7; 256], 0, &clock).unwrap();
+    cache.flush_log(&clock);
+    cache.close(fd, &clock).unwrap();
+    // Three generations of 2 reads each: no single generation crosses the
+    // 6.0 promote threshold, the accumulated temperature does.
+    for gen in 0..3 {
+        heat_up(&cache, "/wal", 2, &clock);
+        if gen < 2 {
+            let report = cache.rebalance(&clock).expect("sweep");
+            assert_eq!(
+                report.files_migrated, 0,
+                "generation {gen} alone must not reach the threshold"
+            );
+        }
+    }
+    let report = cache.rebalance(&clock).expect("final sweep");
+    assert_eq!(report.files_promoted, 1, "accumulated heat promotes: 1 write + 6 reads ≥ 6");
+    assert!(on_tier(&tiers.1, "/wal", &clock));
+    cache.shutdown(&clock);
+}
+
+/// The fast-tier capacity budget: when the hot set outgrows the budget,
+/// only the hottest files keep their seats and the coldest candidate is
+/// never promoted at all.
+#[test]
+fn fast_tier_budget_evicts_the_coldest_resident() {
+    let policy = Arc::new(HeatPolicy::new(1, 3.0, 1.0, SimTime::from_secs(3600)).with_budget(1024));
+    let cfg = parked_cfg().with_placement(policy);
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let tiers = two_memfs();
+    let cache = mount(cfg, cold_everything(), &tiers, &dimm, Mount::Format, &clock);
+
+    // Three 512-byte files, all above the promote threshold, 1536 bytes of
+    // candidates against a 1024-byte budget — the coldest must lose.
+    for (path, reads) in [("/a", 9usize), ("/b", 7), ("/c", 5)] {
+        let fd = cache.open(path, OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+        cache.pwrite(fd, &[1; 512], 0, &clock).unwrap();
+        cache.flush_log(&clock);
+        cache.close(fd, &clock).unwrap();
+        heat_up(&cache, path, reads, &clock);
+    }
+    let report = cache.rebalance(&clock).expect("sweep");
+    assert_eq!(report.files_promoted, 2, "only two 512-byte files fit the 1024-byte budget");
+    assert!(on_tier(&tiers.1, "/a", &clock), "hottest file promoted");
+    assert!(on_tier(&tiers.1, "/b", &clock), "second-hottest promoted");
+    assert!(on_tier(&tiers.0, "/c", &clock), "coldest candidate stays on the bulk tier");
+    assert_eq!(cache.stats().snapshot().fast_tier_bytes, 1024, "budget exactly filled");
+    cache.shutdown(&clock);
+}
+
+/// The background worker sweeps on its own virtual clock, which starts at
+/// zero and is unrelated to the app clocks that stamped the heat: decay
+/// must be measured against the mount's observed-time high-water mark, or
+/// a sweep on a lagging clock would compute `Δt = 0` forever and cooling
+/// would never demote (the `MigrationPolicy::Background` failure mode).
+#[test]
+fn sweep_on_a_lagging_clock_still_sees_decay() {
+    let policy = Arc::new(HeatPolicy::new(1, 4.0, 1.0, SimTime::from_secs(10)));
+    let cfg = parked_cfg().with_placement(policy);
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let tiers = two_memfs();
+    let cache = mount(cfg, cold_everything(), &tiers, &dimm, Mount::Format, &clock);
+
+    for path in ["/idle", "/later"] {
+        let fd = cache.open(path, OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+        cache.pwrite(fd, &[6; 128], 0, &clock).unwrap();
+        cache.flush_log(&clock);
+        cache.close(fd, &clock).unwrap();
+    }
+    heat_up(&cache, "/idle", 8, &clock);
+    cache.rebalance(&clock).expect("promote");
+    assert!(on_tier(&tiers.1, "/idle", &clock), "hot file promoted");
+
+    // Virtual time passes on the app clock — witnessed only through a
+    // touch of a *different* file (the mount's time high-water mark).
+    clock.advance(SimTime::from_secs(100));
+    heat_up(&cache, "/later", 1, &clock);
+
+    // A sweep on a brand-new clock (now = 0, like the background worker's)
+    // must still see the 100 s of decay and demote the cooled file.
+    let lagging = ActorClock::new();
+    let report = cache.rebalance(&lagging).expect("lagging sweep");
+    assert_eq!(report.files_demoted, 1, "decay must follow observed time, not the sweep clock");
+    assert!(on_tier(&tiers.0, "/idle", &lagging), "cooled file demoted to baseline");
+    cache.shutdown(&clock);
+}
+
+/// A policy that judges every file well-placed wherever it already is —
+/// distinguishable from any router-derived judgement.
+#[derive(Debug)]
+struct PinToCurrent;
+
+impl PlacementPolicy for PinToCurrent {
+    fn assign(
+        &self,
+        files: &[FileTemperature],
+        _router: &dyn Router,
+        _backends: usize,
+    ) -> Vec<usize> {
+        files.iter().map(|f| f.backend).collect()
+    }
+
+    fn place_cold(&self, _path: &str, current: usize, _router: &dyn Router) -> usize {
+        current
+    }
+
+    fn name(&self) -> &str {
+        "pin"
+    }
+}
+
+/// Recovery consults the *placement policy*, not the router: with a policy
+/// that pins files to their current tier, a routing-policy change across a
+/// crash reports nothing misplaced and `RecoverRepair` moves nothing —
+/// while the default router judgement reports (and repairs) the same image.
+#[test]
+fn recovery_judges_misplacement_by_the_active_policy() {
+    let build_image = || {
+        let clock = ActorClock::new();
+        let cfg = parked_cfg();
+        let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+        let tiers = two_memfs();
+        // Old world: everything routed to tier 0.
+        let cache = mount(cfg, cold_everything(), &tiers, &dimm, Mount::Format, &clock);
+        let fd = cache.open("/hot/wal", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+        cache.pwrite(fd, &[9; 128], 0, &clock).unwrap();
+        cache.abort(); // crash with the descriptor open and entries pending
+        (clock, Arc::new(dimm.crash_and_restart()), tiers)
+    };
+    // New world: the router now claims /hot/** for tier 1, so the recovered
+    // file (replayed to tier 0, where it was acknowledged) is misplaced by
+    // every router-derived judgement...
+    let hot_router = || Arc::new(PathPrefixRouter::new(vec![("/hot".into(), 1)], 0));
+
+    let (clock, dimm, tiers) = build_image();
+    let cache = mount(parked_cfg(), hot_router(), &tiers, &dimm, Mount::Recover, &clock);
+    let report = cache.recovery_report().unwrap();
+    assert_eq!(report.files_misplaced, 1, "the default judgement follows the router");
+    cache.shutdown(&clock);
+
+    // ...but a policy that pins files to their current tier judges the
+    // very same image clean: nothing misplaced, nothing repaired.
+    let (clock, dimm, tiers) = build_image();
+    let cache = mount(
+        parked_cfg().with_placement(Arc::new(PinToCurrent)),
+        hot_router(),
+        &tiers,
+        &dimm,
+        Mount::RecoverRepair,
+        &clock,
+    );
+    let report = cache.recovery_report().unwrap();
+    assert_eq!((report.files_misplaced, report.files_repaired), (0, 0));
+    assert!(on_tier(&tiers.0, "/hot/wal", &clock), "repair moved nothing");
+    cache.shutdown(&clock);
+}
+
+/// Temperature is volatile: a file the heat policy promoted before a crash
+/// is judged cold at recovery, and a `RecoverRepair` mount demotes it back
+/// to the router baseline with intact bytes.
+#[test]
+fn recover_repair_demotes_a_previously_promoted_file() {
+    let policy = || Arc::new(HeatPolicy::new(1, 4.0, 1.0, SimTime::from_secs(3600)));
+    let cfg = parked_cfg().with_placement(policy());
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let tiers = two_memfs();
+    let cache = mount(cfg.clone(), cold_everything(), &tiers, &dimm, Mount::Format, &clock);
+
+    let fd = cache.open("/burst", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    cache.pwrite(fd, &[3; 256], 0, &clock).unwrap();
+    cache.flush_log(&clock);
+    cache.close(fd, &clock).unwrap();
+    heat_up(&cache, "/burst", 8, &clock);
+    cache.rebalance(&clock).expect("promote");
+    assert!(on_tier(&tiers.1, "/burst", &clock), "promoted before the crash");
+
+    // Reopen on its promoted tier (the fd slot records backend 1), then
+    // crash: recovery finds the file on a tier no cold judgement assigns.
+    let fd = cache.open("/burst", OpenFlags::RDWR, &clock).unwrap();
+    cache.pwrite(fd, &[4; 64], 0, &clock).unwrap();
+    cache.abort();
+    drop(cache);
+
+    let cache = mount(
+        cfg,
+        cold_everything(),
+        &tiers,
+        &Arc::new(dimm.crash_and_restart()),
+        Mount::RecoverRepair,
+        &clock,
+    );
+    let report = cache.recovery_report().unwrap();
+    assert_eq!(report.files_repaired, 1, "the stale promotion is demoted at recovery");
+    assert_eq!(report.files_misplaced, 0);
+    assert!(on_tier(&tiers.0, "/burst", &clock), "back on the router baseline");
+    assert!(!on_tier(&tiers.1, "/burst", &clock), "fast-tier copy gone");
+    // The acknowledged crash write replayed before the demotion.
+    let fd = cache.open("/burst", OpenFlags::RDONLY, &clock).unwrap();
+    let mut buf = [0u8; 64];
+    cache.pread(fd, &mut buf, 0, &clock).unwrap();
+    assert_eq!(buf, [4; 64], "replayed bytes survive the repair demotion");
+    cache.close(fd, &clock).unwrap();
+    cache.shutdown(&clock);
+}

@@ -115,13 +115,36 @@
 //! [`MigrationPolicy`]: explicit [`NvCache::rebalance`] /
 //! [`NvCache::migrate`] sweeps (`OnDemand`) or a background worker that
 //! re-homes misplaced files on its own (`Background`), driven by the
-//! router's current placement, per-file access heat and the
+//! placement policy's targets, per-file access heat and the
 //! per-tier propagation load. A [`Mount::RecoverRepair`] mount re-homes
 //! every file recovery found misplaced before the cache comes up, and
 //! [`NvCacheConfig::with_cross_tier_rename`] optionally turns the
 //! EXDEV of a cross-tier `rename` into a migrate-then-rename. All of it is
 //! opt-in: the default policy keeps single-backend mounts byte- and
 //! virtual-time-identical to a migrator-less build.
+//!
+//! ## Heat-driven placement
+//!
+//! *Where* the migrator moves files is decided by a [`PlacementPolicy`]
+//! (`placement` module). The default, [`RouterPlacement`], re-homes files
+//! to the router's static rules — the pre-policy behavior, byte- and
+//! virtual-time-identical. [`HeatPolicy`] instead drives placement from
+//! per-file **temperature**: every intercepted read/write decays the
+//! file's stored heat to the touching call's *virtual* clock
+//! (`heat ← heat · 2^(−Δt / half_life)`, no wall clock anywhere) and adds
+//! one; a sweep promotes files whose decayed heat crosses
+//! `promote_threshold` onto the designated fast tier — regardless of what
+//! the router says about their path — and demotes files cooling below
+//! `demote_threshold` back to the router baseline. The gap between the
+//! thresholds is a hysteresis band (files inside it stay put, so a file
+//! moves at most once per threshold crossing), and an optional fast-tier
+//! byte budget demotes the coldest residents when the hot set outgrows
+//! the fast medium. Temperature survives close → reopen through the
+//! migrator catalog; after a remount it is gone (volatile by design) and
+//! recovery judges files by [`PlacementPolicy::place_cold`].
+//! [`NvCacheStats::files_promoted`] / `files_demoted` /
+//! `fast_tier_bytes` expose what the policy is doing. See
+//! `docs/TUNING.md` for when to reach for which policy.
 //!
 //! ## Quick start
 //!
@@ -160,12 +183,15 @@ pub mod layout;
 mod log;
 mod migrate;
 mod pagedesc;
+mod placement;
 mod radix;
 mod readcache;
 mod recovery;
 mod router;
 mod stats;
 
+#[cfg(test)]
+mod heat_tests;
 #[cfg(test)]
 mod migrate_tests;
 #[cfg(test)]
@@ -179,6 +205,7 @@ pub use cache::NvCache;
 pub use config::NvCacheConfig;
 pub use migrate::{MigrationPolicy, RebalanceReport};
 pub use pagedesc::{PageDescriptor, PageSlot, PageState};
+pub use placement::{FileTemperature, HeatPolicy, PlacementPolicy, RouterPlacement};
 pub use radix::Radix;
 pub use recovery::RecoveryReport;
 pub use router::{HashRouter, PathPrefixRouter, Router, SingleBackend};

@@ -39,14 +39,19 @@
 //! # What drives it
 //!
 //! The [`Migrator`] keeps a volatile catalog of closed files — path,
-//! current backend, and per-file access heat folded in from the
-//! [`FileState`](crate::files) counters at last close; recovery seeds it
-//! with the files it found misplaced. A sweep ([`sweep`], surfaced as
-//! [`NvCache::rebalance`](crate::NvCache::rebalance)) re-homes every
-//! catalogued file whose backend disagrees with the router's current
-//! placement, draining the tier with the highest propagated-entry load
-//! first ([`NvCacheStats::per_backend_propagated`](crate::NvCacheStats))
-//! and, within a tier, the hottest files first. With
+//! current backend, size, and per-file access heat (raw counters plus the
+//! decaying [`Temperature`]) folded in from the
+//! [`FileState`](crate::files) at last close; recovery seeds it with the
+//! files it found misplaced. A sweep ([`sweep`], surfaced as
+//! [`NvCache::rebalance`](crate::NvCache::rebalance)) asks the mount's
+//! [`PlacementPolicy`](crate::PlacementPolicy) for every catalogued file's
+//! target — the router's static placement under the default
+//! [`RouterPlacement`](crate::RouterPlacement), temperature-driven
+//! promotion/demotion under [`HeatPolicy`](crate::HeatPolicy) — and
+//! re-homes every file whose backend disagrees, draining the tier with the
+//! highest propagated-entry load first
+//! ([`NvCacheStats::per_backend_propagated`](crate::NvCacheStats)) and,
+//! within a tier, the hottest files first. With
 //! [`MigrationPolicy::Background`] a dedicated worker thread runs sweeps on
 //! its own virtual clock whenever closes or cleanup batches complete.
 
@@ -63,6 +68,7 @@ use vfs::{FileSystem, IoError, IoResult, OpenFlags};
 use crate::cache::Shared;
 use crate::files::PersistentFdTable;
 use crate::layout::Layout;
+use crate::placement::{FileTemperature, Temperature};
 
 /// How (and whether) the tier migrator may move files between backends.
 ///
@@ -90,15 +96,21 @@ pub enum MigrationPolicy {
 /// ([`NvCache::rebalance`](crate::NvCache::rebalance)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RebalanceReport {
-    /// Files moved to the router's current placement.
+    /// Files moved to the placement policy's target.
     pub files_migrated: usize,
     /// Payload bytes copied across tiers.
     pub bytes_moved: u64,
     /// Misplaced files skipped because they were open or still draining
     /// (they stay catalogued and are retried on the next sweep).
     pub files_busy: usize,
-    /// Catalogued files already on the backend the router assigns.
+    /// Catalogued files already on the backend the policy assigns.
     pub files_in_place: usize,
+    /// Of the migrated files, how many moved **onto** the policy's fast
+    /// tier (always `0` under a policy with no fast tier, e.g. the default
+    /// [`RouterPlacement`](crate::RouterPlacement)).
+    pub files_promoted: usize,
+    /// Of the migrated files, how many moved **off** the fast tier.
+    pub files_demoted: usize,
 }
 
 /// Where a test-injected crash cuts the migration protocol short (the step
@@ -191,6 +203,13 @@ pub(crate) struct FileHeat {
     pub reads: u64,
     /// Accumulated intercepted writes, likewise.
     pub writes: u64,
+    /// Payload bytes at last close (`0` for recovery-seeded entries whose
+    /// size is unknown until reopen or migration).
+    pub bytes: u64,
+    /// Decaying temperature snapshot at last close; seeds the fresh
+    /// [`FileState`](crate::files) on reopen so heat survives
+    /// close → reopen cycles.
+    pub temp: Temperature,
 }
 
 /// The migrator's shared state: the catalog of migratable (closed) files,
@@ -211,6 +230,13 @@ pub(crate) struct Migrator {
     work_pending: std::sync::atomic::AtomicBool,
     work_lock: Mutex<()>,
     work_cv: Condvar,
+    /// High-water mark (nanoseconds) of the virtual time observed on any
+    /// heat touch. Per-actor clocks advance independently — in particular
+    /// the background worker's own clock starts at zero — so temperature
+    /// decay is always measured against `max(caller clock, this mark)`:
+    /// without it a background sweep would compute `Δt = 0` against every
+    /// app-side stamp and [`HeatPolicy`] cooling would never demote.
+    time_high_water: std::sync::atomic::AtomicU64,
 }
 
 impl Migrator {
@@ -224,7 +250,19 @@ impl Migrator {
             work_pending: std::sync::atomic::AtomicBool::new(true),
             work_lock: Mutex::new(()),
             work_cv: Condvar::new(),
+            time_high_water: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Folds an observed virtual instant into the decay high-water mark.
+    pub fn observe_time(&self, now: simclock::SimTime) {
+        self.time_high_water.fetch_max(now.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// The latest virtual instant any actor reported — the earliest "now"
+    /// a sweep may decay against.
+    pub fn observed_time(&self) -> simclock::SimTime {
+        simclock::SimTime::from_nanos(self.time_high_water.load(Ordering::Relaxed))
     }
 
     /// Wakes the background worker (no-op when none is running).
@@ -241,18 +279,37 @@ impl Migrator {
 
     /// Parks the background worker until new work may exist.
     pub fn wait_for_work(&self) {
+        self.park(Duration::from_millis(1));
+    }
+
+    /// Parks the background worker for up to `timeout` (woken early by
+    /// [`Migrator::notify`] — including the one `abort` sends on
+    /// shutdown).
+    pub fn park(&self, timeout: Duration) {
         let mut g = self.work_lock.lock();
-        self.work_cv.wait_for(&mut g, Duration::from_millis(1));
+        self.work_cv.wait_for(&mut g, timeout);
     }
 
     /// Records a file that just fully closed (it is now migratable),
-    /// accumulating heat across open generations.
-    pub fn record_closed(&self, path: &str, backend: u32, reads: u64, writes: u64) {
+    /// accumulating the raw counters across open generations; the size and
+    /// temperature of the latest close win (the [`FileState`](crate::files)
+    /// temperature already folded the catalogued heat back in at open).
+    pub fn record_closed(
+        &self,
+        path: &str,
+        backend: u32,
+        reads: u64,
+        writes: u64,
+        bytes: u64,
+        temp: Temperature,
+    ) {
         let mut catalog = self.catalog.lock();
         let heat = catalog.entry(path.to_string()).or_default();
         heat.backend = backend;
         heat.reads += reads;
         heat.writes += writes;
+        heat.bytes = bytes;
+        heat.temp = temp;
     }
 
     /// Removes and returns the catalog entry for a path being reopened (its
@@ -303,6 +360,18 @@ impl Migrator {
     /// Snapshot of the catalog (sweep input).
     fn entries(&self) -> Vec<(String, FileHeat)> {
         self.catalog.lock().iter().map(|(p, h)| (p.clone(), *h)).collect()
+    }
+
+    /// Catalogued payload bytes currently on backend `fast` — the
+    /// occupancy behind the
+    /// [`fast_tier_bytes`](crate::NvCacheStats::fast_tier_bytes) gauge.
+    pub fn fast_tier_occupancy(&self, fast: u32) -> u64 {
+        self.catalog
+            .lock()
+            .values()
+            .filter(|h| h.backend == fast)
+            .map(|h| h.bytes)
+            .sum()
     }
 }
 
@@ -483,7 +552,14 @@ pub(crate) fn repair_journals(
 
 /// Migrates the closed file at `path` (normalized) to backend `to`,
 /// coordinating with path operations and the cleanup workers. Returns the
-/// bytes moved (`0` if the file already lives on `to`).
+/// `(source backend, bytes moved)` pair of the move — the source is the
+/// one resolved *under the claim*, which callers must prefer over any
+/// pre-claim snapshot — or `None` when the file already lives on `to`
+/// (a concurrent migration may have beaten this call, and callers must
+/// not count such a no-op as a move). With
+/// `refresh_gauge` the `fast_tier_bytes` occupancy gauge is recomputed
+/// after a successful move; sweeps pass `false` (one catalog scan per
+/// moved file would be redundant) and refresh once at sweep end.
 ///
 /// # Errors
 ///
@@ -495,8 +571,9 @@ pub(crate) fn migrate_path(
     shared: &Shared,
     path: &str,
     to: usize,
+    refresh_gauge: bool,
     clock: &ActorClock,
-) -> IoResult<u64> {
+) -> IoResult<Option<(usize, u64)>> {
     if to >= shared.backends.len() {
         return Err(IoError::InvalidArgument(format!(
             "migration target backend {to} out of range (mount has {})",
@@ -506,7 +583,7 @@ pub(crate) fn migrate_path(
     if !shared.migrator.gate.try_claim(path) {
         return Err(IoError::Busy(format!("{path}: migration or path operation in flight")));
     }
-    let mut moved = false;
+    let mut moved_from = None;
     let result = (|| {
         // Resolve the source *under the claim*: between a pre-claim read
         // and the claim, a concurrent migration could move the file, and
@@ -519,20 +596,33 @@ pub(crate) fn migrate_path(
                 .ok_or_else(|| IoError::NotFound(path.to_string()))?,
         };
         if from == to {
-            return Ok(0); // already in place
+            return Ok(None); // already in place — not a move
         }
         let bytes = migrate_claimed(shared, path, from, to, clock)?;
-        moved = true;
-        Ok(bytes)
+        moved_from = Some(from);
+        Ok(Some((from, bytes)))
     })();
-    if moved {
-        if let Ok(bytes) = result {
+    if let Some(from) = moved_from {
+        if let Ok(Some((_, bytes))) = result {
             // Publish the new placement *before* releasing the claim: a
             // concurrent sweep reading a stale catalog backend would probe
             // the old tier, get NotFound and drop the entry entirely.
             shared.migrator.set_backend(path, to as u32);
             shared.stats.files_migrated.fetch_add(1, Ordering::Relaxed);
             shared.stats.migration_bytes.fetch_add(bytes, Ordering::Relaxed);
+            if let Some(fast) = shared.placement.fast_tier() {
+                if to == fast {
+                    shared.stats.files_promoted.fetch_add(1, Ordering::Relaxed);
+                } else if from == fast {
+                    shared.stats.files_demoted.fetch_add(1, Ordering::Relaxed);
+                }
+                if refresh_gauge {
+                    shared
+                        .stats
+                        .fast_tier_bytes
+                        .store(shared.migrator.fast_tier_occupancy(fast as u32), Ordering::Relaxed);
+                }
+            }
         }
     }
     shared.migrator.gate.release(path);
@@ -602,48 +692,121 @@ pub(crate) fn journaled_move(
     result
 }
 
-/// One rebalancing sweep: re-homes every catalogued file whose backend
-/// disagrees with the router's current placement. Candidates drain the
-/// backend with the highest propagated-entry load first
-/// (`per_backend_propagated`), hottest files first within a backend. Busy
-/// files are skipped (and stay catalogued); hard inner errors abort the
-/// sweep.
+/// One rebalancing sweep: asks the mount's placement policy for every
+/// catalogued file's target backend — decaying each file's temperature to
+/// the sweep instant with the policy's half-life — and re-homes every file
+/// whose backend disagrees. Candidates drain the backend with the highest
+/// propagated-entry load first (`per_backend_propagated`), hottest
+/// (decayed) files first within a backend. Busy files are skipped (and
+/// stay catalogued); hard inner errors abort the sweep. Under the default
+/// [`RouterPlacement`](crate::RouterPlacement) the targets, the order and
+/// the timing are identical to the pre-policy sweep.
 pub(crate) fn sweep(shared: &Shared, clock: &ActorClock) -> IoResult<RebalanceReport> {
     let mut report = RebalanceReport::default();
     if shared.backends.len() == 1 {
         return Ok(report); // nothing to move between
     }
-    let mut candidates: Vec<(String, FileHeat, usize)> = Vec::new();
-    for (path, heat) in shared.migrator.entries() {
-        let target = shared.route(&path);
-        if target == heat.backend as usize {
+    // Decay against the most advanced virtual instant any actor reported:
+    // the background worker's own clock starts at zero and would otherwise
+    // see Δt = 0 against every app-side heat stamp (no cooling, ever).
+    let now = clock.now().max(shared.migrator.observed_time());
+    let half_life = shared.placement.half_life();
+    let views: Vec<FileTemperature> = shared
+        .migrator
+        .entries()
+        .into_iter()
+        .map(|(path, h)| FileTemperature {
+            path,
+            backend: h.backend as usize,
+            bytes: h.bytes,
+            heat: h.temp.decayed(now, half_life),
+            reads: h.reads,
+            writes: h.writes,
+        })
+        .collect();
+    let targets = shared.placement.assign(&views, shared.router.as_ref(), shared.backends.len());
+    // Contract violations surface as errors, not panics: a panic here
+    // would silently kill the background worker thread and stop all
+    // migration forever, while an Err is observable (rebalance callers see
+    // it; the worker just retries on the next notify).
+    if targets.len() != views.len() {
+        return Err(IoError::InvalidArgument(format!(
+            "placement policy {} assigned {} targets for {} files",
+            shared.placement.name(),
+            targets.len(),
+            views.len()
+        )));
+    }
+    let fast = shared.placement.fast_tier();
+    let mut candidates: Vec<(usize, usize)> = Vec::new(); // (view index, target)
+    for (i, &target) in targets.iter().enumerate() {
+        if target >= shared.backends.len() {
+            return Err(IoError::InvalidArgument(format!(
+                "placement policy {} assigned {} to out-of-range backend {target}",
+                shared.placement.name(),
+                views[i].path
+            )));
+        }
+        if target == views[i].backend {
             report.files_in_place += 1;
         } else {
-            candidates.push((path, heat, target));
+            candidates.push((i, target));
         }
     }
-    let load = |b: u32| shared.stats.per_backend_propagated[b as usize].load(Ordering::Relaxed);
-    candidates.sort_by(|(pa, ha, _), (pb, hb, _)| {
-        load(hb.backend)
-            .cmp(&load(ha.backend))
-            .then((hb.reads + hb.writes).cmp(&(ha.reads + ha.writes)))
-            .then(pa.cmp(pb))
+    // Snapshot the per-backend loads once: the comparator must not re-read
+    // atomics the cleanup workers are bumping concurrently — values
+    // changing mid-sort break the total-order contract and std's sort may
+    // panic, which on the background worker thread would kill migration
+    // silently and for good.
+    let loads: Vec<u64> = shared
+        .stats
+        .per_backend_propagated
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .collect();
+    candidates.sort_by(|&(a, _), &(b, _)| {
+        let (fa, fb) = (&views[a], &views[b]);
+        loads[fb.backend]
+            .cmp(&loads[fa.backend])
+            .then(fb.heat.total_cmp(&fa.heat))
+            .then((fb.reads + fb.writes).cmp(&(fa.reads + fa.writes)))
+            .then(fa.path.cmp(&fb.path))
     });
-    for (path, _, target) in candidates {
-        match migrate_path(shared, &path, target, clock) {
-            Ok(bytes) => {
+    for (i, target) in candidates {
+        let view = &views[i];
+        match migrate_path(shared, &view.path, target, false, clock) {
+            Ok(Some((from, bytes))) => {
                 report.files_migrated += 1;
                 report.bytes_moved += bytes;
+                if let Some(fast) = fast {
+                    // Classify by the source migrate_path actually resolved
+                    // under its claim — the snapshot backend may be stale
+                    // if a concurrent manual move raced this sweep.
+                    if target == fast {
+                        report.files_promoted += 1;
+                    } else if from == fast {
+                        report.files_demoted += 1;
+                    }
+                }
             }
+            // A concurrent migration (manual move, another sweep) beat us
+            // there: the candidate snapshot was stale, nothing moved now.
+            Ok(None) => report.files_in_place += 1,
             Err(IoError::Busy(_)) => report.files_busy += 1,
             // The catalog entry went stale (unlinked below the mount, or a
             // concurrent op removed it), or the path can never fit a v3
             // journal slot: drop it rather than error every sweep.
             Err(IoError::NotFound(_) | IoError::InvalidArgument(_)) => {
-                shared.migrator.forget(&path)
+                shared.migrator.forget(&view.path)
             }
             Err(e) => return Err(e),
         }
+    }
+    if let Some(fast) = fast {
+        shared
+            .stats
+            .fast_tier_bytes
+            .store(shared.migrator.fast_tier_occupancy(fast as u32), Ordering::Relaxed);
     }
     Ok(report)
 }
@@ -654,7 +817,12 @@ pub(crate) fn sweep(shared: &Shared, clock: &ActorClock) -> IoResult<RebalanceRe
 /// errors do not kill the worker — the affected file keeps its catalog
 /// entry and the sweep retries later.
 pub(crate) fn run_migrator(shared: Arc<Shared>) {
+    /// First retry delay after a failed sweep; doubles up to the cap.
+    const ERROR_BACKOFF_MIN: Duration = Duration::from_millis(10);
+    /// Retry-delay cap while sweeps keep hard-failing.
+    const ERROR_BACKOFF_MAX: Duration = Duration::from_secs(1);
     let clock = Arc::clone(&shared.migrator.clock);
+    let mut error_backoff = ERROR_BACKOFF_MIN;
     loop {
         if shared.kill.load(Ordering::Acquire) || shared.stop.load(Ordering::Acquire) {
             return;
@@ -664,7 +832,20 @@ pub(crate) fn run_migrator(shared: Arc<Shared>) {
             shared.migrator.wait_for_work();
             continue;
         }
-        let _ = sweep(&shared, &clock);
+        match sweep(&shared, &clock) {
+            Ok(_) => error_backoff = ERROR_BACKOFF_MIN,
+            Err(_) => {
+                // take_work consumed the pending flag: re-arm it so the
+                // not-yet-migrated files are retried even on an otherwise
+                // idle mount (no further closes or cleanup batches to
+                // re-signal) — but back off exponentially, or a tier that
+                // keeps hard-failing would have this loop re-sorting the
+                // catalog and hammering the broken backend ~1000×/s.
+                shared.migrator.notify();
+                shared.migrator.park(error_backoff);
+                error_backoff = (error_backoff * 2).min(ERROR_BACKOFF_MAX);
+            }
+        }
     }
 }
 
@@ -691,13 +872,19 @@ mod tests {
 
     #[test]
     fn catalog_accumulates_heat_across_generations() {
+        use simclock::SimTime;
         let m = Migrator::new();
-        m.record_closed("/f", 1, 10, 4);
-        m.record_closed("/f", 0, 5, 1);
+        let mut temp = Temperature::default();
+        temp.touch(SimTime::from_secs(1), None);
+        m.record_closed("/f", 1, 10, 4, 100, temp);
+        temp.touch(SimTime::from_secs(2), None);
+        m.record_closed("/f", 0, 5, 1, 300, temp);
         assert!(m.take_if_on("/f", 1).is_none(), "a mismatched tier must not steal the entry");
         let heat = m.take_if_on("/f", 0).expect("catalogued");
         assert_eq!(heat.backend, 0, "latest close wins the placement");
         assert_eq!((heat.reads, heat.writes), (15, 5), "heat accumulates");
+        assert_eq!(heat.bytes, 300, "latest close wins the size");
+        assert_eq!(heat.temp, temp, "latest close wins the temperature snapshot");
         assert!(m.take_if_on("/f", 0).is_none(), "take removes the entry");
         m.seed([("/g".to_string(), 2u32)]);
         assert_eq!(m.backend_of("/g"), Some(2));
@@ -706,5 +893,16 @@ mod tests {
         assert_eq!(m.backend_of("/h"), Some(1));
         m.forget("/h");
         assert_eq!(m.backend_of("/h"), None);
+    }
+
+    #[test]
+    fn fast_tier_occupancy_sums_catalogued_bytes() {
+        let m = Migrator::new();
+        m.record_closed("/a", 1, 0, 0, 100, Temperature::default());
+        m.record_closed("/b", 1, 0, 0, 50, Temperature::default());
+        m.record_closed("/c", 0, 0, 0, 999, Temperature::default());
+        assert_eq!(m.fast_tier_occupancy(1), 150);
+        assert_eq!(m.fast_tier_occupancy(0), 999);
+        assert_eq!(m.fast_tier_occupancy(7), 0);
     }
 }

@@ -13,6 +13,7 @@ use simclock::ActorClock;
 use vfs::{FileSystem, IoError, IoResult, OpenFlags};
 
 use crate::layout::{self, CommitWord, Layout};
+use crate::placement::PlacementPolicy;
 use crate::router::Router;
 
 /// Outcome of a recovery run.
@@ -32,9 +33,17 @@ pub struct RecoveryReport {
     /// Distinct inner backends that received replayed files (`1` on a
     /// single-backend mount; up to the tier count on a tiered one).
     pub backends_touched: usize,
-    /// Recovered files whose backend disagrees with the router's *current*
-    /// placement of their path (possible after a v2 → v3 migration or a
-    /// routing-policy change). Their bytes stay fully reachable — `stat`,
+    /// Recovered files whose backend disagrees with where the mount's
+    /// *placement policy* puts their path — judged cold, with no
+    /// accumulated temperature
+    /// ([`PlacementPolicy::place_cold`](crate::PlacementPolicy::place_cold));
+    /// under the default [`RouterPlacement`](crate::RouterPlacement) this
+    /// is the router's current placement (possible after a v2 → v3
+    /// migration or a routing-policy change), and under a
+    /// [`HeatPolicy`](crate::HeatPolicy) it also counts files the policy
+    /// had promoted before the crash (temperature is volatile — they
+    /// re-earn promotion as heat accumulates). Their bytes stay fully
+    /// reachable — `stat`,
     /// `unlink` and `open` (creating or not) probe the recorded backend
     /// before policy routing, so an existing file is always opened in
     /// place — but they sit on the wrong tier until a repair-mode recovery
@@ -45,7 +54,7 @@ pub struct RecoveryReport {
     /// re-homing pass (so `0` on success, with the moves counted in
     /// [`files_repaired`](RecoveryReport::files_repaired)).
     pub files_misplaced: usize,
-    /// Misplaced files re-homed to the router's current placement by a
+    /// Misplaced files re-homed to the placement policy's cold target by a
     /// repair-mode recovery (always `0` under plain
     /// [`Mount::Recover`](crate::Mount)).
     pub files_repaired: usize,
@@ -89,14 +98,20 @@ struct CommittedGroup {
 /// writes survive any routing policy. This is the v2 → v3 migration path
 /// (the caller stamps the header afterwards).
 ///
+/// **Misplacement** is judged by the mount's placement policy: a recovered
+/// file has no accumulated temperature (the heat catalog is volatile), so
+/// each file is checked against
+/// [`PlacementPolicy::place_cold`](crate::PlacementPolicy::place_cold) —
+/// the router's current placement under the default
+/// [`RouterPlacement`](crate::RouterPlacement).
+///
 /// **Repair mode** (`repair = true`, a [`Mount::RecoverRepair`](crate::Mount)
 /// mount): after the replay is durable and the fd table cleared, every
-/// recovered file whose backend disagrees with the router's current
-/// placement is re-homed to that placement through the journaled
-/// copy → stamp → unlink protocol of `migrate.rs` — so the next mount
-/// reports `files_misplaced == 0`. Leftover migration journals from a crash
-/// inside the protocol are repaired on *every* recovery, repair mode or
-/// not.
+/// recovered file whose backend disagrees with the policy's cold target is
+/// re-homed to that target through the journaled copy → stamp → unlink
+/// protocol of `migrate.rs` — so the next mount reports
+/// `files_misplaced == 0`. Leftover migration journals from a crash inside
+/// the protocol are repaired on *every* recovery, repair mode or not.
 ///
 /// Returns the report plus the `(path, backend)` pairs still misplaced
 /// after recovery (empty in repair mode) — the mount seeds the migrator's
@@ -110,6 +125,7 @@ pub(crate) fn recover(
     region: &NvRegion,
     backends: &[Arc<dyn FileSystem>],
     router: &dyn Router,
+    placement: &dyn PlacementPolicy,
     target_backends: usize,
     repair: bool,
     clock: &ActorClock,
@@ -198,12 +214,12 @@ pub(crate) fn recover(
             }
             // Replay lands on `resolved`; path operations keep reaching
             // the file there (recorded-backend probing), but it sits on
-            // the wrong tier until a repair pass, a rebalance sweep, or
-            // the operator moves it. Count it so the mismatch is visible
-            // instead of silent.
+            // the wrong tier — as judged by the placement policy, with no
+            // temperature to go on — until a repair pass, a rebalance
+            // sweep, or the operator moves it. Count it so the mismatch
+            // is visible instead of silent.
             if let Some(backend) = resolved {
-                if backends.len() > 1 && backend != router.route(&path, 0) {
-                    report.files_misplaced += 1;
+                if backends.len() > 1 && backend != placement.place_cold(&path, backend, router) {
                     misplaced.push((path.clone(), backend as u32));
                 }
             }
@@ -221,11 +237,12 @@ pub(crate) fn recover(
         }
     }
     // A file open through several descriptors at crash time occupies one
-    // fd slot per descriptor: the misplaced list must carry each *path*
-    // once, or the repair pass would migrate it twice (and the second
-    // attempt would find the source gone).
+    // fd slot per descriptor: the misplaced list — and the report's count,
+    // which the repair pass decrements per *path* and must end at zero —
+    // carries each path once.
     misplaced.sort();
     misplaced.dedup();
+    report.files_misplaced = misplaced.len();
     let mut touched = vec![false; backends.len()];
     for &(backend, _) in fds.values() {
         touched[backend] = true;
@@ -346,15 +363,31 @@ pub(crate) fn recover(
     region.pwb(layout::OFF_BACKENDS, 8);
     region.pfence(clock);
 
-    // Repair mode: re-home every misplaced file to the router's current
-    // placement with the journaled migration protocol. Every fd slot was
+    // Repair mode: re-home every misplaced file to the placement policy's
+    // cold target with the journaled migration protocol. Every fd slot was
     // cleared above, so slot 0 is free to journal through; the files are
     // closed and the log is empty, so no coordination is needed.
     if repair && backends.len() > 1 {
         let repair_lay = Layout { backends: target_backends as u64, ..lay };
         let mut unrepairable = Vec::new();
         for (path, from) in misplaced.drain(..) {
-            let to = router.route(&path, 0);
+            let to = placement.place_cold(&path, from as usize, router);
+            // Validate the policy's answer before it reaches the protocol
+            // (whose asserts would panic the mount): contract violations
+            // surface as errors here, exactly like the sweep path.
+            if to >= backends.len() {
+                return Err(IoError::InvalidArgument(format!(
+                    "placement policy re-homed {path} to out-of-range backend {to} \
+                     (recovery has {} backends)",
+                    backends.len()
+                )));
+            }
+            if to == from as usize {
+                // A non-pure policy changed its judgement between the scan
+                // and the repair: the file is where the policy now wants it.
+                report.files_misplaced -= 1;
+                continue;
+            }
             match crate::migrate::migrate_bytes(
                 region,
                 &repair_lay,

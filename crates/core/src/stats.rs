@@ -115,6 +115,20 @@ pub struct NvCacheStats {
     pub files_migrated: AtomicU64,
     /// Payload bytes copied across tiers by those migrations.
     pub migration_bytes: AtomicU64,
+    /// Migrations that moved a file **onto** the placement policy's fast
+    /// tier ([`PlacementPolicy::fast_tier`](crate::PlacementPolicy) — `0`
+    /// forever under a policy with no fast tier, e.g. the default
+    /// [`RouterPlacement`](crate::RouterPlacement)).
+    pub files_promoted: AtomicU64,
+    /// Migrations that moved a file **off** the fast tier (demotions:
+    /// heat decayed below the demote threshold, or the fast-tier budget
+    /// evicted the coldest residents).
+    pub files_demoted: AtomicU64,
+    /// Payload bytes of catalogued (closed) files currently sitting on the
+    /// placement policy's fast tier — a gauge, refreshed after every
+    /// migration and rebalance sweep; the occupancy the
+    /// [`HeatPolicy`](crate::HeatPolicy) budget is enforced against.
+    pub fast_tier_bytes: AtomicU64,
     /// Per-stripe breakdown of the log counters (one entry per
     /// [`log_shards`](crate::NvCacheConfig::log_shards)).
     pub per_shard: Box<[ShardStats]>,
@@ -157,6 +171,9 @@ impl NvCacheStats {
             inner_io_errors: AtomicU64::new(0),
             files_migrated: AtomicU64::new(0),
             migration_bytes: AtomicU64::new(0),
+            files_promoted: AtomicU64::new(0),
+            files_demoted: AtomicU64::new(0),
+            fast_tier_bytes: AtomicU64::new(0),
             per_shard: per_shard.into_boxed_slice(),
             per_backend_propagated: per_backend.into_boxed_slice(),
         }
@@ -183,6 +200,9 @@ impl NvCacheStats {
             inner_io_errors: self.inner_io_errors.load(Ordering::Relaxed),
             files_migrated: self.files_migrated.load(Ordering::Relaxed),
             migration_bytes: self.migration_bytes.load(Ordering::Relaxed),
+            files_promoted: self.files_promoted.load(Ordering::Relaxed),
+            files_demoted: self.files_demoted.load(Ordering::Relaxed),
+            fast_tier_bytes: self.fast_tier_bytes.load(Ordering::Relaxed),
             per_shard: self.per_shard.iter().map(ShardStats::snapshot).collect(),
             per_backend_propagated: self
                 .per_backend_propagated
@@ -238,6 +258,12 @@ pub struct NvCacheStatsSnapshot {
     pub files_migrated: u64,
     /// Payload bytes copied across tiers by those migrations.
     pub migration_bytes: u64,
+    /// Migrations onto the placement policy's fast tier (promotions).
+    pub files_promoted: u64,
+    /// Migrations off the fast tier (demotions).
+    pub files_demoted: u64,
+    /// Catalogued payload bytes currently on the fast tier (gauge).
+    pub fast_tier_bytes: u64,
     /// Per-stripe breakdown of the log counters.
     pub per_shard: Vec<ShardStatsSnapshot>,
     /// Entries propagated to each inner backend (tiered mounts; one element
