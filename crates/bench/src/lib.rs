@@ -19,10 +19,12 @@
 //! "paper-equivalent" seconds (`raw × N`).
 
 pub mod cli;
+pub mod json;
 pub mod report;
 pub mod systems;
 
 pub use cli::CommonArgs;
+pub use json::Json;
 pub use report::{print_series, print_table, Row};
 pub use systems::{build_system, System, SystemKind, SystemSpec};
 
@@ -39,6 +41,12 @@ pub fn arg_u64(key: &str, default: u64) -> u64 {
 /// Whether a bare flag is present.
 pub fn arg_flag(key: &str) -> bool {
     std::env::args().any(|a| a == key)
+}
+
+/// Parses a `--key value` string argument, `None` when absent.
+pub fn arg_str(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
 }
 
 #[cfg(test)]

@@ -130,6 +130,14 @@ impl NvCacheBuilder {
     /// Sets the cache configuration (defaults to [`NvCacheConfig::default`]).
     /// The builder overrides [`NvCacheConfig::backends`] with the actual
     /// backend count at mount time.
+    ///
+    /// Geometry knobs (`entry_size`, `nb_entries`, `fd_slots`,
+    /// `log_shards`) are burned into the NVMM header and must match on a
+    /// [`Mount::Recover`]; purely volatile knobs —
+    /// [`sq_pairs`](NvCacheConfig::sq_pairs) among them — leave no trace
+    /// in the region and may change freely across remounts (the front-end
+    /// queues are rebuilt empty; unacknowledged submissions were never
+    /// durable by contract).
     pub fn config(mut self, cfg: NvCacheConfig) -> Self {
         self.cfg = cfg;
         self

@@ -15,7 +15,7 @@ use simclock::ActorClock;
 use vfs::{Fd, FileSystem, IoError, IoResult, Metadata, OpenFlags, SeekFrom};
 
 use crate::builder::{Mount, NvCacheBuilder};
-use crate::files::{FileState, OpenedFile, PersistentFdTable};
+use crate::files::{FdSlotAllocator, FileState, OpenedFile, PersistentFdTable};
 use crate::layout::{self, Layout};
 use crate::log::Log;
 use crate::migrate::{MigrationPolicy, Migrator, RebalanceReport};
@@ -53,7 +53,15 @@ pub(crate) struct Shared {
     pub files: Mutex<HashMap<(u32, u64, u64), Arc<FileState>>>,
     /// opened table: fd slot -> opened-file structure.
     pub opened: RwLock<HashMap<u32, Arc<OpenedFile>>>,
-    pub free_slots: Mutex<Vec<u32>>,
+    /// Lock-free persistent fd-slot allocator (Treiber stack): `open` and
+    /// `close` on different descriptors never serialize on slot
+    /// bookkeeping, and the multi-queue front-end can resolve descriptors
+    /// without touching a global mutex.
+    pub fd_slots: FdSlotAllocator,
+    /// One claim flag per configured submission queue pair
+    /// ([`NvCacheConfig::sq_pairs`]): a pair is owned by exactly one
+    /// [`QueuePair`](crate::QueuePair) handle at a time.
+    pub sq_taken: Box<[AtomicBool]>,
     /// Closed fds awaiting their last log entries to drain.
     pub zombies: Mutex<Vec<Zombie>>,
     pub stats: NvCacheStats,
@@ -142,13 +150,13 @@ impl Shared {
     }
 
     /// Pops a free persistent fd slot (draining finished zombies once if
-    /// the list is empty), or `None` when the table is genuinely full.
+    /// the allocator is empty), or `None` when the table is genuinely full.
     pub fn take_free_slot(&self, clock: &ActorClock) -> Option<u32> {
-        if let Some(slot) = self.free_slots.lock().pop() {
+        if let Some(slot) = self.fd_slots.acquire() {
             return Some(slot);
         }
         self.drain_zombies(clock);
-        self.free_slots.lock().pop()
+        self.fd_slots.acquire()
     }
 
     /// The backend recorded for `path` by this mount — from an open
@@ -252,7 +260,7 @@ impl Shared {
         self.opened.write().remove(&opened.slot);
         let _ = self.inner_of(opened).close(opened.inner_fd, clock);
         PersistentFdTable::clear(&self.log.region, &self.log.layout, opened.slot, clock);
-        self.free_slots.lock().push(opened.slot);
+        self.fd_slots.release(opened.slot);
         if opened.file.open_count.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.pool.purge_file(opened.file.file_id);
             let (dev, ino) = opened.file.dev_ino;
@@ -643,9 +651,14 @@ impl NvCache {
             router,
             files: Mutex::new(HashMap::new()),
             opened: RwLock::new(HashMap::new()),
-            free_slots: Mutex::new((0..cfg.fd_slots).rev().collect()),
+            fd_slots: FdSlotAllocator::new(cfg.fd_slots),
+            sq_taken: {
+                let mut taken = Vec::with_capacity(cfg.sq_pairs);
+                taken.resize_with(cfg.sq_pairs, || AtomicBool::new(false));
+                taken.into_boxed_slice()
+            },
             zombies: Mutex::new(Vec::new()),
-            stats: NvCacheStats::with_topology(cfg.log_shards, cfg.backends),
+            stats: NvCacheStats::with_front_end(cfg.log_shards, cfg.backends, cfg.sq_pairs),
             stop: AtomicBool::new(false),
             kill: AtomicBool::new(false),
             cleanup_clocks: cleanup_clocks.into_boxed_slice(),
@@ -811,10 +824,25 @@ impl NvCache {
             .map(|moved| moved.map_or(0, |(_, bytes)| bytes))
     }
 
+    /// Claims submission/completion queue pair `index` (a "simulated
+    /// core"'s private front-end lane). The mount must have been
+    /// configured with [`NvCacheConfig::with_sq_pairs`]; each pair can be
+    /// held by at most one [`QueuePair`](crate::QueuePair) handle at a
+    /// time (dropping the handle releases the pair).
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::InvalidArgument`] when `index` is outside
+    /// `0..cfg.sq_pairs`; [`IoError::Busy`] when another handle currently
+    /// owns the pair.
+    pub fn queue_pair(&self, index: usize, clock: &ActorClock) -> IoResult<crate::QueuePair> {
+        crate::squeue::QueuePair::claim(self, index, clock)
+    }
+
     /// Descriptor-table occupancy: `(free, open, zombie)` slot counts.
     pub fn fd_slot_usage(&self) -> (usize, usize, usize) {
         (
-            self.shared.free_slots.lock().len(),
+            self.shared.fd_slots.free_count() as usize,
             self.shared.opened.read().len(),
             self.shared.zombies.lock().len(),
         )
@@ -1038,25 +1066,25 @@ impl NvCache {
         }
         file.open_count.fetch_add(1, Ordering::AcqRel);
         let slot = {
-            let mut slot = self.shared.free_slots.lock().pop();
+            let mut slot = self.shared.fd_slots.acquire();
             if slot.is_none() {
                 // Reclaim closed descriptors whose entries already drained.
                 self.shared.drain_zombies(clock);
-                slot = self.shared.free_slots.lock().pop();
+                slot = self.shared.fd_slots.acquire();
             }
             if slot.is_none() {
-                // Drain the log so every zombie slot frees up. The cleanup
-                // thread may be finishing the zombies concurrently (it races
-                // our own drain for the list), so retry briefly before
-                // declaring the table full.
+                // Slow path: the table is exhausted right now, but zombies
+                // (or concurrently closing descriptors) may give a slot
+                // back once their entries drain. Count the stall, drain the
+                // log once, then retry only while reclaimable descriptors
+                // actually exist — a genuinely full table fails cleanly
+                // instead of busy-spinning on an empty zombie list.
+                self.shared.stats.fd_slot_waits.fetch_add(1, Ordering::Relaxed);
                 self.flush_log(clock);
-                for _ in 0..10_000 {
+                loop {
                     self.shared.drain_zombies(clock);
-                    slot = self.shared.free_slots.lock().pop();
-                    if slot.is_some() {
-                        break;
-                    }
-                    if self.shared.log.any_poisoned() {
+                    slot = self.shared.fd_slots.acquire();
+                    if slot.is_some() || self.shared.log.any_poisoned() {
                         // Zombies pinned by a poisoned stripe can never
                         // drain; spinning on them would only delay the
                         // error below.

@@ -121,7 +121,13 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
             }
             let seq = tail + consumed;
             // Wait for the in-order commit of the entry at the tail (the
-            // paper's cleanup thread does exactly this).
+            // paper's cleanup thread does exactly this). With the
+            // multi-queue front-end a whole *reservation window* can sit
+            // here uncommitted while its doorbell is still filling, so the
+            // wait spins only briefly before parking on the stripe's work
+            // condvar — `commit_batch` rings it on every commit, single or
+            // doorbell-batched.
+            let mut spins = 0u32;
             let header = loop {
                 let h = stripe.read_header(seq);
                 if h.commit != CommitWord::Free {
@@ -135,7 +141,14 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
                     // the gap and free what we have.
                     break h;
                 }
-                std::thread::yield_now();
+                spins += 1;
+                if spins < 128 {
+                    std::thread::yield_now();
+                } else {
+                    // 1 ms-timeout park, so a lost wakeup only costs a
+                    // beat, never a hang.
+                    stripe.wait_for_work();
+                }
             };
             if header.commit == CommitWord::Free {
                 break;

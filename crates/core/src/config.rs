@@ -68,6 +68,17 @@ pub struct NvCacheConfig {
     /// coalesced `fsync`s still act as completion barriers, so the stripe
     /// tail only advances once the whole batch is durable below.
     pub queue_depth: usize,
+    /// Number of NVMe-style submission/completion queue pairs on the write
+    /// front-end. `0` (the default) does not construct the front-end at all:
+    /// every write takes the paper's synchronous `pwrite` path, byte- and
+    /// virtual-time-identical to the seed. `N ≥ 1` lets up to `N` simulated
+    /// cores each take a [`QueuePair`](crate::QueuePair) via
+    /// [`NvCache::queue_pair`](crate::NvCache::queue_pair), enqueue
+    /// write/flush ops without per-call overhead, and make everything
+    /// submitted durable with one doorbell that batch-reserves a window per
+    /// routed stripe — one `pfence`+`psync` pair per stripe group instead of
+    /// one per write. The synchronous path stays fully available alongside.
+    pub sq_pairs: usize,
     /// How the tier migrator may move files between backends of a tiered
     /// mount. [`MigrationPolicy::Disabled`] (the default) keeps the migrator
     /// fully inert — single-backend mounts stay byte- and
@@ -124,6 +135,7 @@ impl Default for NvCacheConfig {
             log_shards: 1,
             backends: 1,
             queue_depth: 1,
+            sq_pairs: 0,
             migration: MigrationPolicy::Disabled,
             cross_tier_rename: false,
             placement: None,
@@ -268,6 +280,24 @@ impl NvCacheConfig {
         self
     }
 
+    /// Sets the number of submission/completion queue pairs on the write
+    /// front-end (`0`, the default, keeps the purely synchronous path; see
+    /// [`NvCacheConfig::sq_pairs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`MAX_SQ_PAIRS`](NvCacheConfig::MAX_SQ_PAIRS).
+    pub fn with_sq_pairs(mut self, n: usize) -> Self {
+        assert!(n <= Self::MAX_SQ_PAIRS, "sq_pairs must be at most {}", Self::MAX_SQ_PAIRS);
+        self.sq_pairs = n;
+        self
+    }
+
+    /// Upper bound on [`sq_pairs`](NvCacheConfig::sq_pairs) — queue pairs
+    /// model per-core submission contexts, so the bound mirrors
+    /// "one pair per plausible core".
+    pub const MAX_SQ_PAIRS: usize = 256;
+
     /// Sets the cleanup batch window.
     pub fn with_batching(mut self, min: usize, max: usize) -> Self {
         assert!(min >= 1 && max >= min, "invalid batch window {min}..{max}");
@@ -315,6 +345,11 @@ impl NvCacheConfig {
             "each log stripe needs at least two entries"
         );
         assert!(self.queue_depth >= 1, "queue_depth must be at least 1");
+        assert!(
+            self.sq_pairs <= Self::MAX_SQ_PAIRS,
+            "sq_pairs must be at most {}",
+            Self::MAX_SQ_PAIRS
+        );
         assert!(
             (1..=crate::layout::MAX_BACKENDS).contains(&self.backends),
             "backends must be in 1..={}",
@@ -428,6 +463,21 @@ mod tests {
     #[should_panic(expected = "queue_depth must be at least 1")]
     fn zero_queue_depth_panics() {
         NvCacheConfig::tiny().with_queue_depth(0);
+    }
+
+    #[test]
+    fn default_has_no_queue_pairs() {
+        assert_eq!(NvCacheConfig::default().sq_pairs, 0);
+        assert_eq!(NvCacheConfig::tiny().sq_pairs, 0);
+        let cfg = NvCacheConfig::tiny().with_sq_pairs(8);
+        assert_eq!(cfg.sq_pairs, 8);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sq_pairs must be at most")]
+    fn excessive_sq_pairs_panics() {
+        NvCacheConfig::tiny().with_sq_pairs(NvCacheConfig::MAX_SQ_PAIRS + 1);
     }
 
     #[test]

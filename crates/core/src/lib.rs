@@ -146,6 +146,26 @@
 //! `fast_tier_bytes` expose what the policy is doing. See
 //! `docs/TUNING.md` for when to reach for which policy.
 //!
+//! ## The multi-queue submission front-end
+//!
+//! The synchronous `pwrite` path pays the intercepted call's bookkeeping
+//! (`libc_overhead`) and a full `pfence`+`psync` fence pair *per write* —
+//! fine for the paper's single-threaded FIO, but front-end fixed costs,
+//! not NVMM bandwidth, dominate small writes as simulated cores grow.
+//! [`NvCacheConfig::with_sq_pairs`] adds NVMe-style **submission/completion
+//! queue pairs**: each simulated core takes one [`QueuePair`]
+//! ([`NvCache::queue_pair`]), enqueues write/flush ops with
+//! [`QueuePair::submit_pwrite`] (a user-space memcpy — no per-op call
+//! overhead), rings [`QueuePair::ring_doorbell`] to make everything
+//! submitted durable in one **batch-reserved** stripe window per routed
+//! stripe (one fence pair per stripe group instead of one per write), and
+//! reaps completions with [`QueuePair::reap`]. Heat and statistics
+//! accumulate per queue pair and flush on reap, so [`HeatPolicy`] and
+//! [`NvCacheStats`] observe exactly the synchronous path's values.
+//! `sq_pairs = 0` (the default) does not construct the front-end and keeps
+//! the synchronous path byte- and virtual-time-identical to the seed
+//! (oracle-tested).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -188,6 +208,7 @@ mod radix;
 mod readcache;
 mod recovery;
 mod router;
+mod squeue;
 mod stats;
 
 #[cfg(test)]
@@ -209,4 +230,25 @@ pub use placement::{FileTemperature, HeatPolicy, PlacementPolicy, RouterPlacemen
 pub use radix::Radix;
 pub use recovery::RecoveryReport;
 pub use router::{HashRouter, PathPrefixRouter, Router, SingleBackend};
-pub use stats::{NvCacheStats, NvCacheStatsSnapshot, ShardStats, ShardStatsSnapshot};
+pub use squeue::{Completion, QueuePair};
+pub use stats::{
+    NvCacheStats, NvCacheStatsSnapshot, QueueStats, QueueStatsSnapshot, ShardStats,
+    ShardStatsSnapshot, SQ_BATCH_BUCKETS,
+};
+
+/// Seeded-schedule stress point: under the `sched-stress` feature every
+/// call yields the thread on a deterministic subsequence of invocations,
+/// shaking out interleavings of the reservation/doorbell lock split without
+/// a full model checker. Compiles to nothing otherwise.
+#[inline]
+pub(crate) fn stress_point() {
+    #[cfg(feature = "sched-stress")]
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TICK: AtomicU64 = AtomicU64::new(0);
+        let t = TICK.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        if (t ^ (t >> 7)) % 3 == 0 {
+            std::thread::yield_now();
+        }
+    }
+}

@@ -185,14 +185,32 @@ impl Stripe {
     /// before the commit), write the leader's commit flag, flush its cache
     /// line, `psync` (durable linearizability — Algorithm 1, ll.23–27).
     pub fn commit_group(&self, first_seq: u64, k: u64, clock: &ActorClock) {
+        self.commit_batch(&[(first_seq, k)], clock);
+    }
+
+    /// Commits several already-filled groups with **one** fence pair: one
+    /// `pfence` orders every fill, then each leader's commit flag is written
+    /// and flushed, then one `psync` makes them all durable together. This
+    /// is the doorbell-batch amortization of the multi-queue front-end: the
+    /// per-commit fixed costs (fence + drain latency) are paid once per
+    /// doorbell instead of once per write. With a single group the sequence
+    /// of NVMM operations is identical to [`Stripe::commit_group`].
+    ///
+    /// Every group must already be filled; none of the groups is durable (or
+    /// acknowledgeable) until this call returns.
+    pub fn commit_batch(&self, groups: &[(u64, u64)], clock: &ActorClock) {
         self.region.pfence(clock);
-        let base = self.layout.entry(self.slot(first_seq));
-        self.region.write_u64(base + ENT_COMMIT, COMMIT_LEADER, clock);
-        self.region.pwb(base + ENT_COMMIT, 8);
+        for &(first_seq, _) in groups {
+            let base = self.layout.entry(self.slot(first_seq));
+            self.region.write_u64(base + ENT_COMMIT, COMMIT_LEADER, clock);
+            self.region.pwb(base + ENT_COMMIT, 8);
+        }
         self.region.psync(clock);
         let now = clock.now().as_nanos();
-        for i in 0..k {
-            self.commit_stamps[self.local_slot(first_seq + i)].store(now, Ordering::Release);
+        for &(first_seq, k) in groups {
+            for i in 0..k {
+                self.commit_stamps[self.local_slot(first_seq + i)].store(now, Ordering::Release);
+            }
         }
         self.notify_work();
     }
@@ -410,10 +428,33 @@ impl Log {
         clock: &ActorClock,
         stats: &NvCacheStats,
     ) -> IoResult<(u64, u64)> {
+        self.reserve(stripe, k, clock, stats)
+    }
+
+    /// Reserves a window of `k` consecutive entries in `stripe` — the
+    /// primitive behind both [`Log::alloc`] (one group per window, the
+    /// synchronous path) and the multi-queue doorbell (one window per
+    /// doorbell-batch per stripe, carved into per-write groups by the
+    /// caller). The window's global sequence numbers are drawn under the
+    /// stripe's allocation lock, so ring order == global order within the
+    /// stripe holds for any carving; entries inside the window may be
+    /// filled and committed out of order with respect to *other* windows
+    /// (the cleanup worker waits at the tail and recovery skips
+    /// uncommitted gaps).
+    ///
+    /// Errors and panics as documented on [`Log::alloc`].
+    pub fn reserve(
+        &self,
+        stripe: &Stripe,
+        k: u64,
+        clock: &ActorClock,
+        stats: &NvCacheStats,
+    ) -> IoResult<(u64, u64)> {
         let cap = stripe.capacity();
         assert!(k <= cap, "write of {k} entries exceeds stripe capacity {cap}");
         let mut waited = false;
         loop {
+            crate::stress_point();
             if stripe.is_poisoned() {
                 return Err(IoError::Other(format!(
                     "NVCache log stripe {} is poisoned by an inner I/O error",

@@ -687,7 +687,7 @@ pub(crate) fn journaled_move(
     if PersistentFdTable::get_migration(&shared.log.region, &shared.log.layout, slot, clock)
         .is_none()
     {
-        shared.free_slots.lock().push(slot);
+        shared.fd_slots.release(slot);
     }
     result
 }

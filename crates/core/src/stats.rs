@@ -70,6 +70,66 @@ pub struct ShardStatsSnapshot {
     pub inner_io_errors: u64,
 }
 
+/// Histogram buckets for the doorbell batch-size distribution
+/// (`sq_batch_hist`): bucket `i` counts doorbells whose batch size fell in
+/// `[2^i, 2^(i+1))`, except the last bucket which is open-ended — i.e.
+/// 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64+.
+pub const SQ_BATCH_BUCKETS: usize = 7;
+
+/// Per-queue-pair counters of the multi-queue submission front-end
+/// (one per [`sq_pairs`](crate::NvCacheConfig::sq_pairs)).
+#[derive(Debug)]
+pub struct QueueStats {
+    /// Operations enqueued on this pair's submission queue.
+    pub sq_submitted: AtomicU64,
+    /// Doorbells rung (each one batch-commits everything submitted since
+    /// the previous doorbell).
+    pub sq_doorbells: AtomicU64,
+    /// Doorbell batch-size histogram (see [`SQ_BATCH_BUCKETS`]). A mass
+    /// stuck in the first bucket means the submitter rings after every
+    /// op — paying the synchronous path's fixed costs with extra steps.
+    pub sq_batch_hist: [AtomicU64; SQ_BATCH_BUCKETS],
+    /// Total virtual nanoseconds between an op's completion and its reap —
+    /// divided by completions, the average time completions sat unobserved
+    /// in the CQ (a lazy reaper inflates observed latency, not durability).
+    pub cq_reap_lag: AtomicU64,
+}
+
+impl Default for QueueStats {
+    fn default() -> Self {
+        QueueStats {
+            sq_submitted: AtomicU64::new(0),
+            sq_doorbells: AtomicU64::new(0),
+            sq_batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            cq_reap_lag: AtomicU64::new(0),
+        }
+    }
+}
+
+impl QueueStats {
+    fn snapshot(&self) -> QueueStatsSnapshot {
+        QueueStatsSnapshot {
+            sq_submitted: self.sq_submitted.load(Ordering::Relaxed),
+            sq_doorbells: self.sq_doorbells.load(Ordering::Relaxed),
+            sq_batch_hist: std::array::from_fn(|i| self.sq_batch_hist[i].load(Ordering::Relaxed)),
+            cq_reap_lag: self.cq_reap_lag.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`QueueStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStatsSnapshot {
+    /// Operations enqueued on this pair's submission queue.
+    pub sq_submitted: u64,
+    /// Doorbells rung.
+    pub sq_doorbells: u64,
+    /// Doorbell batch-size histogram (see [`SQ_BATCH_BUCKETS`]).
+    pub sq_batch_hist: [u64; SQ_BATCH_BUCKETS],
+    /// Total virtual nanoseconds completions waited in the CQ before reap.
+    pub cq_reap_lag: u64,
+}
+
 /// Operation counters of an [`NvCache`](crate::NvCache) instance.
 #[derive(Debug)]
 pub struct NvCacheStats {
@@ -95,6 +155,12 @@ pub struct NvCacheStats {
     pub evictions: AtomicU64,
     /// Times a writer had to wait for log space (saturation events).
     pub log_full_waits: AtomicU64,
+    /// Times `open` found the fd table exhausted and had to force a log
+    /// drain to reap zombie descriptors before a slot freed up (or the open
+    /// failed). Rising values mean
+    /// [`fd_slots`](crate::NvCacheConfig::fd_slots) is too small for the
+    /// open/close churn.
+    pub fd_slot_waits: AtomicU64,
     /// Cleanup batches completed.
     pub cleanup_batches: AtomicU64,
     /// Entries propagated to the inner file system.
@@ -132,6 +198,10 @@ pub struct NvCacheStats {
     /// Per-stripe breakdown of the log counters (one entry per
     /// [`log_shards`](crate::NvCacheConfig::log_shards)).
     pub per_shard: Box<[ShardStats]>,
+    /// Per-queue-pair front-end counters (one entry per
+    /// [`sq_pairs`](crate::NvCacheConfig::sq_pairs); empty when the
+    /// multi-queue front-end is off).
+    pub per_queue: Box<[QueueStats]>,
     /// Entries propagated to each inner backend (one entry per
     /// [`backends`](crate::NvCacheConfig::backends) — a single element on a
     /// non-tiered mount). Shows how the router actually spread the write
@@ -148,10 +218,19 @@ impl NvCacheStats {
     /// Counters for a log with `shards` stripes propagating to `backends`
     /// inner file systems.
     pub fn with_topology(shards: usize, backends: usize) -> NvCacheStats {
+        Self::with_front_end(shards, backends, 0)
+    }
+
+    /// Counters for the full topology: `shards` stripes, `backends` inner
+    /// file systems, and `queues` submission/completion queue pairs (`0` =
+    /// no multi-queue front-end).
+    pub fn with_front_end(shards: usize, backends: usize, queues: usize) -> NvCacheStats {
         let mut per_shard = Vec::with_capacity(shards.max(1));
         per_shard.resize_with(shards.max(1), ShardStats::default);
         let mut per_backend = Vec::with_capacity(backends.max(1));
         per_backend.resize_with(backends.max(1), || AtomicU64::new(0));
+        let mut per_queue = Vec::with_capacity(queues);
+        per_queue.resize_with(queues, QueueStats::default);
         NvCacheStats {
             writes: AtomicU64::new(0),
             reads: AtomicU64::new(0),
@@ -164,6 +243,7 @@ impl NvCacheStats {
             bypass_reads: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             log_full_waits: AtomicU64::new(0),
+            fd_slot_waits: AtomicU64::new(0),
             cleanup_batches: AtomicU64::new(0),
             entries_propagated: AtomicU64::new(0),
             cleanup_fsyncs: AtomicU64::new(0),
@@ -175,6 +255,7 @@ impl NvCacheStats {
             files_demoted: AtomicU64::new(0),
             fast_tier_bytes: AtomicU64::new(0),
             per_shard: per_shard.into_boxed_slice(),
+            per_queue: per_queue.into_boxed_slice(),
             per_backend_propagated: per_backend.into_boxed_slice(),
         }
     }
@@ -193,6 +274,7 @@ impl NvCacheStats {
             bypass_reads: self.bypass_reads.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             log_full_waits: self.log_full_waits.load(Ordering::Relaxed),
+            fd_slot_waits: self.fd_slot_waits.load(Ordering::Relaxed),
             cleanup_batches: self.cleanup_batches.load(Ordering::Relaxed),
             entries_propagated: self.entries_propagated.load(Ordering::Relaxed),
             cleanup_fsyncs: self.cleanup_fsyncs.load(Ordering::Relaxed),
@@ -204,6 +286,7 @@ impl NvCacheStats {
             files_demoted: self.files_demoted.load(Ordering::Relaxed),
             fast_tier_bytes: self.fast_tier_bytes.load(Ordering::Relaxed),
             per_shard: self.per_shard.iter().map(ShardStats::snapshot).collect(),
+            per_queue: self.per_queue.iter().map(QueueStats::snapshot).collect(),
             per_backend_propagated: self
                 .per_backend_propagated
                 .iter()
@@ -244,6 +327,8 @@ pub struct NvCacheStatsSnapshot {
     pub evictions: u64,
     /// Saturation events (writer waited for space).
     pub log_full_waits: u64,
+    /// Times `open` hit an exhausted fd table and forced a drain.
+    pub fd_slot_waits: u64,
     /// Cleanup batches completed.
     pub cleanup_batches: u64,
     /// Entries propagated to the inner file system.
@@ -266,6 +351,8 @@ pub struct NvCacheStatsSnapshot {
     pub fast_tier_bytes: u64,
     /// Per-stripe breakdown of the log counters.
     pub per_shard: Vec<ShardStatsSnapshot>,
+    /// Per-queue-pair front-end counters (empty without `sq_pairs`).
+    pub per_queue: Vec<QueueStatsSnapshot>,
     /// Entries propagated to each inner backend (tiered mounts; one element
     /// otherwise).
     pub per_backend_propagated: Vec<u64>,
@@ -311,5 +398,18 @@ mod tests {
         assert_eq!(s.per_backend_propagated.len(), 3);
         s.per_backend_propagated[2].store(5, Ordering::Relaxed);
         assert_eq!(s.snapshot().per_backend_propagated, vec![0, 0, 5]);
+    }
+
+    #[test]
+    fn per_queue_counters_follow_the_front_end() {
+        assert!(NvCacheStats::with_topology(2, 1).per_queue.is_empty());
+        let s = NvCacheStats::with_front_end(1, 1, 4);
+        assert_eq!(s.per_queue.len(), 4);
+        s.per_queue[3].sq_submitted.store(9, Ordering::Relaxed);
+        s.per_queue[3].sq_batch_hist[2].store(1, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.per_queue[0], QueueStatsSnapshot::default());
+        assert_eq!(snap.per_queue[3].sq_submitted, 9);
+        assert_eq!(snap.per_queue[3].sq_batch_hist[2], 1);
     }
 }

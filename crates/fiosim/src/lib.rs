@@ -133,6 +133,10 @@ pub struct JobResult {
     pub mean_latency: SimTime,
     /// Maximum per-operation latency.
     pub max_latency: SimTime,
+    /// Median per-operation latency (50th percentile, nearest-rank).
+    pub p50_latency: SimTime,
+    /// Tail per-operation latency (99th percentile, nearest-rank).
+    pub p99_latency: SimTime,
     /// Operations issued.
     pub ops: u64,
     /// (interval start, MiB/s) series — paper Fig. 4 left panel.
@@ -291,6 +295,20 @@ pub fn run_job(
         .map(|b| (b.t, b.last / (1u64 << 30) as f64))
         .collect();
 
+    // Nearest-rank percentiles over the whole run (fio's clat percentiles).
+    let (p50_latency, p99_latency) = {
+        let mut lats: Vec<SimTime> = lat_samples.iter().map(|&(_, l)| l).collect();
+        lats.sort_unstable();
+        let rank = |p: u64| {
+            if lats.is_empty() {
+                SimTime::ZERO
+            } else {
+                lats[((lats.len() as u64 * p).div_ceil(100).max(1) - 1) as usize]
+            }
+        };
+        (rank(50), rank(99))
+    };
+
     Ok(JobResult {
         name: spec.name.clone(),
         total_bytes: done,
@@ -299,6 +317,8 @@ pub fn run_job(
         elapsed,
         mean_latency: if ops == 0 { SimTime::ZERO } else { lat_sum / ops },
         max_latency: lat_max,
+        p50_latency,
+        p99_latency,
         ops,
         throughput: bytes_series.throughput_mib_s(spec.sample_interval),
         avg_latency,
