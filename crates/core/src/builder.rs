@@ -42,13 +42,17 @@ use std::sync::Arc;
 
 use nvmm::{NvRegion, PmemInts};
 use simclock::ActorClock;
-use vfs::{FileSystem, IoError, IoResult};
+use vfs::{FileSystem, IoError, IoResult, Layer};
 
 use crate::cache::NvCache;
 use crate::layout::{self, Layout};
 use crate::placement::{PlacementPolicy, RouterPlacement};
 use crate::router::{Router, SingleBackend};
 use crate::NvCacheConfig;
+
+/// One tier of a [`NvCacheBuilder::backends_stacked`] mount: the layer
+/// stack (outermost first, empty = bare) and the inner file system it wraps.
+pub type LayeredTier = (Vec<Arc<dyn Layer>>, Arc<dyn FileSystem>);
 
 /// How [`NvCacheBuilder::mount`] treats the NVMM region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -85,6 +89,9 @@ pub struct NvCacheBuilder {
     region: NvRegion,
     cfg: NvCacheConfig,
     backends: Vec<Arc<dyn FileSystem>>,
+    /// One layer stack per backend (empty = bare). Applied and validated at
+    /// [`mount`](NvCacheBuilder::mount) time, first element outermost.
+    stacks: Vec<Vec<Arc<dyn Layer>>>,
     router: Arc<dyn Router>,
     mode: Mount,
 }
@@ -93,6 +100,7 @@ impl std::fmt::Debug for NvCacheBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NvCacheBuilder")
             .field("backends", &self.backends.len())
+            .field("stack_depths", &self.stacks.iter().map(Vec::len).collect::<Vec<_>>())
             .field("router", &self.router)
             .field("mode", &self.mode)
             .finish()
@@ -105,6 +113,7 @@ impl NvCacheBuilder {
             region,
             cfg: NvCacheConfig::default(),
             backends: Vec::new(),
+            stacks: Vec::new(),
             router: Arc::new(SingleBackend),
             mode: Mount::Format,
         }
@@ -114,6 +123,7 @@ impl NvCacheBuilder {
     /// any previously set backends and installs the implicit
     /// [`SingleBackend`] router.
     pub fn backend(mut self, inner: Arc<dyn FileSystem>) -> Self {
+        self.stacks = vec![Vec::new()];
         self.backends = vec![inner];
         self.router = Arc::new(SingleBackend);
         self
@@ -122,7 +132,65 @@ impl NvCacheBuilder {
     /// Mounts over several inner backends, with `router` deciding which
     /// backend owns each file (see [`Router`]). `inners[i]` is backend `i`.
     pub fn backends(mut self, router: Arc<dyn Router>, inners: Vec<Arc<dyn FileSystem>>) -> Self {
+        self.stacks = vec![Vec::new(); inners.len()];
         self.backends = inners;
+        self.router = router;
+        self
+    }
+
+    /// Mounts over a single inner backend wrapped in a vertical layer stack
+    /// (first element outermost — see [`vfs::stack`]), so the tier the
+    /// cache drains into can be e.g. `crypt(delay(ssd))`:
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use nvcache::{NvCache, NvCacheConfig};
+    /// use nvmm::{NvDimm, NvRegion, NvmmProfile};
+    /// use simclock::{ActorClock, SimTime};
+    /// use vfs::{CryptLayer, DelayLayer, MemFs};
+    ///
+    /// # fn main() -> Result<(), vfs::IoError> {
+    /// let clock = ActorClock::new();
+    /// let cfg = NvCacheConfig::tiny();
+    /// let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
+    /// let cache = NvCache::builder(NvRegion::whole(dimm))
+    ///     .backend_stack(
+    ///         vec![
+    ///             Arc::new(CryptLayer::new(0xFEED)),
+    ///             Arc::new(DelayLayer::fixed(SimTime::from_micros(5))),
+    ///         ],
+    ///         Arc::new(MemFs::new()),
+    ///     )
+    ///     .config(cfg)
+    ///     .mount(&clock)?;
+    /// cache.shutdown(&clock);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// The cleanup, migration and recovery paths work unchanged through any
+    /// stack, because a layered backend *is* a plain
+    /// [`FileSystem`]. The stack is validated (depth bound) at
+    /// [`mount`](NvCacheBuilder::mount).
+    pub fn backend_stack(
+        mut self,
+        layers: Vec<Arc<dyn Layer>>,
+        inner: Arc<dyn FileSystem>,
+    ) -> Self {
+        self.stacks = vec![layers];
+        self.backends = vec![inner];
+        self.router = Arc::new(SingleBackend);
+        self
+    }
+
+    /// Mounts over several inner backends, each wrapped in its own layer
+    /// stack (`tiers[i]` = `(layers, inner)` for backend `i`, empty layer
+    /// vec = bare). The layered combination of [`backends`](Self::backends)
+    /// and [`backend_stack`](Self::backend_stack).
+    pub fn backends_stacked(mut self, router: Arc<dyn Router>, tiers: Vec<LayeredTier>) -> Self {
+        let (stacks, backends) = tiers.into_iter().unzip();
+        self.stacks = stacks;
+        self.backends = backends;
         self.router = router;
         self
     }
@@ -155,7 +223,8 @@ impl NvCacheBuilder {
     /// # Errors
     ///
     /// [`IoError::InvalidArgument`] if no backend was supplied, the router's
-    /// fan-out exceeds the backend count, the region is too small
+    /// fan-out exceeds the backend count, a layer stack exceeds
+    /// [`vfs::MAX_STACK_DEPTH`], the region is too small
     /// ([`Mount::Format`]), or the region's on-NVMM geometry disagrees with
     /// the configuration ([`Mount::Recover`] — including an attempt to mount
     /// a tiered image with fewer backends than it references). Recovery
@@ -166,7 +235,7 @@ impl NvCacheBuilder {
     /// Panics if the configuration is internally inconsistent
     /// ([`NvCacheConfig::validate`]).
     pub fn mount(self, clock: &ActorClock) -> IoResult<NvCache> {
-        let NvCacheBuilder { region, cfg, backends, router, mode } = self;
+        let NvCacheBuilder { region, cfg, backends, stacks, router, mode } = self;
         if backends.is_empty() {
             return Err(IoError::InvalidArgument(
                 "NvCacheBuilder needs at least one backend (.backend() or .backends())".into(),
@@ -180,6 +249,14 @@ impl NvCacheBuilder {
                 backends.len()
             )));
         }
+        // Apply the per-tier layer stacks (validated here: depth bound).
+        // Everything below — cleanup, migration, recovery — sees only the
+        // wrapped Arc<dyn FileSystem> and works unchanged.
+        let backends: Vec<Arc<dyn FileSystem>> = backends
+            .into_iter()
+            .zip(stacks)
+            .map(|(inner, layers)| vfs::stack(&layers, inner))
+            .collect::<IoResult<_>>()?;
         let cfg = cfg.with_backends(backends.len());
         cfg.validate();
         let backends: Box<[Arc<dyn FileSystem>]> = backends.into();

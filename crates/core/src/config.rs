@@ -59,6 +59,18 @@ pub struct NvCacheConfig {
     /// backend owns the file) and is set by
     /// [`NvCacheBuilder::backends`](crate::NvCacheBuilder::backends); it
     /// must equal the length of the backend vector handed to the builder.
+    ///
+    /// Each backend may additionally carry a vertical **layer stack**
+    /// ([`NvCacheBuilder::backend_stack`](crate::NvCacheBuilder::backend_stack)
+    /// — delay/fault/crypt/RAM-cache wrappers from `vfs::layer`). Stacks
+    /// are per-mount, purely volatile state: nothing about them is encoded
+    /// in the NVMM image or in this configuration, they are validated at
+    /// mount time (depth ≤ [`vfs::MAX_STACK_DEPTH`]), and a region written
+    /// through one stack may be recovered through another — recovery
+    /// replays through whatever stack the recovering mount supplies, so
+    /// remounting an encrypted tier *without* its `CryptLayer` (or with the
+    /// wrong key) yields unreadable ciphertext, exactly like a real
+    /// encrypted disk.
     pub backends: usize,
     /// Queue depth of each cleanup worker's submission ring. `1` (the
     /// default) reproduces the paper's synchronous drain exactly: every

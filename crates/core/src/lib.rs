@@ -221,7 +221,7 @@ mod tests;
 #[cfg(test)]
 mod tiering_tests;
 
-pub use builder::{Mount, NvCacheBuilder};
+pub use builder::{LayeredTier, Mount, NvCacheBuilder};
 pub use cache::NvCache;
 pub use config::NvCacheConfig;
 pub use migrate::{MigrationPolicy, RebalanceReport};
@@ -234,6 +234,11 @@ pub use squeue::{Completion, QueuePair};
 pub use stats::{
     NvCacheStats, NvCacheStatsSnapshot, QueueStats, QueueStatsSnapshot, ShardStats,
     ShardStatsSnapshot, SQ_BATCH_BUCKETS,
+};
+// Re-exported so layered mounts can be assembled from `nvcache` alone.
+pub use vfs::{
+    CryptLayer, CryptStats, DelayLayer, DelayProfile, DelayStats, FaultLayer, FaultOp, FaultRule,
+    FaultTrigger, Layer, RamCacheLayer, RamCacheStats,
 };
 
 /// Seeded-schedule stress point: under the `sched-stress` feature every

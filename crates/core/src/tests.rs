@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use nvmm::{NvDimm, NvRegion, NvmmProfile};
 use simclock::{ActorClock, SimTime};
-use vfs::{FileSystem, IoError, MemFs, OpenFlags};
+use vfs::{FileSystem, IoError, Layer, MemFs, OpenFlags};
 
 use crate::{NvCache, NvCacheConfig};
 
@@ -767,76 +767,9 @@ fn recover_rejects_unformatted_region() {
 // Async drain (queue_depth) and inner-error poisoning
 // ---------------------------------------------------------------------------
 
-/// An inner file system that starts failing `pwrite` once a budget of
-/// allowed calls is spent — fault injection for the cleanup drain path.
-struct FailingFs {
-    inner: Arc<dyn FileSystem>,
-    pwrite_budget: std::sync::atomic::AtomicI64,
-}
-
-impl FailingFs {
-    fn new(inner: Arc<dyn FileSystem>, allowed_pwrites: i64) -> Self {
-        FailingFs { inner, pwrite_budget: std::sync::atomic::AtomicI64::new(allowed_pwrites) }
-    }
-}
-
-impl FileSystem for FailingFs {
-    fn name(&self) -> &str {
-        "failing"
-    }
-    fn open(&self, path: &str, flags: OpenFlags, clock: &ActorClock) -> vfs::IoResult<vfs::Fd> {
-        self.inner.open(path, flags, clock)
-    }
-    fn close(&self, fd: vfs::Fd, clock: &ActorClock) -> vfs::IoResult<()> {
-        self.inner.close(fd, clock)
-    }
-    fn pread(
-        &self,
-        fd: vfs::Fd,
-        buf: &mut [u8],
-        off: u64,
-        clock: &ActorClock,
-    ) -> vfs::IoResult<usize> {
-        self.inner.pread(fd, buf, off, clock)
-    }
-    fn pwrite(
-        &self,
-        fd: vfs::Fd,
-        data: &[u8],
-        off: u64,
-        clock: &ActorClock,
-    ) -> vfs::IoResult<usize> {
-        use std::sync::atomic::Ordering;
-        if self.pwrite_budget.fetch_sub(1, Ordering::AcqRel) <= 0 {
-            return Err(IoError::Other("injected inner pwrite failure".into()));
-        }
-        self.inner.pwrite(fd, data, off, clock)
-    }
-    fn fsync(&self, fd: vfs::Fd, clock: &ActorClock) -> vfs::IoResult<()> {
-        self.inner.fsync(fd, clock)
-    }
-    fn ftruncate(&self, fd: vfs::Fd, len: u64, clock: &ActorClock) -> vfs::IoResult<()> {
-        self.inner.ftruncate(fd, len, clock)
-    }
-    fn fstat(&self, fd: vfs::Fd, clock: &ActorClock) -> vfs::IoResult<vfs::Metadata> {
-        self.inner.fstat(fd, clock)
-    }
-    fn stat(&self, path: &str, clock: &ActorClock) -> vfs::IoResult<vfs::Metadata> {
-        self.inner.stat(path, clock)
-    }
-    fn unlink(&self, path: &str, clock: &ActorClock) -> vfs::IoResult<()> {
-        self.inner.unlink(path, clock)
-    }
-    fn rename(&self, from: &str, to: &str, clock: &ActorClock) -> vfs::IoResult<()> {
-        self.inner.rename(from, to, clock)
-    }
-    fn list_dir(&self, dir: &str, clock: &ActorClock) -> vfs::IoResult<Vec<String>> {
-        self.inner.list_dir(dir, clock)
-    }
-    fn sync(&self, clock: &ActorClock) -> vfs::IoResult<()> {
-        self.inner.sync(clock)
-    }
-}
+// Fault injection for the cleanup drain path lives in `vfs::FaultLayer`
+// now (this file's old private `FailingFs` generalized into a first-class
+// layer); `FaultLayer::failing_pwrites(n)` reproduces its exact semantics.
 
 /// Polls until `cache` reports at least one poisoned stripe (bounded wait:
 /// poisoning happens on the cleanup worker's thread).
@@ -857,7 +790,7 @@ fn inner_write_errors_poison_the_stripe_instead_of_panicking() {
     let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
     let mem: Arc<dyn FileSystem> = Arc::new(MemFs::new());
     // Every cleanup pwrite fails.
-    let inner: Arc<dyn FileSystem> = Arc::new(FailingFs::new(Arc::clone(&mem), 0));
+    let inner = vfs::FaultLayer::failing_pwrites(0).wrap(Arc::clone(&mem));
     let cache =
         NvCache::format(NvRegion::whole(Arc::clone(&dimm)), inner, cfg, &clock).expect("format");
     let fd = cache.open("/poison", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
@@ -897,7 +830,7 @@ fn crash_mid_batch_never_advances_tail_past_an_uncompleted_entry() {
     let clock = ActorClock::new();
     let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
     let mem: Arc<dyn FileSystem> = Arc::new(MemFs::new());
-    let inner: Arc<dyn FileSystem> = Arc::new(FailingFs::new(Arc::clone(&mem), 3));
+    let inner = vfs::FaultLayer::failing_pwrites(3).wrap(Arc::clone(&mem));
     let cache = NvCache::format(NvRegion::whole(Arc::clone(&dimm)), inner, cfg.clone(), &clock)
         .expect("format");
     let fd = cache.open("/midbatch", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();

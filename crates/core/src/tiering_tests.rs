@@ -539,63 +539,13 @@ fn single_backend_router_is_the_implicit_default() {
 }
 
 /// A backend whose `list_dir` always fails with a *real* I/O error (not
-/// `NotFound`) — fault injection for the merged-listing path.
-struct BrokenListFs {
-    inner: Arc<dyn FileSystem>,
-}
-
-impl FileSystem for BrokenListFs {
-    fn name(&self) -> &str {
-        "broken-list"
-    }
-    fn open(&self, path: &str, flags: OpenFlags, clock: &ActorClock) -> vfs::IoResult<vfs::Fd> {
-        self.inner.open(path, flags, clock)
-    }
-    fn close(&self, fd: vfs::Fd, clock: &ActorClock) -> vfs::IoResult<()> {
-        self.inner.close(fd, clock)
-    }
-    fn pread(
-        &self,
-        fd: vfs::Fd,
-        buf: &mut [u8],
-        off: u64,
-        clock: &ActorClock,
-    ) -> vfs::IoResult<usize> {
-        self.inner.pread(fd, buf, off, clock)
-    }
-    fn pwrite(
-        &self,
-        fd: vfs::Fd,
-        data: &[u8],
-        off: u64,
-        clock: &ActorClock,
-    ) -> vfs::IoResult<usize> {
-        self.inner.pwrite(fd, data, off, clock)
-    }
-    fn fsync(&self, fd: vfs::Fd, clock: &ActorClock) -> vfs::IoResult<()> {
-        self.inner.fsync(fd, clock)
-    }
-    fn ftruncate(&self, fd: vfs::Fd, len: u64, clock: &ActorClock) -> vfs::IoResult<()> {
-        self.inner.ftruncate(fd, len, clock)
-    }
-    fn fstat(&self, fd: vfs::Fd, clock: &ActorClock) -> vfs::IoResult<vfs::Metadata> {
-        self.inner.fstat(fd, clock)
-    }
-    fn stat(&self, path: &str, clock: &ActorClock) -> vfs::IoResult<vfs::Metadata> {
-        self.inner.stat(path, clock)
-    }
-    fn unlink(&self, path: &str, clock: &ActorClock) -> vfs::IoResult<()> {
-        self.inner.unlink(path, clock)
-    }
-    fn rename(&self, from: &str, to: &str, clock: &ActorClock) -> vfs::IoResult<()> {
-        self.inner.rename(from, to, clock)
-    }
-    fn list_dir(&self, _dir: &str, _clock: &ActorClock) -> vfs::IoResult<Vec<String>> {
-        Err(IoError::Other("injected list_dir failure".into()))
-    }
-    fn sync(&self, clock: &ActorClock) -> vfs::IoResult<()> {
-        self.inner.sync(clock)
-    }
+/// `NotFound`) — a [`vfs::FaultLayer`] rule, fault injection for the
+/// merged-listing path.
+fn broken_list_fs(inner: Arc<dyn FileSystem>) -> Arc<dyn FileSystem> {
+    use vfs::{FaultLayer, FaultOp, FaultRule, FaultTrigger, Layer};
+    FaultLayer::new(vec![FaultRule::new(FaultOp::ListDir, FaultTrigger::AfterBudget(0))
+        .with_error(IoError::Other("injected list_dir failure".into()))])
+    .wrap(inner)
 }
 
 #[test]
@@ -606,7 +556,7 @@ fn list_dir_propagates_real_backend_errors_instead_of_partial_listings() {
     let clock = ActorClock::new();
     let cfg = NvCacheConfig::tiny();
     let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
-    let broken: Arc<dyn FileSystem> = Arc::new(BrokenListFs { inner: Arc::new(MemFs::new()) });
+    let broken = broken_list_fs(Arc::new(MemFs::new()));
     let cache = NvCache::builder(NvRegion::whole(dimm))
         .backends(
             Arc::new(PathPrefixRouter::new(vec![("/hot".into(), 1)], 0)),

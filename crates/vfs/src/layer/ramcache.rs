@@ -1,0 +1,442 @@
+//! [`RamCacheLayer`]: a write-through DRAM page read-cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simclock::ActorClock;
+
+use super::Layer;
+use crate::{normalize_path, Fd, FileSystem, IoError, IoResult, Metadata, OpenFlags};
+
+const PAGE: u64 = 4096;
+
+/// Deterministic snapshot of a [`RamCacheLayer`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RamCacheStats {
+    /// Page lookups served from the cache (no inner `pread`).
+    pub hits: u64,
+    /// Page lookups that went to the inner backend (and filled the cache).
+    pub misses: u64,
+    /// Pages evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A [`Layer`] adding a bounded, write-through DRAM read-cache of 4 KiB
+/// pages in front of a backend.
+///
+/// * **Reads** are served page-by-page from the cache when possible; a
+///   miss reads the page from the inner backend once and caches it
+///   (read-allocate). A hit skips the inner `pread` entirely — and with it
+///   the inner device's virtual-time read cost, which is the effect being
+///   modelled.
+/// * **Writes** always go to the inner backend first (write-through: the
+///   layer adds no durability risk and no dirty state), then are spliced
+///   into any already-cached pages. The cache never holds data the inner
+///   backend has not accepted.
+/// * Eviction is least-recently-used at page granularity; `unlink`,
+///   `rename`, `ftruncate`, `O_TRUNC` opens and simulated power failures
+///   invalidate affected entries (DRAM contents do not survive a crash).
+///
+/// Cached pages store the page's stored prefix: content past a cached
+/// short page is known to be zeroes (all mutation flows through the
+/// layer), so sparse-file semantics hold without re-reading.
+///
+/// [`RamCacheLayer::inert`] (capacity zero) is the inert configuration:
+/// `wrap` returns the inner file system unchanged.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use simclock::ActorClock;
+/// use vfs::{FileSystem, Layer, MemFs, OpenFlags, RamCacheLayer};
+///
+/// let layer = RamCacheLayer::new(64);
+/// let fs = layer.wrap(Arc::new(MemFs::new()));
+/// let clock = ActorClock::new();
+/// let fd = fs.open("/f", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+/// fs.pwrite(fd, &[7u8; 4096], 0, &clock).unwrap();
+/// let mut buf = [0u8; 4096];
+/// fs.pread(fd, &mut buf, 0, &clock).unwrap(); // miss: fills the cache
+/// fs.pread(fd, &mut buf, 0, &clock).unwrap(); // hit: no inner read
+/// assert_eq!(layer.stats().hits, 1);
+/// assert_eq!(layer.stats().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct RamCacheLayer {
+    capacity: usize,
+    state: Arc<CacheState>,
+}
+
+#[derive(Debug)]
+struct CachedPage {
+    /// The page's stored prefix (length ≤ 4096); bytes past it are zeroes.
+    data: Vec<u8>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    counters: Counters,
+    pages: Mutex<PageMap>,
+}
+
+#[derive(Debug, Default)]
+struct PageMap {
+    map: HashMap<(String, u64), CachedPage>,
+    tick: u64,
+}
+
+impl RamCacheLayer {
+    /// A cache holding at most `pages` 4 KiB pages. `pages == 0` is the
+    /// inert configuration (see [`RamCacheLayer::inert`]).
+    pub fn new(pages: usize) -> Self {
+        RamCacheLayer { capacity: pages, state: Arc::new(CacheState::default()) }
+    }
+
+    /// The inert configuration: zero capacity, [`wrap`](Layer::wrap)
+    /// returns the inner file system unchanged.
+    pub fn inert() -> Self {
+        Self::new(0)
+    }
+
+    /// Capacity bound in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Deterministic counters: hits, misses and evictions.
+    pub fn stats(&self) -> RamCacheStats {
+        RamCacheStats {
+            hits: self.state.counters.hits.load(Ordering::Acquire),
+            misses: self.state.counters.misses.load(Ordering::Acquire),
+            evictions: self.state.counters.evictions.load(Ordering::Acquire),
+        }
+    }
+}
+
+impl Layer for RamCacheLayer {
+    fn name(&self) -> &str {
+        "ramcache"
+    }
+
+    fn wrap(&self, inner: Arc<dyn FileSystem>) -> Arc<dyn FileSystem> {
+        if self.capacity == 0 {
+            // Inert mode: the identity layer.
+            return inner;
+        }
+        Arc::new(RamCacheFs {
+            name: format!("ramcache({})", inner.name()),
+            capacity: self.capacity,
+            state: Arc::clone(&self.state),
+            fds: Mutex::new(HashMap::new()),
+            inner,
+        })
+    }
+}
+
+struct FdEntry {
+    path: String,
+    flags: OpenFlags,
+}
+
+struct RamCacheFs {
+    name: String,
+    capacity: usize,
+    state: Arc<CacheState>,
+    fds: Mutex<HashMap<u64, FdEntry>>,
+    inner: Arc<dyn FileSystem>,
+}
+
+impl RamCacheFs {
+    fn check(&self, fd: Fd) -> IoResult<(String, OpenFlags)> {
+        let fds = self.fds.lock();
+        let e = fds.get(&fd.0).ok_or(IoError::BadFd(fd.0))?;
+        Ok((e.path.clone(), e.flags))
+    }
+
+    fn invalidate_path(&self, path: &str) {
+        self.state.pages.lock().map.retain(|(p, _), _| p != path);
+    }
+
+    fn insert(&self, pages: &mut PageMap, key: (String, u64), data: Vec<u8>) {
+        while pages.map.len() >= self.capacity {
+            if let Some(victim) =
+                pages.map.iter().min_by_key(|(_, p)| p.last_used).map(|(k, _)| k.clone())
+            {
+                pages.map.remove(&victim);
+                self.state.counters.evictions.fetch_add(1, Ordering::AcqRel);
+            } else {
+                break;
+            }
+        }
+        pages.tick += 1;
+        let last_used = pages.tick;
+        pages.map.insert(key, CachedPage { data, last_used });
+    }
+}
+
+impl FileSystem for RamCacheFs {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags, clock: &ActorClock) -> IoResult<Fd> {
+        let path = normalize_path(path);
+        let fd = self.inner.open(&path, flags, clock)?;
+        if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+            self.invalidate_path(&path);
+        }
+        self.fds.lock().insert(fd.0, FdEntry { path, flags });
+        Ok(fd)
+    }
+
+    fn close(&self, fd: Fd, clock: &ActorClock) -> IoResult<()> {
+        self.fds.lock().remove(&fd.0).ok_or(IoError::BadFd(fd.0))?;
+        self.inner.close(fd, clock)
+    }
+
+    fn pread(&self, fd: Fd, buf: &mut [u8], off: u64, clock: &ActorClock) -> IoResult<usize> {
+        let (path, flags) = self.check(fd)?;
+        if !flags.readable() {
+            return Err(IoError::PermissionDenied("fd opened write-only".into()));
+        }
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let size = self.inner.fstat(fd, clock)?.size;
+        if off >= size {
+            return Ok(0);
+        }
+        let n = buf.len().min((size - off) as usize);
+        let (first, last) = (off / PAGE, (off + n as u64 - 1) / PAGE);
+        for page_no in first..=last {
+            let base = page_no * PAGE;
+            let avail = (size - base).min(PAGE) as usize;
+            let lo = off.max(base);
+            let hi = (off + n as u64).min(base + avail as u64);
+            let key = (path.clone(), page_no);
+            let mut pages = self.state.pages.lock();
+            if pages.map.contains_key(&key) {
+                // Hit. Bytes past a cached short page are zeroes (every
+                // mutation flows through this layer).
+                pages.tick += 1;
+                let tick = pages.tick;
+                let p = pages.map.get_mut(&key).unwrap();
+                p.last_used = tick;
+                let dst = &mut buf[(lo - off) as usize..(hi - off) as usize];
+                for (i, b) in dst.iter_mut().enumerate() {
+                    let idx = (lo - base) as usize + i;
+                    *b = p.data.get(idx).copied().unwrap_or(0);
+                }
+                self.state.counters.hits.fetch_add(1, Ordering::AcqRel);
+            } else {
+                drop(pages);
+                let mut page_buf = vec![0u8; avail];
+                let got = self.inner.pread(fd, &mut page_buf, base, clock)?;
+                page_buf.truncate(got);
+                buf[(lo - off) as usize..(hi - off) as usize].copy_from_slice(
+                    &{
+                        let mut full = page_buf.clone();
+                        full.resize(avail, 0);
+                        full
+                    }[(lo - base) as usize..(hi - base) as usize],
+                );
+                let mut pages = self.state.pages.lock();
+                self.insert(&mut pages, key, page_buf);
+                self.state.counters.misses.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+        Ok(n)
+    }
+
+    fn pwrite(&self, fd: Fd, data: &[u8], off: u64, clock: &ActorClock) -> IoResult<usize> {
+        let (path, flags) = self.check(fd)?;
+        if !flags.writable() {
+            return Err(IoError::PermissionDenied("fd opened read-only".into()));
+        }
+        // Write-through: the inner backend accepts the bytes first.
+        let n = self.inner.pwrite(fd, data, off, clock)?;
+        if n == 0 {
+            return Ok(n);
+        }
+        let end = off + n as u64;
+        let (first, last) = (off / PAGE, (end - 1) / PAGE);
+        let mut pages = self.state.pages.lock();
+        for page_no in first..=last {
+            let base = page_no * PAGE;
+            if let Some(p) = pages.map.get_mut(&(path.clone(), page_no)) {
+                let w_lo = (off.max(base) - base) as usize;
+                let w_hi = (end.min(base + PAGE) - base) as usize;
+                if p.data.len() < w_hi {
+                    p.data.resize(w_hi, 0);
+                }
+                let d_lo = (off.max(base) - off) as usize;
+                p.data[w_lo..w_hi].copy_from_slice(&data[d_lo..d_lo + (w_hi - w_lo)]);
+            }
+        }
+        Ok(n)
+    }
+
+    fn fsync(&self, fd: Fd, clock: &ActorClock) -> IoResult<()> {
+        self.check(fd)?;
+        self.inner.fsync(fd, clock)
+    }
+
+    fn ftruncate(&self, fd: Fd, len: u64, clock: &ActorClock) -> IoResult<()> {
+        let (path, flags) = self.check(fd)?;
+        if !flags.writable() {
+            return Err(IoError::PermissionDenied("fd opened read-only".into()));
+        }
+        self.inner.ftruncate(fd, len, clock)?;
+        self.invalidate_path(&path);
+        Ok(())
+    }
+
+    fn fstat(&self, fd: Fd, clock: &ActorClock) -> IoResult<Metadata> {
+        self.check(fd)?;
+        self.inner.fstat(fd, clock)
+    }
+
+    fn stat(&self, path: &str, clock: &ActorClock) -> IoResult<Metadata> {
+        self.inner.stat(path, clock)
+    }
+
+    fn unlink(&self, path: &str, clock: &ActorClock) -> IoResult<()> {
+        let path = normalize_path(path);
+        self.inner.unlink(&path, clock)?;
+        self.invalidate_path(&path);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str, clock: &ActorClock) -> IoResult<()> {
+        let from = normalize_path(from);
+        let to = normalize_path(to);
+        self.inner.rename(&from, &to, clock)?;
+        self.invalidate_path(&from);
+        self.invalidate_path(&to);
+        Ok(())
+    }
+
+    fn list_dir(&self, dir: &str, clock: &ActorClock) -> IoResult<Vec<String>> {
+        self.inner.list_dir(dir, clock)
+    }
+
+    fn sync(&self, clock: &ActorClock) -> IoResult<()> {
+        self.inner.sync(clock)
+    }
+
+    fn simulate_power_failure(&self) {
+        // DRAM does not survive: drop everything, then crash the backend.
+        self.state.pages.lock().map.clear();
+        self.inner.simulate_power_failure();
+    }
+
+    fn synchronous_durability(&self) -> bool {
+        self.inner.synchronous_durability()
+    }
+
+    fn durable_linearizability(&self) -> bool {
+        self.inner.durable_linearizability()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemFs;
+
+    #[test]
+    fn hits_skip_the_inner_read_and_are_counted() {
+        let layer = RamCacheLayer::new(16);
+        let fs = layer.wrap(Arc::new(MemFs::new()));
+        let c = ActorClock::new();
+        let fd = fs.open("/f", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+        fs.pwrite(fd, &[3u8; 8192], 0, &c).unwrap();
+        let mut buf = [0u8; 8192];
+        fs.pread(fd, &mut buf, 0, &c).unwrap(); // two misses
+        let t_miss = c.now();
+        fs.pread(fd, &mut buf, 0, &c).unwrap(); // two hits
+        let t_hit = c.now() - t_miss;
+        assert_eq!(buf, [3u8; 8192]);
+        assert_eq!(layer.stats().hits, 2);
+        assert_eq!(layer.stats().misses, 2);
+        // The hit round must be strictly cheaper in virtual time than the
+        // miss round (it skipped the inner device reads).
+        assert!(t_hit < t_miss, "hits ({t_hit:?}) should undercut misses ({t_miss:?})");
+    }
+
+    #[test]
+    fn writes_are_write_through_and_splice_cached_pages() {
+        let layer = RamCacheLayer::new(16);
+        let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        let fs = layer.wrap(Arc::clone(&inner));
+        let c = ActorClock::new();
+        let fd = fs.open("/f", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+        fs.pwrite(fd, &[1u8; 4096], 0, &c).unwrap();
+        let mut buf = [0u8; 4096];
+        fs.pread(fd, &mut buf, 0, &c).unwrap(); // cache the page
+        fs.pwrite(fd, &[2u8; 100], 50, &c).unwrap();
+        // The inner backend has the new bytes immediately (write-through)…
+        let raw = inner.open("/f", OpenFlags::RDONLY, &c).unwrap();
+        let mut rest = [0u8; 100];
+        inner.pread(raw, &mut rest, 50, &c).unwrap();
+        assert_eq!(rest, [2u8; 100]);
+        // …and the cached page was spliced, so the hit serves fresh data.
+        fs.pread(fd, &mut buf, 0, &c).unwrap();
+        assert_eq!(&buf[50..150], &[2u8; 100][..]);
+        assert_eq!(&buf[..50], &[1u8; 50][..]);
+        assert!(layer.stats().hits >= 1);
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let layer = RamCacheLayer::new(2);
+        let fs = layer.wrap(Arc::new(MemFs::new()));
+        let c = ActorClock::new();
+        let fd = fs.open("/f", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+        fs.pwrite(fd, &[9u8; 4096 * 4], 0, &c).unwrap();
+        let mut buf = [0u8; 4096];
+        for page in 0..4 {
+            fs.pread(fd, &mut buf, page * 4096, &c).unwrap();
+        }
+        assert_eq!(layer.stats().misses, 4);
+        assert_eq!(layer.stats().evictions, 2);
+        assert_eq!(buf, [9u8; 4096]);
+    }
+
+    #[test]
+    fn truncate_and_power_failure_invalidate() {
+        let layer = RamCacheLayer::new(16);
+        let fs = layer.wrap(Arc::new(MemFs::new()));
+        let c = ActorClock::new();
+        let fd = fs.open("/f", OpenFlags::RDWR | OpenFlags::CREATE, &c).unwrap();
+        fs.pwrite(fd, &[5u8; 4096], 0, &c).unwrap();
+        let mut buf = [0u8; 4096];
+        fs.pread(fd, &mut buf, 0, &c).unwrap();
+        fs.ftruncate(fd, 10, &c).unwrap();
+        assert_eq!(fs.pread(fd, &mut buf, 0, &c).unwrap(), 10, "truncated size must win");
+        fs.ftruncate(fd, 4096, &c).unwrap();
+        fs.pread(fd, &mut buf, 0, &c).unwrap();
+        assert_eq!(&buf[..10], &[5u8; 10][..]);
+        assert!(buf[10..].iter().all(|&b| b == 0), "extension must read as zeroes");
+    }
+
+    #[test]
+    fn inert_configuration_is_the_identity() {
+        let layer = RamCacheLayer::inert();
+        let inner: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        let fs = layer.wrap(Arc::clone(&inner));
+        assert!(Arc::ptr_eq(&fs, &inner));
+        assert_eq!(layer.stats(), RamCacheStats::default());
+    }
+}

@@ -32,6 +32,7 @@ mod ext4;
 mod fdmap;
 mod flags;
 mod fs;
+mod layer;
 mod memfs;
 mod nova;
 mod pagecache;
@@ -46,6 +47,11 @@ pub use ext4::{Ext4, Ext4Profile};
 pub use fdmap::FdTable;
 pub use flags::{Metadata, OpenFlags};
 pub use fs::{Fd, FileSystem};
+pub use layer::{
+    stack, validate_stack, CryptLayer, CryptStats, DelayLayer, DelayProfile, DelayStats,
+    FaultLayer, FaultOp, FaultRule, FaultTrigger, Layer, RamCacheLayer, RamCacheStats,
+    MAX_STACK_DEPTH,
+};
 pub use memfs::MemFs;
 pub use nova::{NovaFs, NovaProfile};
 pub use pagecache::{PageCache, PageCacheConfig, PageCacheStats};
