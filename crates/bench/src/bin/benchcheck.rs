@@ -1,0 +1,87 @@
+//! Validates every committed `BENCH_*.json` perf snapshot: well-formed
+//! JSON, a top-level object carrying a name key (`benchmark` or `figure`),
+//! a `config` object, and at least one data section (`rows`, `mixes` or
+//! `saturation`) that is non-empty.
+//!
+//! Usage: `benchcheck [DIR]` (default: current directory). Exits non-zero
+//! listing every violation, so CI catches a snapshot that a binary change
+//! silently broke.
+
+use nvcache_bench::Json;
+
+/// One snapshot's validation result.
+fn check(name: &str, text: &str) -> Result<String, String> {
+    let doc = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Json::Obj(_) = &doc else {
+        return Err("top level is not an object".into());
+    };
+    let label = match doc.get("benchmark").or_else(|| doc.get("figure")) {
+        Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+        Some(_) => return Err("name key (benchmark/figure) is not a string".into()),
+        None => return Err("missing name key (\"benchmark\" or \"figure\")".into()),
+    };
+    match doc.get("config") {
+        Some(Json::Obj(pairs)) if !pairs.is_empty() => {}
+        Some(Json::Obj(_)) => return Err("\"config\" is empty".into()),
+        Some(_) => return Err("\"config\" is not an object".into()),
+        None => return Err("missing \"config\"".into()),
+    }
+    let mut data_rows = 0usize;
+    for key in ["rows", "mixes"] {
+        match doc.get(key) {
+            Some(Json::Arr(items)) => data_rows += items.len(),
+            Some(_) => return Err(format!("\"{key}\" is not an array")),
+            None => {}
+        }
+    }
+    if let Some(sat) = doc.get("saturation") {
+        match sat.get("ladder") {
+            Some(Json::Arr(items)) => data_rows += items.len(),
+            _ => return Err("\"saturation\" lacks a \"ladder\" array".into()),
+        }
+    }
+    if data_rows == 0 {
+        return Err("no data: need a non-empty \"rows\", \"mixes\" or \"saturation\"".into());
+    }
+    Ok(format!("{name}: ok ({label}, {data_rows} data rows)"))
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {dir}: {e}"))
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(name)
+        })
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        eprintln!("benchcheck: no BENCH_*.json snapshots under {dir}");
+        std::process::exit(1);
+    }
+    let mut failures = 0;
+    for name in &names {
+        let path = format!("{dir}/{name}");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{name}: unreadable: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match check(name, &text) {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => {
+                eprintln!("{name}: FAIL: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("benchcheck: {failures}/{} snapshots failed", names.len());
+        std::process::exit(1);
+    }
+    println!("benchcheck: {} snapshots ok", names.len());
+}

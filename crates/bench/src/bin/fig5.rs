@@ -170,6 +170,7 @@ fn main() {
             ("mean_mib_s", Json::Num(result.mean_throughput_mib_s())),
             ("p50_write_us", Json::Num(result.p50_latency.as_micros_f64())),
             ("p99_write_us", Json::Num(result.p99_latency.as_micros_f64())),
+            ("p999_write_us", Json::Num(result.p999_latency.as_micros_f64())),
             ("saturation_paper_s", sat.map_or(Json::Null, |s| Json::Num(s * scale as f64))),
             ("total_paper_s", Json::Num(raw_s * scale as f64)),
             ("log_full_waits", Json::Int(stats.log_full_waits as i64)),

@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use blockdev::{SsdDevice, SsdProfile};
 use nvcache::{Mount, NvCache, NvCacheConfig};
-use nvcache_bench::{arg_str, arg_u64, print_table, Json, Row};
+use nvcache_bench::{arg_str, arg_u64, percentiles_us, print_table, Json, PercentilesUs, Row};
 use nvmm::{NvDimm, NvRegion, NvmmProfile};
 use simclock::{ActorClock, SimTime};
 use vfs::{Ext4, Ext4Profile, FileSystem, OpenFlags};
@@ -38,16 +38,7 @@ use vfs::{Ext4, Ext4Profile, FileSystem, OpenFlags};
 /// distribution (submit → acknowledged, virtual time).
 struct Arm {
     mib_s: f64,
-    p50_us: f64,
-    p99_us: f64,
-}
-
-fn percentile(sorted: &[SimTime], p: u64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted.len() as u64 * p).div_ceil(100).max(1) - 1) as usize;
-    sorted[rank].as_micros_f64()
+    lat: PercentilesUs,
 }
 
 fn mount_for(shards: usize, sq_pairs: usize, nb_entries: u64, clock: &ActorClock) -> Arc<NvCache> {
@@ -139,12 +130,10 @@ fn run_arm(
         lats.append(&mut thread_lats);
     }
     nc.abort();
-    lats.sort_unstable();
     let bytes = (threads as u64 * writes * size as u64) as f64;
     Arm {
         mib_s: bytes / (1 << 20) as f64 / makespan.as_secs_f64().max(1e-12),
-        p50_us: percentile(&lats, 50),
-        p99_us: percentile(&lats, 99),
+        lat: percentiles_us(&lats),
     }
 }
 
@@ -260,8 +249,8 @@ fn main() {
                     format!("{:.0}", sync.mib_s),
                     format!("{:.0}", queued.mib_s),
                     format!("{speedup:.2}x"),
-                    format!("{:.2}/{:.2}", sync.p50_us, sync.p99_us),
-                    format!("{:.2}/{:.2}", queued.p50_us, queued.p99_us),
+                    format!("{:.2}/{:.2}", sync.lat.p50, sync.lat.p99),
+                    format!("{:.2}/{:.2}", queued.lat.p50, queued.lat.p99),
                 ],
             ));
             json_rows.push(Json::obj([
@@ -270,10 +259,12 @@ fn main() {
                 ("sync_mib_s", Json::Num(sync.mib_s)),
                 ("queued_mib_s", Json::Num(queued.mib_s)),
                 ("speedup", Json::Num(speedup)),
-                ("sync_p50_us", Json::Num(sync.p50_us)),
-                ("sync_p99_us", Json::Num(sync.p99_us)),
-                ("queued_p50_us", Json::Num(queued.p50_us)),
-                ("queued_p99_us", Json::Num(queued.p99_us)),
+                ("sync_p50_us", Json::Num(sync.lat.p50)),
+                ("sync_p99_us", Json::Num(sync.lat.p99)),
+                ("sync_p999_us", Json::Num(sync.lat.p999)),
+                ("queued_p50_us", Json::Num(queued.lat.p50)),
+                ("queued_p99_us", Json::Num(queued.lat.p99)),
+                ("queued_p999_us", Json::Num(queued.lat.p999)),
             ]));
         }
     }

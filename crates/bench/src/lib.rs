@@ -25,7 +25,10 @@ pub mod systems;
 
 pub use cli::CommonArgs;
 pub use json::Json;
-pub use report::{print_series, print_table, Row};
+pub use report::{
+    latency_histogram, percentiles_us, print_series, print_table, LatencyHistogram, PercentilesUs,
+    Row,
+};
 pub use systems::{build_system, System, SystemKind, SystemSpec};
 
 /// Parses `--key value` style arguments with a default.

@@ -33,8 +33,10 @@
 //! # }
 //! ```
 
+pub mod hist;
 pub mod uring;
 
+pub use hist::LatencyHistogram;
 pub use uring::{Cqe, IoRing};
 
 use std::sync::Arc;
@@ -117,7 +119,7 @@ impl Default for JobSpec {
 }
 
 /// Result of one job run.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct JobResult {
     /// Job name.
     pub name: String,
@@ -133,10 +135,19 @@ pub struct JobResult {
     pub mean_latency: SimTime,
     /// Maximum per-operation latency.
     pub max_latency: SimTime,
-    /// Median per-operation latency (50th percentile, nearest-rank).
+    /// Median per-operation latency (50th percentile, interpolated on
+    /// [`latency_hist`](JobResult::latency_hist)).
     pub p50_latency: SimTime,
-    /// Tail per-operation latency (99th percentile, nearest-rank).
+    /// Tail per-operation latency (99th percentile, interpolated).
     pub p99_latency: SimTime,
+    /// Extreme-tail per-operation latency (99.9th percentile,
+    /// interpolated).
+    pub p999_latency: SimTime,
+    /// The full per-operation latency distribution — mergeable, so callers
+    /// aggregating several jobs (the traffic engine's tenants, multi-file
+    /// sweeps) can combine distributions instead of re-deriving them from
+    /// raw samples.
+    pub latency_hist: LatencyHistogram,
     /// Operations issued.
     pub ops: u64,
     /// (interval start, MiB/s) series — paper Fig. 4 left panel.
@@ -218,6 +229,7 @@ pub fn run_job(
     let mut writes_since_fsync = 0u32;
     let mut lat_sum = SimTime::ZERO;
     let mut lat_max = SimTime::ZERO;
+    let mut lat_hist = LatencyHistogram::new();
 
     while done < spec.io_total {
         let is_read = match spec.rw {
@@ -252,6 +264,7 @@ pub fn run_job(
         let lat = now - before;
         lat_sum += lat;
         lat_max = lat_max.max(lat);
+        lat_hist.record(lat);
         ops += 1;
         done += n.max(1) as u64;
         lat_samples.push((now, lat));
@@ -295,19 +308,11 @@ pub fn run_job(
         .map(|b| (b.t, b.last / (1u64 << 30) as f64))
         .collect();
 
-    // Nearest-rank percentiles over the whole run (fio's clat percentiles).
-    let (p50_latency, p99_latency) = {
-        let mut lats: Vec<SimTime> = lat_samples.iter().map(|&(_, l)| l).collect();
-        lats.sort_unstable();
-        let rank = |p: u64| {
-            if lats.is_empty() {
-                SimTime::ZERO
-            } else {
-                lats[((lats.len() as u64 * p).div_ceil(100).max(1) - 1) as usize]
-            }
-        };
-        (rank(50), rank(99))
-    };
+    // Interpolated percentiles over the merged log-scale histogram (fio's
+    // clat percentiles) — unlike nearest-rank over raw samples, tiny
+    // sample counts don't collapse p50/p99/p999 onto one sample.
+    let (p50_latency, p99_latency, p999_latency) =
+        (lat_hist.p50(), lat_hist.p99(), lat_hist.p999());
 
     Ok(JobResult {
         name: spec.name.clone(),
@@ -319,6 +324,8 @@ pub fn run_job(
         max_latency: lat_max,
         p50_latency,
         p99_latency,
+        p999_latency,
+        latency_hist: lat_hist,
         ops,
         throughput: bytes_series.throughput_mib_s(spec.sample_interval),
         avg_latency,
@@ -414,6 +421,23 @@ mod tests {
         assert!(!r.avg_latency.is_empty());
         let last = r.cumulative_gib.last().unwrap().1;
         assert!((last - 1.0 / 1024.0).abs() < 1e-9, "cumulative GiB mismatch: {last}");
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_histogram_matches_ops() {
+        let fs = memfs();
+        let spec = JobSpec {
+            rw: RwMode::RandWrite,
+            file_size: 1 << 20,
+            io_total: 1 << 20,
+            ..JobSpec::default()
+        };
+        let r = run_job(&fs, &spec, &ActorClock::new()).unwrap();
+        assert_eq!(r.latency_hist.count(), r.ops);
+        assert!(r.p50_latency <= r.p99_latency);
+        assert!(r.p99_latency <= r.p999_latency);
+        assert!(r.p999_latency <= r.max_latency);
+        assert!(r.p50_latency > SimTime::ZERO);
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! The replay engine: a single-OS-thread discrete-event scheduler that
+//! drives every tenant's workers over per-worker [`ActorClock`]s against one
+//! shared mount.
+//!
+//! Determinism contract: given the same target state, tenant specs and
+//! [`EngineConfig`], two runs produce identical virtual-time results — the
+//! scheduler always executes the globally earliest-ready operation next and
+//! breaks ties by (tenant, worker) index, and any NVCache log drain happens
+//! at deterministic op counts ([`EngineConfig::flush_every`]) rather than on
+//! a background thread's schedule. Pair it with a parked-cleanup NVCache
+//! config (`batch_min`/`batch_max` ≈ `usize::MAX`) for byte-stable runs.
+
+use std::sync::Arc;
+
+use nvcache::NvCache;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rocklet::{RockError, RockletDb, RockletOptions, WriteOptions};
+use simclock::{ActorClock, SimTime};
+use sqlight::{SqlError, SqlightDb, SqlightOptions};
+use vfs::{Fd, FileSystem, IoError, OpenFlags};
+
+use crate::gen::{Arrival, OpKind, TenantTrace, TraceOp};
+use crate::metrics::{TenantMetrics, TrafficReport};
+use crate::tenant::{TenantKind, TenantSpec};
+
+/// What the engine drives: any [`FileSystem`], plus the NVCache handle when
+/// the mount is one (so the engine can drain the log at deterministic
+/// points instead of relying on background cleanup).
+#[derive(Clone)]
+pub struct TrafficTarget {
+    /// The shared mount every tenant runs on.
+    pub fs: Arc<dyn FileSystem>,
+    /// Set when `fs` is an NVCache mount; enables deterministic log drains.
+    pub nvcache: Option<Arc<NvCache>>,
+}
+
+impl TrafficTarget {
+    /// A target over a plain file system.
+    pub fn plain(fs: Arc<dyn FileSystem>) -> TrafficTarget {
+        TrafficTarget { fs, nvcache: None }
+    }
+
+    /// A target over an NVCache mount (registers the handle for drains).
+    pub fn nvcache(cache: Arc<NvCache>) -> TrafficTarget {
+        TrafficTarget { fs: Arc::clone(&cache) as Arc<dyn FileSystem>, nvcache: Some(cache) }
+    }
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Run seed; tenant sub-seeds derive from it and the tenant name.
+    pub seed: u64,
+    /// Drain the NVCache log after every N completed operations
+    /// (0 = only once at the end). Deterministic stand-in for background
+    /// cleanup when the mount parks its cleanup workers.
+    pub flush_every: u64,
+    /// Virtual time the run starts at — pass the mount clock's `now()` so
+    /// device/resource model state carries over consistently.
+    pub start: SimTime,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { seed: 1, flush_every: 0, start: SimTime::ZERO }
+    }
+}
+
+/// Engine failure: any error surfaced by a tenant backend.
+#[derive(Debug)]
+pub enum TrafficError {
+    /// Raw file-system error.
+    Io(IoError),
+    /// Rocklet engine error.
+    Rock(RockError),
+    /// Sqlight engine error.
+    Sql(SqlError),
+}
+
+impl std::fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrafficError::Io(e) => write!(f, "i/o error: {e}"),
+            TrafficError::Rock(e) => write!(f, "rocklet error: {e}"),
+            TrafficError::Sql(e) => write!(f, "sqlight error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+impl From<IoError> for TrafficError {
+    fn from(e: IoError) -> Self {
+        TrafficError::Io(e)
+    }
+}
+
+impl From<RockError> for TrafficError {
+    fn from(e: RockError) -> Self {
+        TrafficError::Rock(e)
+    }
+}
+
+impl From<SqlError> for TrafficError {
+    fn from(e: SqlError) -> Self {
+        TrafficError::Sql(e)
+    }
+}
+
+/// Result alias for engine entry points.
+pub type TrafficResult<T> = Result<T, TrafficError>;
+
+/// Per-tenant runtime state: the materialised trace plus the backend
+/// handles the ops execute against.
+struct TenantRt {
+    trace: TenantTrace,
+    backend: Backend,
+    metrics: TenantMetrics,
+    open_loop: bool,
+    durable_writes: bool,
+}
+
+enum Backend {
+    RawFs { fds: Vec<Fd>, file_size: u64 },
+    Rocklet { db: RockletDb },
+    Sqlight { db: SqlightDb, rows: u64, next_row: i64 },
+}
+
+/// One schedulable worker: a clock plus a cursor into its tenant's trace
+/// (worker `w` of `W` owns trace indices `w, w+W, w+2W, ...`).
+struct Worker {
+    tenant: usize,
+    stride: usize,
+    cursor: usize,
+    clock: ActorClock,
+}
+
+impl Worker {
+    fn next_op<'t>(&self, tenants: &'t [TenantRt]) -> Option<&'t TraceOp> {
+        tenants[self.tenant].trace.ops.get(self.cursor)
+    }
+
+    /// Virtual time this worker could execute its next op: its own clock,
+    /// or the op's arrival when that is later (open loop).
+    fn ready_at(&self, tenants: &[TenantRt], start: SimTime) -> Option<SimTime> {
+        let op = self.next_op(tenants)?;
+        Some(self.clock.now().max(start + op.arrival))
+    }
+}
+
+/// Runs every tenant's trace against the target and reports per-tenant
+/// latency distributions and achieved rates.
+///
+/// # Errors
+///
+/// Any backend error (I/O, rocklet, sqlight) aborts the run.
+pub fn run(
+    target: &TrafficTarget,
+    specs: &[TenantSpec],
+    cfg: &EngineConfig,
+) -> TrafficResult<TrafficReport> {
+    // ---- Setup phase: materialise traces, prefill datasets. ----
+    // All setup I/O runs on one clock so it lands at a deterministic
+    // virtual time regardless of tenant count or order.
+    let setup = ActorClock::starting_at(cfg.start);
+    let mut tenants = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let trace = TenantTrace::generate(spec, spec.derive_seed(cfg.seed));
+        let backend = setup_backend(target, spec, cfg, &setup)?;
+        // Offered rate of the *materialised* trace (ops over arrival span),
+        // not the configured λ: burst gating stretches the span and fsyncs
+        // share their write's arrival, so the empirical rate is what
+        // achieved throughput should be compared against.
+        let offered = spec.arrival.offered_ops_per_sec().map(|configured| {
+            let span = trace.ops.last().map_or(SimTime::ZERO, |o| o.arrival);
+            if span > SimTime::ZERO {
+                trace.ops.len() as f64 / span.as_secs_f64()
+            } else {
+                configured
+            }
+        });
+        tenants.push(TenantRt {
+            trace,
+            backend,
+            metrics: TenantMetrics::new(&spec.name, SimTime::ZERO, offered),
+            open_loop: matches!(spec.arrival, Arrival::OpenLoop { .. }),
+            durable_writes: spec.mix.fsync_every > 0,
+        });
+    }
+    if let Some(nc) = &target.nvcache {
+        // Start the measured phase from a drained log.
+        nc.flush_log(&setup);
+    }
+    let start = setup.now();
+    for t in &mut tenants {
+        t.metrics.started = start;
+        t.metrics.finished = start;
+    }
+
+    // ---- Run phase: single-thread discrete-event loop. ----
+    let mut workers = Vec::new();
+    for (ti, spec) in specs.iter().enumerate() {
+        let n = spec.arrival.workers();
+        for w in 0..n {
+            workers.push(Worker {
+                tenant: ti,
+                stride: n,
+                cursor: w,
+                clock: ActorClock::starting_at(start),
+            });
+        }
+    }
+
+    let max_len = specs.iter().map(|s| s.size.max_bytes()).max().unwrap_or(4096) as usize;
+    let write_buf = vec![0x6eu8; max_len];
+    let mut done = 0u64;
+
+    loop {
+        // Pick the globally earliest-ready worker; ties break by worker
+        // index (i.e. (tenant, worker) order), keeping the schedule total.
+        let mut best: Option<(SimTime, usize)> = None;
+        for (i, w) in workers.iter().enumerate() {
+            if let Some(at) = w.ready_at(&tenants, start) {
+                if best.is_none_or(|(t, _)| at < t) {
+                    best = Some((at, i));
+                }
+            }
+        }
+        let Some((ready, wi)) = best else { break };
+        let (ti, op) = {
+            let w = &workers[wi];
+            (w.tenant, *w.next_op(&tenants).expect("ready worker has an op"))
+        };
+        let clock = &workers[wi].clock;
+        if clock.now() < ready {
+            clock.advance_to(ready);
+        }
+        let issue = clock.now();
+        execute(target, &tenants[ti], &op, &write_buf, clock)?;
+        let completed = clock.now();
+        let t = &mut tenants[ti];
+        if op.kind != OpKind::Read {
+            if let Backend::Sqlight { next_row, .. } = &mut t.backend {
+                *next_row += 1;
+            }
+        }
+        let latency = if t.open_loop {
+            completed.saturating_sub(start + op.arrival)
+        } else {
+            completed.saturating_sub(issue)
+        };
+        t.metrics.record(op.kind, latency, completed);
+        workers[wi].cursor += workers[wi].stride;
+        done += 1;
+        if cfg.flush_every > 0 && done.is_multiple_of(cfg.flush_every) {
+            if let Some(nc) = &target.nvcache {
+                nc.flush_log(&workers[wi].clock);
+            }
+        }
+    }
+
+    // ---- Teardown: drain on the horizon clock for a stable end state,
+    // and close raw-FS fds so the files become migratable (tier rebalance
+    // skips open files) and fd slots don't leak across phases. ----
+    let final_clock = workers.iter().map(|w| w.clock.now()).max().unwrap_or(start);
+    let teardown = ActorClock::starting_at(final_clock);
+    if let Some(nc) = &target.nvcache {
+        nc.flush_log(&teardown);
+    }
+    for t in &tenants {
+        if let Backend::RawFs { fds, .. } = &t.backend {
+            for &fd in fds {
+                target.fs.close(fd, &teardown)?;
+            }
+        }
+    }
+    Ok(TrafficReport {
+        tenants: tenants.iter().map(|t| t.metrics.report()).collect(),
+        started: start,
+        final_clock,
+    })
+}
+
+/// Prefills one tenant's dataset (idempotent: re-running over an existing
+/// mount detects and keeps prior state, so multi-phase experiments can
+/// reuse a warm mount).
+fn setup_backend(
+    target: &TrafficTarget,
+    spec: &TenantSpec,
+    cfg: &EngineConfig,
+    clock: &ActorClock,
+) -> TrafficResult<Backend> {
+    let fs = &target.fs;
+    let mut rng = StdRng::seed_from_u64(spec.derive_seed(cfg.seed) ^ 0x5e7);
+    match spec.kind {
+        TenantKind::RawFs { files, file_size } => {
+            let files = files.max(1);
+            let file_size = file_size.max(4096);
+            let mut fds = Vec::with_capacity(files as usize);
+            let chunk = vec![0x42u8; (64usize << 10).min(file_size as usize)];
+            for f in 0..files {
+                let path = format!("{}/f{f:04}", spec.prefix);
+                let already = fs.stat(&path, clock).map(|m| m.size >= file_size).unwrap_or(false);
+                let fd = fs.open(&path, OpenFlags::RDWR | OpenFlags::CREATE, clock)?;
+                if !already {
+                    let mut off = 0u64;
+                    while off < file_size {
+                        let n = chunk.len().min((file_size - off) as usize);
+                        fs.pwrite(fd, &chunk[..n], off, clock)?;
+                        off += n as u64;
+                    }
+                    fs.fsync(fd, clock)?;
+                }
+                fds.push(fd);
+            }
+            Ok(Backend::RawFs { fds, file_size })
+        }
+        TenantKind::Rocklet { keys } => {
+            let db = RockletDb::open(
+                Arc::clone(fs),
+                &format!("{}/rock", spec.prefix),
+                RockletOptions::tiny(),
+                clock,
+            )?;
+            let wo = WriteOptions { sync: false };
+            for k in 0..keys.max(1) {
+                let key = rocklet_key(k);
+                if db.get(&key, clock)?.is_none() {
+                    db.put(&key, &value_for(spec.size.sample(&mut rng)), &wo, clock)?;
+                }
+            }
+            Ok(Backend::Rocklet { db })
+        }
+        TenantKind::Sqlight { rows } => {
+            let rows = rows.max(1);
+            let db = SqlightDb::open(
+                Arc::clone(fs),
+                &format!("{}/sql.db", spec.prefix),
+                SqlightOptions::default(),
+                clock,
+            )?;
+            if !db.tables().iter().any(|t| t == "kv") {
+                db.create_table("kv", clock)?;
+            }
+            for r in 0..rows as i64 {
+                match db.insert("kv", r, &value_for(spec.size.sample(&mut rng)), clock) {
+                    Ok(()) | Err(SqlError::DuplicateRow(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            // A warm mount may already hold rows from an earlier phase;
+            // fresh inserts must start past the highest existing rowid.
+            let mut next_row = rows as i64;
+            if let Some(max) = db.scan("kv", clock)?.iter().map(|&(id, _)| id).max() {
+                next_row = next_row.max(max + 1);
+            }
+            Ok(Backend::Sqlight { db, rows, next_row })
+        }
+    }
+}
+
+/// Executes one trace op against the tenant backend, charging the worker
+/// clock.
+fn execute(
+    target: &TrafficTarget,
+    t: &TenantRt,
+    op: &TraceOp,
+    write_buf: &[u8],
+    clock: &ActorClock,
+) -> TrafficResult<()> {
+    match &t.backend {
+        Backend::RawFs { fds, file_size } => {
+            let fd = fds[(op.obj % fds.len() as u64) as usize];
+            let len = op.len.clamp(1, *file_size) as usize;
+            let off = op.off.min(file_size - len as u64);
+            match op.kind {
+                OpKind::Read => {
+                    let mut buf = vec![0u8; len];
+                    target.fs.pread(fd, &mut buf, off, clock)?;
+                }
+                OpKind::Write => {
+                    target.fs.pwrite(fd, &write_buf[..len], off, clock)?;
+                }
+                OpKind::Fsync => {
+                    target.fs.fsync(fd, clock)?;
+                }
+            }
+        }
+        Backend::Rocklet { db } => {
+            let key = rocklet_key(op.obj);
+            match op.kind {
+                OpKind::Read => {
+                    db.get(&key, clock)?;
+                }
+                OpKind::Write | OpKind::Fsync => {
+                    let len = (op.len.max(1) as usize).min(write_buf.len());
+                    let wo = WriteOptions { sync: t.durable_writes };
+                    db.put(&key, &write_buf[..len], &wo, clock)?;
+                }
+            }
+        }
+        Backend::Sqlight { db, rows, next_row } => match op.kind {
+            OpKind::Read => {
+                db.get("kv", (op.obj % rows) as i64, clock)?;
+            }
+            OpKind::Write | OpKind::Fsync => {
+                let len = (op.len.max(1) as usize).min(write_buf.len());
+                match db.insert("kv", *next_row, &write_buf[..len], clock) {
+                    Ok(()) | Err(SqlError::DuplicateRow(_)) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        },
+    }
+    Ok(())
+}
+
+/// Fixed-width key encoding so rocklet keys sort by rank.
+fn rocklet_key(obj: u64) -> Vec<u8> {
+    format!("user{obj:016}").into_bytes()
+}
+
+/// Deterministic value payload of the sampled size.
+fn value_for(len: u64) -> Vec<u8> {
+    vec![0x76u8; len.max(1) as usize]
+}

@@ -1,0 +1,444 @@
+//! Synthetic trace generation: seeded zipfian popularity, read/write/fsync
+//! mixes, request-size distributions and arrival processes.
+//!
+//! Everything here is pure computation over a [`rand::rngs::StdRng`]: the
+//! same [`TenantSpec`] and seed always produce the same
+//! byte sequence from [`TenantTrace::encode`], which is what the
+//! seeded-determinism tests compare.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simclock::SimTime;
+
+use crate::tenant::{TenantKind, TenantSpec};
+
+/// YCSB-style zipfian sampler over ranks `0..n` with skew `theta ∈ [0, 1)`.
+///
+/// Rank 0 is the most popular object; `theta = 0` degenerates to uniform.
+/// Uses the Gray et al. rejection-free formula (precomputed `zeta(n)`,
+/// `alpha = 1/(1-theta)`, `eta`), as popularised by YCSB's
+/// `ZipfianGenerator`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `theta` is outside `[0, 1)` (the closed-form
+    /// inverse only holds for skew below 1).
+    pub fn new(n: u64, theta: f64) -> ZipfSampler {
+        assert!(n > 0, "zipf over an empty universe");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1), got {theta}");
+        let zeta = |n: u64| -> f64 { (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum() };
+        let zeta_n = zeta(n);
+        let zeta_2 = zeta(2.min(n));
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        ZipfSampler { n, theta, alpha, zeta_n, eta }
+    }
+
+    /// Number of distinct ranks.
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `0..n` (0 = hottest).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.n >= 2 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+/// Request-size distribution (bytes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeDist {
+    /// Every request is exactly this many bytes.
+    Fixed(u64),
+    /// Uniform over `[min, max]`.
+    Uniform {
+        /// Smallest request, bytes.
+        min: u64,
+        /// Largest request, bytes (inclusive).
+        max: u64,
+    },
+    /// Weighted choice among `(bytes, weight)` pairs, e.g. a bimodal
+    /// point-lookup/scan mix.
+    Choice(Vec<(u64, u32)>),
+}
+
+impl SizeDist {
+    /// Draws one request size. Never returns 0.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match self {
+            SizeDist::Fixed(n) => (*n).max(1),
+            SizeDist::Uniform { min, max } => {
+                let (lo, hi) = ((*min).max(1), (*max).max(*min).max(1));
+                rng.gen_range(lo..=hi)
+            }
+            SizeDist::Choice(arms) => {
+                let total: u64 = arms.iter().map(|&(_, w)| w as u64).sum();
+                assert!(total > 0, "SizeDist::Choice needs a positive total weight");
+                let mut pick = rng.gen_range(0..total);
+                for &(bytes, w) in arms {
+                    if pick < w as u64 {
+                        return bytes.max(1);
+                    }
+                    pick -= w as u64;
+                }
+                unreachable!("weights exhausted")
+            }
+        }
+    }
+
+    /// Largest size the distribution can produce (for buffer sizing).
+    pub fn max_bytes(&self) -> u64 {
+        match self {
+            SizeDist::Fixed(n) => (*n).max(1),
+            SizeDist::Uniform { min, max } => (*max).max(*min).max(1),
+            SizeDist::Choice(arms) => arms.iter().map(|&(b, _)| b).max().unwrap_or(1).max(1),
+        }
+    }
+}
+
+/// One operation class in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Point read (pread / get).
+    Read,
+    /// Write (pwrite / put / insert).
+    Write,
+    /// Explicit durability barrier (raw-FS tenants only; DB tenants get
+    /// durability from synchronous write options instead).
+    Fsync,
+}
+
+/// Read/write/fsync mix knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Percentage of operations that are reads (0..=100).
+    pub read_pct: u32,
+    /// Emit one fsync after every N writes (0 = never). For DB tenants this
+    /// instead turns on synchronous/durable writes.
+    pub fsync_every: u32,
+}
+
+impl OpMix {
+    /// A read-heavy mix (95% reads, no explicit fsync).
+    pub fn read_heavy() -> OpMix {
+        OpMix { read_pct: 95, fsync_every: 0 }
+    }
+
+    /// A write-heavy durable mix (10% reads, fsync after every write).
+    pub fn write_heavy_durable() -> OpMix {
+        OpMix { read_pct: 10, fsync_every: 1 }
+    }
+}
+
+/// On/off burst phases for an open-loop arrival process: arrivals are only
+/// generated during `on` windows; the gaps between windows last `off`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// Length of each on-phase.
+    pub on: SimTime,
+    /// Quiet gap between on-phases.
+    pub off: SimTime,
+}
+
+/// How a tenant offers load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Fixed-concurrency closed loop: each of `concurrency` workers issues
+    /// its next op as soon as the previous one completes. Offered rate is
+    /// whatever the system sustains.
+    ClosedLoop {
+        /// Number of concurrent workers.
+        concurrency: usize,
+    },
+    /// Open loop: arrivals follow a Poisson process at `rate_ops_per_sec`,
+    /// optionally gated into bursty on/off phases; `workers` service them.
+    /// Latency counts queueing delay from the *arrival* timestamp.
+    OpenLoop {
+        /// Mean offered rate during on-phases, operations per second.
+        rate_ops_per_sec: f64,
+        /// Number of concurrent service workers.
+        workers: usize,
+        /// Optional on/off burst gating.
+        burst: Option<Burst>,
+    },
+}
+
+impl Arrival {
+    /// Number of engine workers this arrival model needs.
+    pub fn workers(&self) -> usize {
+        match *self {
+            Arrival::ClosedLoop { concurrency } => concurrency.max(1),
+            Arrival::OpenLoop { workers, .. } => workers.max(1),
+        }
+    }
+
+    /// The configured offered rate, when the model has one (open loop).
+    pub fn offered_ops_per_sec(&self) -> Option<f64> {
+        match *self {
+            Arrival::ClosedLoop { .. } => None,
+            Arrival::OpenLoop { rate_ops_per_sec, .. } => Some(rate_ops_per_sec),
+        }
+    }
+}
+
+/// One generated operation. `arrival` is relative to the run start
+/// (always zero for closed-loop tenants: issue as soon as a worker frees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Arrival offset from run start (open loop) or zero (closed loop).
+    pub arrival: SimTime,
+    /// Operation class.
+    pub kind: OpKind,
+    /// Object rank: file index (raw FS) or key/row index (DB tenants).
+    pub obj: u64,
+    /// Byte offset within the object (raw FS only, 512-aligned).
+    pub off: u64,
+    /// Request length in bytes (read/write), 0 for fsync.
+    pub len: u64,
+}
+
+impl TraceOp {
+    /// Serialises the op to a fixed 33-byte little-endian record, for
+    /// byte-exact trace comparison in determinism tests.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.arrival.as_nanos().to_le_bytes());
+        out.push(match self.kind {
+            OpKind::Read => 0,
+            OpKind::Write => 1,
+            OpKind::Fsync => 2,
+        });
+        out.extend_from_slice(&self.obj.to_le_bytes());
+        out.extend_from_slice(&self.off.to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+    }
+}
+
+/// A fully materialised per-tenant trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantTrace {
+    /// Operations in arrival order.
+    pub ops: Vec<TraceOp>,
+}
+
+impl TenantTrace {
+    /// Generates the trace for `spec` from `seed`. Deterministic: equal
+    /// `(spec, seed)` always yields an identical trace.
+    pub fn generate(spec: &TenantSpec, seed: u64) -> TenantTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let zipf = ZipfSampler::new(spec.object_count(), spec.theta);
+        let explicit_fsync =
+            matches!(spec.kind, TenantKind::RawFs { .. }) && spec.mix.fsync_every > 0;
+        let file_size = match spec.kind {
+            TenantKind::RawFs { file_size, .. } => file_size,
+            _ => 0,
+        };
+
+        let mut ops = Vec::with_capacity(spec.ops as usize);
+        let mut next_arrival = SimTime::ZERO;
+        let mut writes_since_fsync = 0u32;
+        while (ops.len() as u64) < spec.ops {
+            let arrival = match spec.arrival {
+                Arrival::ClosedLoop { .. } => SimTime::ZERO,
+                Arrival::OpenLoop { rate_ops_per_sec, burst, .. } => {
+                    let u: f64 = rng.gen();
+                    let gap = -(1.0 - u).ln() / rate_ops_per_sec.max(1e-9);
+                    next_arrival = SimTime::from_nanos(
+                        next_arrival.as_nanos() + SimTime::from_secs_f64(gap).as_nanos().max(1),
+                    );
+                    if let Some(Burst { on, off }) = burst {
+                        // Skip arrivals that land in an off-phase to the
+                        // start of the next on-phase.
+                        let period = on.as_nanos().max(1) + off.as_nanos();
+                        let pos = next_arrival.as_nanos() % period;
+                        if pos >= on.as_nanos() {
+                            next_arrival =
+                                SimTime::from_nanos(next_arrival.as_nanos() - pos + period);
+                        }
+                    }
+                    next_arrival
+                }
+            };
+            let is_read = rng.gen_range(0u32..100) < spec.mix.read_pct;
+            let obj = zipf.sample(&mut rng);
+            let len = spec.size.sample(&mut rng);
+            let (off, len) = if file_size > 0 {
+                let len = len.min(file_size);
+                let span = (file_size - len) / 512;
+                (rng.gen_range(0..=span) * 512, len)
+            } else {
+                (0, len)
+            };
+            let kind = if is_read { OpKind::Read } else { OpKind::Write };
+            ops.push(TraceOp { arrival, kind, obj, off, len });
+            if !is_read && explicit_fsync {
+                writes_since_fsync += 1;
+                if writes_since_fsync >= spec.mix.fsync_every && (ops.len() as u64) < spec.ops {
+                    writes_since_fsync = 0;
+                    ops.push(TraceOp { arrival, kind: OpKind::Fsync, obj, off: 0, len: 0 });
+                }
+            }
+        }
+        TenantTrace { ops }
+    }
+
+    /// Serialises the whole trace for byte-exact comparison.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.ops.len() * 33);
+        for op in &self.ops {
+            op.encode(&mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::{TenantKind, TenantSpec};
+
+    fn raw_spec(arrival: Arrival) -> TenantSpec {
+        TenantSpec {
+            name: "t".into(),
+            prefix: "/t".into(),
+            kind: TenantKind::RawFs { files: 8, file_size: 1 << 20 },
+            mix: OpMix { read_pct: 50, fsync_every: 4 },
+            arrival,
+            theta: 0.9,
+            ops: 2_000,
+            size: SizeDist::Uniform { min: 512, max: 16 << 10 },
+        }
+    }
+
+    #[test]
+    fn same_seed_same_bytes_different_seed_differs() {
+        let spec = raw_spec(Arrival::ClosedLoop { concurrency: 4 });
+        let a = TenantTrace::generate(&spec, 7).encode();
+        let b = TenantTrace::generate(&spec, 7).encode();
+        let c = TenantTrace::generate(&spec, 8).encode();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_monotone_and_positive() {
+        let spec =
+            raw_spec(Arrival::OpenLoop { rate_ops_per_sec: 10_000.0, workers: 2, burst: None });
+        let trace = TenantTrace::generate(&spec, 1);
+        let mut last = SimTime::ZERO;
+        for op in &trace.ops {
+            assert!(op.arrival >= last, "arrivals must be sorted");
+            last = op.arrival;
+        }
+        assert!(last > SimTime::ZERO);
+    }
+
+    #[test]
+    fn bursty_arrivals_avoid_off_phases() {
+        let burst = Burst { on: SimTime::from_millis(10), off: SimTime::from_millis(90) };
+        let spec = raw_spec(Arrival::OpenLoop {
+            rate_ops_per_sec: 5_000.0,
+            workers: 2,
+            burst: Some(burst),
+        });
+        let trace = TenantTrace::generate(&spec, 3);
+        let period = burst.on.as_nanos() + burst.off.as_nanos();
+        for op in &trace.ops {
+            assert!(
+                op.arrival.as_nanos() % period < burst.on.as_nanos(),
+                "arrival {:?} inside an off-phase",
+                op.arrival
+            );
+        }
+    }
+
+    #[test]
+    fn fsyncs_only_on_rawfs_and_follow_writes() {
+        let spec = raw_spec(Arrival::ClosedLoop { concurrency: 1 });
+        let trace = TenantTrace::generate(&spec, 5);
+        let fsyncs = trace.ops.iter().filter(|o| o.kind == OpKind::Fsync).count();
+        assert!(fsyncs > 0, "raw-FS spec with fsync_every=4 should emit fsyncs");
+        let mut db_spec = spec;
+        db_spec.kind = TenantKind::Rocklet { keys: 100 };
+        let trace = TenantTrace::generate(&db_spec, 5);
+        assert!(trace.ops.iter().all(|o| o.kind != OpKind::Fsync));
+    }
+
+    #[test]
+    fn zipf_rank_frequency_slope_matches_theta() {
+        // Sample heavily, fit log(freq) ~ slope * log(rank+1) over the head
+        // of the popularity distribution; the slope of a zipfian with skew
+        // theta is -theta.
+        for &theta in &[0.6, 0.9] {
+            let zipf = ZipfSampler::new(1_000, theta);
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut counts = vec![0u64; 1_000];
+            for _ in 0..300_000 {
+                counts[zipf.sample(&mut rng) as usize] += 1;
+            }
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let pts: Vec<(f64, f64)> = (0..100)
+                .filter(|&r| counts[r] > 0)
+                .map(|r| (((r + 1) as f64).ln(), (counts[r] as f64).ln()))
+                .collect();
+            let n = pts.len() as f64;
+            let (sx, sy): (f64, f64) = pts.iter().fold((0.0, 0.0), |a, p| (a.0 + p.0, a.1 + p.1));
+            let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+            let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+            let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+            assert!(
+                (slope + theta).abs() < 0.15,
+                "theta {theta}: fitted slope {slope:.3}, want ≈ {:.3}",
+                -theta
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let zipf = ZipfSampler::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < 2 * *min, "uniform-ish spread, got min {min} max {max}");
+    }
+
+    #[test]
+    fn size_dist_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let u = SizeDist::Uniform { min: 100, max: 200 };
+        for _ in 0..1_000 {
+            let s = u.sample(&mut rng);
+            assert!((100..=200).contains(&s));
+        }
+        let c = SizeDist::Choice(vec![(512, 9), (1 << 20, 1)]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            seen.insert(c.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+        assert_eq!(c.max_bytes(), 1 << 20);
+    }
+}

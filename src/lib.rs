@@ -8,6 +8,7 @@
 //! * [`vfs`] — the POSIX boundary and baseline file systems.
 //! * [`nvmm`], [`blockdev`] — the hardware simulators.
 //! * [`rocklet`], [`sqlight`], [`fiosim`] — the legacy-application stand-ins.
+//! * [`traffic`] — deterministic multi-tenant trace replay.
 //! * [`simclock`] — virtual time.
 
 pub use blockdev;
@@ -17,4 +18,5 @@ pub use nvmm;
 pub use rocklet;
 pub use simclock;
 pub use sqlight;
+pub use traffic;
 pub use vfs;
