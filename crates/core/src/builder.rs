@@ -325,7 +325,16 @@ fn format_region(region: &NvRegion, cfg: &NvCacheConfig, clock: &ActorClock) -> 
     // v1/v2 formats), so a one-backend builder mount stays seed-identical.
     let backends_word = if cfg.backends > 1 { cfg.backends as u64 } else { 0 };
     region.write_u64(layout::OFF_BACKENDS, backends_word, clock);
-    region.pwb(0, layout::HEADER_BYTES as usize);
+    // Flush only the written header prefix, not all of `HEADER_BYTES`: the
+    // rest of the header area is never-stored padding, and flushing those
+    // clean lines is pure overhead (flagged by the pmcheck redundant-pwb
+    // lint). The stripe-tail array is the last field written (shards > 1).
+    let header_written = if cfg.log_shards > 1 {
+        layout::OFF_STRIPE_TAILS + 8 * cfg.log_shards as u64
+    } else {
+        layout::OFF_BACKENDS + 8
+    };
+    region.pwb(0, header_written as usize);
     for slot in 0..cfg.fd_slots {
         let base = lay.fd_slot(slot);
         region.write_u64(base, 0, clock);

@@ -17,6 +17,7 @@ use vfs::{Fd, FileSystem, IoError, IoResult, Metadata, OpenFlags, SeekFrom};
 use crate::builder::{Mount, NvCacheBuilder};
 use crate::files::{FdSlotAllocator, FileState, OpenedFile, PersistentFdTable};
 use crate::layout::{self, Layout};
+use crate::lockcheck::{Class, Recorder};
 use crate::log::Log;
 use crate::migrate::{MigrationPolicy, Migrator, RebalanceReport};
 use crate::pagedesc::PageDescriptor;
@@ -91,6 +92,12 @@ pub(crate) struct Shared {
     pub track_heat: bool,
     /// The policy's decay half-life, cached alongside for the same reason.
     pub heat_half_life: Option<simclock::SimTime>,
+    /// The mount's lock-order recorder (zero-sized and inert unless the
+    /// `pmcheck` feature is on): every blocking lock acquisition in the
+    /// crate reports here, and a cyclic acquisition order panics with the
+    /// offending edge chain. Shared with the [`Log`]'s stripes and the
+    /// [`Migrator`].
+    pub lockcheck: Recorder,
 }
 
 impl Shared {
@@ -119,6 +126,7 @@ impl Shared {
     }
 
     pub fn opened_by_slot(&self, slot: u32) -> Option<Arc<OpenedFile>> {
+        let _lk = self.lockcheck.acquire(Class::OpenedMap, 0);
         self.opened.read().get(&slot).cloned()
     }
 
@@ -143,9 +151,13 @@ impl Shared {
     /// references `path` — such a file owns pending log entries tied to its
     /// recorded backend and must not migrate.
     pub fn path_is_open_or_draining(&self, path: &str) -> bool {
-        if self.opened.read().values().any(|o| o.file.path == path) {
-            return true;
+        {
+            let _lk = self.lockcheck.acquire(Class::OpenedMap, 0);
+            if self.opened.read().values().any(|o| o.file.path == path) {
+                return true;
+            }
         }
+        let _lk = self.lockcheck.acquire(Class::Zombies, 0);
         self.zombies.lock().iter().any(|z| z.opened.file.path == path)
     }
 
@@ -165,11 +177,17 @@ impl Shared {
     /// file's bytes live where they were written, not where the router
     /// would place the path today.
     pub fn recorded_backend(&self, path: &str) -> Option<u32> {
-        if let Some(o) = self.opened.read().values().find(|o| o.file.path == path) {
-            return Some(o.backend);
+        {
+            let _lk = self.lockcheck.acquire(Class::OpenedMap, 0);
+            if let Some(o) = self.opened.read().values().find(|o| o.file.path == path) {
+                return Some(o.backend);
+            }
         }
-        if let Some(z) = self.zombies.lock().iter().find(|z| z.opened.file.path == path) {
-            return Some(z.opened.backend);
+        {
+            let _lk = self.lockcheck.acquire(Class::Zombies, 0);
+            if let Some(z) = self.zombies.lock().iter().find(|z| z.opened.file.path == path) {
+                return Some(z.opened.backend);
+            }
         }
         self.migrator.backend_of(path)
     }
@@ -248,7 +266,17 @@ impl Shared {
                     .collect(),
                 None => Vec::new(),
             };
-            let guards: Vec<_> = descs.iter().map(|d| d.lock_cleanup()).collect();
+            let first_page = self.pages_of(hdr.file_off, hdr.len as usize).start;
+            let mut guards = Vec::with_capacity(descs.len());
+            let mut _lock_order = Vec::with_capacity(descs.len());
+            for (j, d) in descs.iter().enumerate() {
+                _lock_order.push(self.lockcheck.acquire_page(
+                    Class::PageCleanup,
+                    opened.file.file_id,
+                    first_page + j as u64,
+                ));
+                guards.push(d.lock_cleanup());
+            }
             let _ = self.inner_of(opened).pwrite(opened.inner_fd, &data, hdr.file_off, clock);
             drop(guards);
         }
@@ -257,14 +285,20 @@ impl Shared {
     /// Completes a deferred close: releases the inner fd, the persistent fd
     /// slot and, on last close, the file structure and its cached pages.
     pub fn finish_close(&self, opened: &Arc<OpenedFile>, clock: &ActorClock) {
-        self.opened.write().remove(&opened.slot);
+        {
+            let _lk = self.lockcheck.acquire(Class::OpenedMap, 0);
+            self.opened.write().remove(&opened.slot);
+        }
         let _ = self.inner_of(opened).close(opened.inner_fd, clock);
         PersistentFdTable::clear(&self.log.region, &self.log.layout, opened.slot, clock);
         self.fd_slots.release(opened.slot);
         if opened.file.open_count.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.pool.purge_file(opened.file.file_id);
             let (dev, ino) = opened.file.dev_ino;
-            self.files.lock().remove(&(opened.backend, dev, ino));
+            {
+                let _lk = self.lockcheck.acquire(Class::FilesMap, 0);
+                self.files.lock().remove(&(opened.backend, dev, ino));
+            }
             if self.migration_enabled() {
                 // The file is now closed and drained: catalog it (with its
                 // accumulated access heat, size and decaying temperature)
@@ -287,6 +321,7 @@ impl Shared {
     /// tail.
     pub fn drain_zombies(&self, clock: &ActorClock) {
         let ready: Vec<Zombie> = {
+            let _lk = self.lockcheck.acquire(Class::Zombies, 0);
             let mut z = self.zombies.lock();
             let (done, keep): (Vec<Zombie>, Vec<Zombie>) =
                 z.drain(..).partition(|zb| self.log.drained_to(&zb.drain_targets));
@@ -369,7 +404,16 @@ impl Shared {
         let pages = self.pages_of(off, data.len());
         let first_page = pages.start;
         let descs: Vec<Arc<PageDescriptor>> = pages.map(|p| radix.get_or_create(p)).collect();
-        let guards: Vec<_> = descs.iter().map(|d| d.lock()).collect();
+        let mut guards = Vec::with_capacity(descs.len());
+        let mut _lock_order = Vec::with_capacity(descs.len());
+        for (j, d) in descs.iter().enumerate() {
+            _lock_order.push(self.lockcheck.acquire_page(
+                Class::PageAtomic,
+                file.file_id,
+                first_page + j as u64,
+            ));
+            guards.push(d.lock());
+        }
 
         // Append to the write cache (Algorithm 1 ll.14-27). Fails if the
         // stripe was poisoned by an inner I/O error (its worker is gone, so
@@ -484,12 +528,22 @@ impl Shared {
         let pages = self.pages_of(off, n);
         let first_page = pages.start;
         let descs: Vec<Arc<PageDescriptor>> = pages.map(|p| radix.get_or_create(p)).collect();
-        let mut guards: Vec<_> = descs.iter().map(|d| d.lock()).collect();
+        let mut guards = Vec::with_capacity(descs.len());
+        let mut _lock_order = Vec::with_capacity(descs.len());
+        for (j, d) in descs.iter().enumerate() {
+            _lock_order.push(self.lockcheck.acquire_page(
+                Class::PageAtomic,
+                file.file_id,
+                first_page + j as u64,
+            ));
+            guards.push(d.lock());
+        }
         for (j, d) in descs.iter().enumerate() {
             let p = first_page + j as u64;
             if guards[j].content.is_none() {
                 self.stats.read_misses.fetch_add(1, Ordering::Relaxed);
                 self.pool.make_room(&self.stats);
+                let _cl = self.lockcheck.acquire_page(Class::PageCleanup, file.file_id, p);
                 let cleanup_guard = d.lock_cleanup();
                 let mut page_buf = vec![0u8; ps as usize];
                 self.inner_of(opened).pread(opened.inner_fd, &mut page_buf, p * ps, clock)?;
@@ -644,9 +698,11 @@ impl NvCache {
             && (cfg.migration != MigrationPolicy::Disabled || cfg.cross_tier_rename);
         let track_heat = migration_enabled && placement.uses_temperature();
         let heat_half_life = placement.half_life();
+        let log = Log::new(region, lay, 0);
+        let lockcheck = log.lockcheck.clone();
         let shared = Arc::new(Shared {
             pool: ReadCache::new(cfg.read_cache_pages),
-            log: Log::new(region, lay, 0),
+            log,
             backends,
             router,
             files: Mutex::new(HashMap::new()),
@@ -664,10 +720,11 @@ impl NvCache {
             cleanup_clocks: cleanup_clocks.into_boxed_slice(),
             next_file_id: AtomicU64::new(1),
             in_flight: in_flight.into_boxed_slice(),
-            migrator: Migrator::new(),
+            migrator: Migrator::new(lockcheck.clone()),
             placement,
             track_heat,
             heat_half_life,
+            lockcheck,
             cfg,
         });
         if shared.migration_enabled() {
@@ -689,7 +746,25 @@ impl NvCache {
                 let worker = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("nvcache-cleanup-{stripe}"))
-                    .spawn(move || crate::cleanup::run_cleanup(worker, stripe))
+                    .spawn(move || {
+                        // Under pmcheck a checker violation panics the
+                        // worker; poison its stripe first so flush_to
+                        // waiters fail instead of hanging forever.
+                        #[cfg(feature = "pmcheck")]
+                        {
+                            let shared = Arc::clone(&worker);
+                            if let Err(panic) =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    crate::cleanup::run_cleanup(worker, stripe)
+                                }))
+                            {
+                                shared.log.stripes[stripe].poison();
+                                std::panic::resume_unwind(panic);
+                            }
+                        }
+                        #[cfg(not(feature = "pmcheck"))]
+                        crate::cleanup::run_cleanup(worker, stripe)
+                    })
                     .expect("spawn cleanup worker")
             })
             .collect();
@@ -841,11 +916,21 @@ impl NvCache {
 
     /// Descriptor-table occupancy: `(free, open, zombie)` slot counts.
     pub fn fd_slot_usage(&self) -> (usize, usize, usize) {
-        (
-            self.shared.fd_slots.free_count() as usize,
-            self.shared.opened.read().len(),
-            self.shared.zombies.lock().len(),
-        )
+        let free = self.shared.fd_slots.free_count() as usize;
+        // One table at a time: building the tuple in a single expression
+        // kept the `opened` read guard alive across the `zombies` lock
+        // (tuple temporaries drop at statement end), which is the reverse
+        // of the zombies → opened order the open() slot-retry loop uses —
+        // a deadlock window whenever a writer is queued on `opened`.
+        let open = {
+            let _lk = self.shared.lockcheck.acquire(Class::OpenedMap, 0);
+            self.shared.opened.read().len()
+        };
+        let zombie = {
+            let _lk = self.shared.lockcheck.acquire(Class::Zombies, 0);
+            self.shared.zombies.lock().len()
+        };
+        (free, open, zombie)
     }
 
     /// Blocks until every entry currently in any stripe has been propagated
@@ -970,6 +1055,28 @@ impl NvCache {
     }
 }
 
+#[cfg(feature = "pmcheck")]
+impl NvCache {
+    /// Every persistency-ordering violation the shadow checker recorded on
+    /// this mount's DIMM (each one also panicked at its detection site).
+    /// Empty on a clean run.
+    pub fn pm_violations(&self) -> Vec<String> {
+        self.shared.log.region.pm_violations()
+    }
+
+    /// Every lock-order violation (cycle, page-order inversion, illegal
+    /// re-entry) the recorder caught on this mount. Empty on a clean run.
+    pub fn lock_order_violations(&self) -> Vec<String> {
+        self.shared.lockcheck.violations()
+    }
+
+    /// Number of distinct acquisition-order edges the recorder has observed
+    /// — test instrumentation proving lock tracking is actually live.
+    pub fn lock_order_edges(&self) -> usize {
+        self.shared.lockcheck.edge_count()
+    }
+}
+
 impl Drop for NvCache {
     fn drop(&mut self) {
         self.abort();
@@ -1034,6 +1141,7 @@ impl NvCache {
         let inner = &self.shared.backends[backend_idx];
         let meta = inner.fstat(inner_fd, clock)?;
         let file = {
+            let _lk = self.shared.lockcheck.acquire(Class::FilesMap, 0);
             let mut files = self.shared.files.lock();
             Arc::clone(files.entry((backend_idx as u32, meta.dev, meta.ino)).or_insert_with(|| {
                 // The file leaves the migrator's closed-file catalog while
@@ -1090,14 +1198,19 @@ impl NvCache {
                         // error below.
                         break;
                     }
-                    if self.shared.zombies.lock().is_empty()
-                        && self
-                            .shared
-                            .opened
-                            .read()
-                            .values()
-                            .all(|o| !o.closing.load(Ordering::Acquire))
-                    {
+                    let out_of_descriptors = {
+                        let _lz = self.shared.lockcheck.acquire(Class::Zombies, 0);
+                        let zombies = self.shared.zombies.lock();
+                        zombies.is_empty() && {
+                            let _lo = self.shared.lockcheck.acquire(Class::OpenedMap, 0);
+                            self.shared
+                                .opened
+                                .read()
+                                .values()
+                                .all(|o| !o.closing.load(Ordering::Acquire))
+                        }
+                    };
+                    if out_of_descriptors {
                         break; // genuinely out of descriptors
                     }
                     std::thread::yield_now();
@@ -1135,7 +1248,10 @@ impl NvCache {
             inner_fd,
             closing: AtomicBool::new(false),
         });
-        self.shared.opened.write().insert(slot, opened);
+        {
+            let _lk = self.shared.lockcheck.acquire(Class::OpenedMap, 0);
+            self.shared.opened.write().insert(slot, opened);
+        }
         Ok(Fd(slot as u64))
     }
 
@@ -1228,7 +1344,10 @@ impl NvCache {
         gate.exit_op(to);
         gate.exit_op(from);
         let claimed_from = gate.try_claim(from);
+        let _claim_from =
+            claimed_from.then(|| shared.lockcheck.acquire_try(Class::MigrationGate, 0));
         let claimed_to = claimed_from && gate.try_claim(to);
+        let _claim_to = claimed_to.then(|| shared.lockcheck.acquire_try(Class::MigrationGate, 0));
         let result = if !claimed_to {
             Err(IoError::Busy(format!("{from} -> {to}: another migration is in flight")))
         } else if shared.path_is_open_or_draining(from) || shared.path_is_open_or_draining(to) {
@@ -1285,6 +1404,7 @@ impl FileSystem for NvCache {
         // A file mid-migration must not be opened (the copy is incomplete
         // on the target tier): take a gate lease for the whole open.
         let gated = self.shared.migration_enabled();
+        let _gate = gated.then(|| self.shared.lockcheck.acquire(Class::MigrationGate, 0));
         if gated {
             self.shared.migrator.gate.enter_op(&path);
         }
@@ -1317,7 +1437,10 @@ impl FileSystem for NvCache {
         if self.shared.log.drained_to(&targets) {
             self.shared.finish_close(&opened, clock);
         } else {
-            self.shared.zombies.lock().push(Zombie { opened, drain_targets: targets });
+            {
+                let _lk = self.shared.lockcheck.acquire(Class::Zombies, 0);
+                self.shared.zombies.lock().push(Zombie { opened, drain_targets: targets });
+            }
             self.shared.log.notify_work_all();
         }
         Ok(())
@@ -1384,6 +1507,7 @@ impl FileSystem for NvCache {
                     // The kernel's size may be stale; NVCache's own is
                     // authoritative (paper Table III: stat uses NVCache
                     // size).
+                    let _lk = self.shared.lockcheck.acquire(Class::FilesMap, 0);
                     if let Some(file) =
                         self.shared.files.lock().get(&(backend as u32, meta.dev, meta.ino))
                     {
@@ -1406,6 +1530,7 @@ impl FileSystem for NvCache {
         clock.advance(self.shared.cfg.libc_overhead);
         let path = vfs::normalize_path(path);
         let gated = self.shared.migration_enabled();
+        let _gate = gated.then(|| self.shared.lockcheck.acquire(Class::MigrationGate, 0));
         if gated {
             // The victim must not be mid-migration (the copy would
             // resurrect it).
@@ -1451,6 +1576,8 @@ impl FileSystem for NvCache {
             return self.shared.backends[0].rename(&from, &to, clock);
         }
         let gated = self.shared.migration_enabled();
+        let _gate_from = gated.then(|| self.shared.lockcheck.acquire(Class::MigrationGate, 0));
+        let _gate_to = gated.then(|| self.shared.lockcheck.acquire(Class::MigrationGate, 0));
         if gated {
             self.shared.migrator.gate.enter_op(&from);
             self.shared.migrator.gate.enter_op(&to);

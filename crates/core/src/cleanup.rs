@@ -181,6 +181,7 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
                 // timeline against in-flight application flushes).
                 let data = stripe.read_data_cached(seq + i, e.len as usize);
                 let pages = shared.pages_of(e.file_off, e.len as usize);
+                let first_page = pages.start;
                 let descs: Vec<_> = match opened.file.radix.get() {
                     Some(radix) => pages.map(|p| radix.get_or_create(p)).collect(),
                     None => Vec::new(),
@@ -201,7 +202,16 @@ pub(crate) fn run_cleanup(shared: Arc<Shared>, stripe_idx: usize) {
                 // while the kernel copy is being updated (paper §II-D). The
                 // write itself executes here (submission order is execution
                 // order); only its completion time is deferred to the reap.
-                let guards: Vec<_> = descs.iter().map(|d| d.lock_cleanup()).collect();
+                let mut guards = Vec::with_capacity(descs.len());
+                let mut _lock_order = Vec::with_capacity(descs.len());
+                for (j, d) in descs.iter().enumerate() {
+                    _lock_order.push(shared.lockcheck.acquire_page(
+                        crate::lockcheck::Class::PageCleanup,
+                        opened.file.file_id,
+                        first_page + j as u64,
+                    ));
+                    guards.push(d.lock_cleanup());
+                }
                 let backend = opened.backend as usize;
                 let cqe = rings[backend].submit_pwrite(
                     opened.inner_fd,

@@ -183,9 +183,15 @@ impl FdSlotAllocator {
 pub(crate) struct PersistentFdTable;
 
 impl PersistentFdTable {
-    /// Persists `path` (and, on a tiered layout, `backend`) into `slot`
-    /// (write + flush + fence: the slot must be durable before any entry
-    /// referencing it commits).
+    /// Persists `path` (and, on a tiered layout, `backend`) into `slot` in
+    /// two ordered phases: payload (backend word + path) written, flushed
+    /// and **fenced first**, then the valid word published with a
+    /// [`commit_store`](NvRegion::commit_store) and fenced. The slot must be
+    /// durable before any entry referencing it commits — and the valid word
+    /// must never be able to reach the media *before* the path it
+    /// validates. (A single fence over the whole slot was not enough: cache
+    /// eviction may persist the valid word's line on a crash while the path
+    /// lines are still dirty, and recovery would then open a garbage path.)
     ///
     /// # Panics
     ///
@@ -210,9 +216,10 @@ impl PersistentFdTable {
             assert_eq!(backend, 0, "legacy fd slots cannot record a backend index");
         }
         region.write(base + layout.fd_path_off(), &buf, clock);
-        region.write_u64(base, FD_VALID_OPEN, clock);
-        region.pwb(base, FD_SLOT_BYTES as usize);
-        region.pfence(clock);
+        region.pwb(base + FD_BACKEND_OFF, FD_SLOT_BYTES as usize - FD_BACKEND_OFF as usize);
+        region.persist_fence(clock);
+        region.commit_store(base, FD_VALID_OPEN, clock);
+        region.persist_fence(clock);
     }
 
     /// Persists a **migration journal** into `slot` (v3 layouts only): the
@@ -240,9 +247,10 @@ impl PersistentFdTable {
         buf[..bytes.len()].copy_from_slice(bytes);
         region.write_u64(base + FD_BACKEND_OFF, backend as u64, clock);
         region.write(base + layout.fd_path_off(), &buf, clock);
-        region.write_u64(base, FD_VALID_MIGRATION, clock);
-        region.pwb(base, FD_SLOT_BYTES as usize);
-        region.pfence(clock);
+        region.pwb(base + FD_BACKEND_OFF, FD_SLOT_BYTES as usize - FD_BACKEND_OFF as usize);
+        region.persist_fence(clock);
+        region.commit_store(base, FD_VALID_MIGRATION, clock);
+        region.persist_fence(clock);
     }
 
     /// Atomically flips the backend word of a journal (or open) slot — the
@@ -258,9 +266,8 @@ impl PersistentFdTable {
     ) {
         assert!(layout.tiered(), "backend stamps need the v3 (tiered) slot layout");
         let base = layout.fd_slot(slot);
-        region.write_u64(base + FD_BACKEND_OFF, backend as u64, clock);
-        region.pwb(base + FD_BACKEND_OFF, 8);
-        region.pfence(clock);
+        region.commit_store(base + FD_BACKEND_OFF, backend as u64, clock);
+        region.persist_fence(clock);
     }
 
     /// Reads `slot` as a migration journal, returning `(path, backend)` if
@@ -294,9 +301,8 @@ impl PersistentFdTable {
     /// so no entry can still reference it).
     pub fn clear(region: &NvRegion, layout: &Layout, slot: u32, clock: &ActorClock) {
         let base = layout.fd_slot(slot);
-        region.write_u64(base, 0, clock);
-        region.pwb(base, 8);
-        region.pfence(clock);
+        region.commit_store(base, 0, clock);
+        region.persist_fence(clock);
     }
 
     /// Reads `slot`, returning the stored `(path, backend)` if valid (the

@@ -200,10 +200,13 @@ mod cleanup;
 mod config;
 mod files;
 pub mod layout;
+mod lockcheck;
 mod log;
 mod migrate;
 mod pagedesc;
 mod placement;
+#[cfg(feature = "pmcheck")]
+pub mod pm_mutation;
 mod radix;
 mod readcache;
 mod recovery;

@@ -15,6 +15,7 @@ use crate::layout::{
     self, CommitWord, Layout, COMMIT_LEADER, ENT_COMMIT, ENT_FD, ENT_FILE_OFF, ENT_GROUP_LEN,
     ENT_LEN, ENT_SEQ,
 };
+use crate::lockcheck::{Class, Recorder};
 use crate::NvCacheStats;
 
 /// Decoded entry header.
@@ -85,6 +86,9 @@ pub(crate) struct Stripe {
     space_cv: Condvar,
     work_lock: Mutex<()>,
     work_cv: Condvar,
+    /// Lock-order recorder shared with the owning mount (no-op unless the
+    /// `pmcheck` feature is on).
+    lockcheck: Recorder,
 }
 
 impl std::fmt::Debug for Stripe {
@@ -99,7 +103,13 @@ impl std::fmt::Debug for Stripe {
 }
 
 impl Stripe {
-    fn new(index: usize, region: NvRegion, layout: Layout, start_seq: u64) -> Self {
+    fn new(
+        index: usize,
+        region: NvRegion,
+        layout: Layout,
+        start_seq: u64,
+        lockcheck: Recorder,
+    ) -> Self {
         let cap = layout.stripe_entries() as usize;
         let mut stamps = Vec::with_capacity(cap);
         stamps.resize_with(cap, || AtomicU64::new(0));
@@ -122,6 +132,7 @@ impl Stripe {
             space_cv: Condvar::new(),
             work_lock: Mutex::new(()),
             work_cv: Condvar::new(),
+            lockcheck,
         }
     }
 
@@ -177,6 +188,12 @@ impl Stripe {
             );
         }
         self.region.write(base + layout::ENTRY_HEADER_BYTES, data, clock);
+        // Mutation hook: a skipped pwb leaves the entry Dirty at the commit
+        // fence, which pmcheck must flag there.
+        #[cfg(feature = "pmcheck")]
+        if crate::pm_mutation::take_skip_pwb() {
+            return;
+        }
         // Send the uncommitted entry towards NVMM (Algorithm 1, l.22).
         self.region.pwb(base, (layout::ENTRY_HEADER_BYTES as usize) + data.len());
     }
@@ -199,13 +216,32 @@ impl Stripe {
     /// Every group must already be filled; none of the groups is durable (or
     /// acknowledgeable) until this call returns.
     pub fn commit_batch(&self, groups: &[(u64, u64)], clock: &ActorClock) {
-        self.region.pfence(clock);
-        for &(first_seq, _) in groups {
-            let base = self.layout.entry(self.slot(first_seq));
-            self.region.write_u64(base + ENT_COMMIT, COMMIT_LEADER, clock);
-            self.region.pwb(base + ENT_COMMIT, 8);
+        // Mutation hooks: drop the ordering fence, or publish the commit
+        // word(s) before it — both must trip pmcheck's commit_store check.
+        #[cfg(feature = "pmcheck")]
+        let (drop_fence, reorder) =
+            (crate::pm_mutation::take_drop_fence(), crate::pm_mutation::take_reorder_commit());
+        #[cfg(not(feature = "pmcheck"))]
+        let (drop_fence, reorder) = (false, false);
+        let commit_words = |clock: &ActorClock| {
+            for &(first_seq, _) in groups {
+                let base = self.layout.entry(self.slot(first_seq));
+                // The annotated publish point: store + pwb of the leader's
+                // commit word, checked against the fence that covers the
+                // group's fills (Algorithm 1, ll.23–26).
+                self.region.commit_store(base + ENT_COMMIT, COMMIT_LEADER, clock);
+            }
+        };
+        if reorder {
+            commit_words(clock);
+            self.region.persist_fence(clock);
+        } else {
+            if !drop_fence {
+                self.region.persist_fence(clock);
+            }
+            commit_words(clock);
         }
-        self.region.psync(clock);
+        self.region.persist_barrier(clock);
         let now = clock.now().as_nanos();
         for &(first_seq, k) in groups {
             for i in 0..k {
@@ -261,7 +297,7 @@ impl Stripe {
         let tail_off = self.layout.stripe_tail_off(self.index as u64);
         self.region.write_u64(tail_off, from + count, clock);
         self.region.pwb(tail_off, 8);
-        self.region.pfence(clock);
+        self.region.persist_fence(clock);
         self.tail_time.store(clock.now().as_nanos(), Ordering::Release);
         self.vtail.store(from + count, Ordering::Release);
         self.notify_space();
@@ -283,18 +319,21 @@ impl Stripe {
 
     /// Wakes this stripe's cleanup worker.
     pub fn notify_work(&self) {
+        let _lk = self.lockcheck.acquire(Class::StripeWork, self.index as u64);
         let _g = self.work_lock.lock();
         self.work_cv.notify_all();
     }
 
     /// Wakes writers blocked on a full stripe and flush waiters.
     pub fn notify_space(&self) {
+        let _lk = self.lockcheck.acquire(Class::StripeSpace, self.index as u64);
         let _g = self.space_lock.lock();
         self.space_cv.notify_all();
     }
 
     /// Blocks this stripe's cleanup worker until there is (potential) work.
     pub fn wait_for_work(&self) {
+        let _lk = self.lockcheck.acquire(Class::StripeWork, self.index as u64);
         let mut guard = self.work_lock.lock();
         self.work_cv.wait_for(&mut guard, Duration::from_millis(1));
     }
@@ -315,6 +354,7 @@ impl Stripe {
             if self.is_poisoned() {
                 return;
             }
+            let _lk = self.lockcheck.acquire(Class::StripeSpace, self.index as u64);
             let mut guard = self.space_lock.lock();
             if self.vtail.load(Ordering::Acquire) >= target {
                 clock.advance_to(SimTime::from_nanos(self.tail_time.load(Ordering::Acquire)));
@@ -344,6 +384,9 @@ pub(crate) struct Log {
     pub region: NvRegion,
     pub layout: Layout,
     pub stripes: Box<[Stripe]>,
+    /// The mount's lock-order recorder; `Shared` clones this so every
+    /// tracked lock in the mount shares one acquisition graph.
+    pub lockcheck: Recorder,
     /// Next global sequence number (multi-stripe only; a single stripe
     /// reuses its local sequence, matching the seed format).
     global_seq: AtomicU64,
@@ -368,12 +411,15 @@ impl std::fmt::Debug for Log {
 impl Log {
     pub fn new(region: NvRegion, layout: Layout, start_seq: u64) -> Self {
         let shards = layout.log_shards.max(1) as usize;
-        let stripes: Vec<Stripe> =
-            (0..shards).map(|i| Stripe::new(i, region.clone(), layout, start_seq)).collect();
+        let lockcheck = Recorder::new();
+        let stripes: Vec<Stripe> = (0..shards)
+            .map(|i| Stripe::new(i, region.clone(), layout, start_seq, lockcheck.clone()))
+            .collect();
         Log {
             region,
             layout,
             stripes: stripes.into_boxed_slice(),
+            lockcheck,
             global_seq: AtomicU64::new(start_seq),
             handoff_waiters: AtomicUsize::new(0),
         }
@@ -462,6 +508,7 @@ impl Log {
                 )));
             }
             let reserved = {
+                let _lk = stripe.lockcheck.acquire(Class::StripeAlloc, stripe.index as u64);
                 let _g = stripe.alloc_lock.lock();
                 let head = stripe.head.load(Ordering::Acquire);
                 let tail = stripe.vtail.load(Ordering::Acquire);
@@ -504,6 +551,7 @@ impl Log {
             stripe.space_waiters.fetch_add(1, Ordering::AcqRel);
             stripe.notify_work();
             {
+                let _lk = stripe.lockcheck.acquire(Class::StripeSpace, stripe.index as u64);
                 let mut guard = stripe.space_lock.lock();
                 // Re-check under the lock to avoid a lost wakeup.
                 let head = stripe.head.load(Ordering::Acquire);

@@ -68,6 +68,7 @@ use vfs::{FileSystem, IoError, IoResult, OpenFlags};
 use crate::cache::Shared;
 use crate::files::PersistentFdTable;
 use crate::layout::Layout;
+use crate::lockcheck::{Class, Recorder};
 use crate::placement::{FileTemperature, Temperature};
 
 /// How (and whether) the tier migrator may move files between backends.
@@ -237,10 +238,12 @@ pub(crate) struct Migrator {
     /// without it a background sweep would compute `Δt = 0` against every
     /// app-side stamp and [`HeatPolicy`] cooling would never demote.
     time_high_water: std::sync::atomic::AtomicU64,
+    /// The mount's shared lock-order recorder (inert unless `pmcheck`).
+    lockcheck: Recorder,
 }
 
 impl Migrator {
-    pub fn new() -> Migrator {
+    pub fn new(lockcheck: Recorder) -> Migrator {
         Migrator {
             clock: Arc::new(ActorClock::new()),
             gate: MigrationGate::default(),
@@ -251,6 +254,7 @@ impl Migrator {
             work_lock: Mutex::new(()),
             work_cv: Condvar::new(),
             time_high_water: std::sync::atomic::AtomicU64::new(0),
+            lockcheck,
         }
     }
 
@@ -303,6 +307,7 @@ impl Migrator {
         bytes: u64,
         temp: Temperature,
     ) {
+        let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         let mut catalog = self.catalog.lock();
         let heat = catalog.entry(path.to_string()).or_default();
         heat.backend = backend;
@@ -318,6 +323,7 @@ impl Migrator {
     /// pointing elsewhere tracks a misplaced copy the reopen did not touch
     /// and must survive for later sweeps.
     pub fn take_if_on(&self, path: &str, backend: u32) -> Option<FileHeat> {
+        let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         let mut catalog = self.catalog.lock();
         match catalog.get(path) {
             Some(h) if h.backend == backend => catalog.remove(path),
@@ -327,11 +333,13 @@ impl Migrator {
 
     /// Drops a path from the catalog (unlinked, or found stale).
     pub fn forget(&self, path: &str) {
+        let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         self.catalog.lock().remove(path);
     }
 
     /// Renames a catalog entry, stamping the backend the file now lives on.
     pub fn rename_entry(&self, from: &str, to: &str, backend: u32) {
+        let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         let mut catalog = self.catalog.lock();
         let heat = catalog.remove(from).unwrap_or_default();
         catalog.insert(to.to_string(), FileHeat { backend, ..heat });
@@ -339,11 +347,13 @@ impl Migrator {
 
     /// The catalogued backend of a closed file, if known.
     pub fn backend_of(&self, path: &str) -> Option<u32> {
+        let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         self.catalog.lock().get(path).map(|h| h.backend)
     }
 
     /// Updates a catalog entry's backend after a successful migration.
     pub fn set_backend(&self, path: &str, backend: u32) {
+        let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         if let Some(h) = self.catalog.lock().get_mut(path) {
             h.backend = backend;
         }
@@ -351,6 +361,7 @@ impl Migrator {
 
     /// Seeds the catalog (recovery's misplaced-file list).
     pub fn seed(&self, entries: impl IntoIterator<Item = (String, u32)>) {
+        let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         let mut catalog = self.catalog.lock();
         for (path, backend) in entries {
             catalog.entry(path).or_default().backend = backend;
@@ -359,6 +370,7 @@ impl Migrator {
 
     /// Snapshot of the catalog (sweep input).
     fn entries(&self) -> Vec<(String, FileHeat)> {
+        let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         self.catalog.lock().iter().map(|(p, h)| (p.clone(), *h)).collect()
     }
 
@@ -366,6 +378,7 @@ impl Migrator {
     /// occupancy behind the
     /// [`fast_tier_bytes`](crate::NvCacheStats::fast_tier_bytes) gauge.
     pub fn fast_tier_occupancy(&self, fast: u32) -> u64 {
+        let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         self.catalog
             .lock()
             .values()
@@ -583,6 +596,7 @@ pub(crate) fn migrate_path(
     if !shared.migrator.gate.try_claim(path) {
         return Err(IoError::Busy(format!("{path}: migration or path operation in flight")));
     }
+    let _claim = shared.lockcheck.acquire_try(Class::MigrationGate, 0);
     let mut moved_from = None;
     let result = (|| {
         // Resolve the source *under the claim*: between a pre-claim read
@@ -873,7 +887,7 @@ mod tests {
     #[test]
     fn catalog_accumulates_heat_across_generations() {
         use simclock::SimTime;
-        let m = Migrator::new();
+        let m = Migrator::new(Recorder::default());
         let mut temp = Temperature::default();
         temp.touch(SimTime::from_secs(1), None);
         m.record_closed("/f", 1, 10, 4, 100, temp);
@@ -897,7 +911,7 @@ mod tests {
 
     #[test]
     fn fast_tier_occupancy_sums_catalogued_bytes() {
-        let m = Migrator::new();
+        let m = Migrator::new(Recorder::default());
         m.record_closed("/a", 1, 0, 0, 100, Temperature::default());
         m.record_closed("/b", 1, 0, 0, 50, Temperature::default());
         m.record_closed("/c", 0, 0, 0, 999, Temperature::default());

@@ -1,0 +1,60 @@
+//! Test-only fault hooks for the `pmcheck` mutation tests (feature
+//! `pmcheck`).
+//!
+//! Each hook arms a **thread-local**, one-shot bug in the durability
+//! protocol — thread-local so a mutation armed by one test cannot corrupt a
+//! concurrently running test in the same process:
+//!
+//! * [`arm_drop_fence`] — the next `Stripe::commit_batch` on this thread
+//!   skips the `persist_fence` that orders fills before the commit word;
+//! * [`arm_reorder_commit`] — the next `commit_batch` publishes its commit
+//!   word(s) *before* issuing the fence;
+//! * [`arm_skip_pwb`] — the next `Stripe::fill_entry` omits its `pwb`, so
+//!   the entry reaches the commit fence still Dirty.
+//!
+//! The mutation tests assert that `pmcheck` turns each of these into a
+//! deterministic panic naming the offending op, line address and call site.
+
+use std::cell::Cell;
+
+thread_local! {
+    static DROP_FENCE: Cell<bool> = const { Cell::new(false) };
+    static REORDER_COMMIT: Cell<bool> = const { Cell::new(false) };
+    static SKIP_PWB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Arms the dropped-fence mutation for this thread's next `commit_batch`.
+pub fn arm_drop_fence() {
+    DROP_FENCE.with(|c| c.set(true));
+}
+
+/// Arms the reordered-commit-store mutation for this thread's next
+/// `commit_batch`.
+pub fn arm_reorder_commit() {
+    REORDER_COMMIT.with(|c| c.set(true));
+}
+
+/// Arms the skipped-`pwb` mutation for this thread's next `fill_entry`.
+pub fn arm_skip_pwb() {
+    SKIP_PWB.with(|c| c.set(true));
+}
+
+/// Disarms every mutation on this thread (tests call this on cleanup so a
+/// caught panic cannot leave a hook armed).
+pub fn disarm_all() {
+    DROP_FENCE.with(|c| c.set(false));
+    REORDER_COMMIT.with(|c| c.set(false));
+    SKIP_PWB.with(|c| c.set(false));
+}
+
+pub(crate) fn take_drop_fence() -> bool {
+    DROP_FENCE.with(|c| c.replace(false))
+}
+
+pub(crate) fn take_reorder_commit() -> bool {
+    REORDER_COMMIT.with(|c| c.replace(false))
+}
+
+pub(crate) fn take_skip_pwb() -> bool {
+    SKIP_PWB.with(|c| c.replace(false))
+}

@@ -346,7 +346,7 @@ pub(crate) fn recover(
             region.pwb(lay.stripe_tail_off(stripe), 8);
         }
     }
-    region.pfence(clock);
+    region.persist_fence(clock);
     // Close and clear the fd table.
     for (slot, (backend, fd)) in fds {
         backends[backend].close(fd, clock)?;
@@ -359,9 +359,8 @@ pub(crate) fn recover(
     // repair pass matters: repair journals use the v3 slot partitioning, so
     // a crash mid-repair must find a v3 header on the next mount.
     let backends_word = if target_backends > 1 { target_backends as u64 } else { 0 };
-    region.write_u64(layout::OFF_BACKENDS, backends_word, clock);
-    region.pwb(layout::OFF_BACKENDS, 8);
-    region.pfence(clock);
+    region.commit_store(layout::OFF_BACKENDS, backends_word, clock);
+    region.persist_fence(clock);
 
     // Repair mode: re-home every misplaced file to the placement policy's
     // cold target with the journaled migration protocol. Every fd slot was
@@ -417,6 +416,10 @@ pub(crate) fn recover(
         }
         misplaced = unrepairable;
     }
-    region.psync(clock);
+    // No final psync: every store above was already pwb'd and fenced (the
+    // log clear at the persist_fence, the fd-table clears and the repair
+    // protocol each end fenced), so the barrier the seed inherited from the
+    // paper's recovery sketch covered nothing — the pmcheck redundant-fence
+    // counter confirmed an always-empty flush queue here.
     Ok((report, misplaced))
 }

@@ -382,8 +382,19 @@ impl QueuePair {
         keys.sort_by_key(|&(k, _)| k);
         let desc_of: HashMap<(u64, u64), usize> =
             keys.iter().enumerate().map(|(i, &(k, _))| (k, i)).collect();
-        let descs: Vec<Arc<PageDescriptor>> = keys.into_iter().map(|(_, d)| d).collect();
-        let mut guards: Vec<_> = descs.iter().map(|d| d.lock()).collect();
+        let descs: Vec<Arc<PageDescriptor>> =
+            keys.iter().map(|(_, d)| Arc::clone(d)).collect();
+        let mut guards = Vec::with_capacity(descs.len());
+        let mut _lock_order = Vec::with_capacity(descs.len());
+        for (i, d) in descs.iter().enumerate() {
+            let (file_id, page_no) = keys[i].0;
+            _lock_order.push(shared.lockcheck.acquire_page(
+                crate::lockcheck::Class::PageAtomic,
+                file_id,
+                page_no,
+            ));
+            guards.push(d.lock());
+        }
 
         // Group by routed stripe, first-appearance order; submission order
         // within a group (so each stripe's window replays the submitter's

@@ -51,6 +51,9 @@ pub struct NvDimm {
     dirty: Box<[AtomicU64]>,
     profile: NvmmProfile,
     stats: NvmmStats,
+    /// Persistency-ordering shadow state (per DIMM, never global).
+    #[cfg(feature = "pmcheck")]
+    pm: crate::pmcheck::PmShadow,
 }
 
 impl fmt::Debug for NvDimm {
@@ -86,6 +89,8 @@ impl NvDimm {
             dirty: dirty.into_boxed_slice(),
             profile,
             stats: NvmmStats::default(),
+            #[cfg(feature = "pmcheck")]
+            pm: crate::pmcheck::PmShadow::default(),
         }
     }
 
@@ -142,8 +147,16 @@ impl NvDimm {
     }
 
     /// Stores `data` at `off` (CPU-cache speed; **not durable** until flushed).
+    #[cfg_attr(feature = "pmcheck", track_caller)]
     pub fn write(&self, off: u64, data: &[u8], clock: &ActorClock) {
         self.check_range(off, data.len());
+        #[cfg(feature = "pmcheck")]
+        if !data.is_empty() {
+            let first = off / CACHE_LINE;
+            let last = (off + data.len() as u64 - 1) / CACHE_LINE;
+            let site = crate::pmcheck::Site::here(std::panic::Location::caller());
+            self.pm.on_write(first, last, site);
+        }
         for (i, b) in data.iter().enumerate() {
             self.live[off as usize + i].store(*b, Ordering::Relaxed);
         }
@@ -174,6 +187,7 @@ impl NvDimm {
     /// Enqueues the cache lines covering `off..off+len` for write-back
     /// (`clwb`). Durability only takes effect at the next
     /// [`pfence`](NvDimm::pfence)/[`psync`](NvDimm::psync) on *this thread*.
+    #[cfg_attr(feature = "pmcheck", track_caller)]
     pub fn pwb(&self, off: u64, len: usize) {
         if len == 0 {
             return;
@@ -181,6 +195,18 @@ impl NvDimm {
         self.check_range(off, len);
         let first = off / CACHE_LINE;
         let last = (off + len as u64 - 1) / CACHE_LINE;
+        #[cfg(feature = "pmcheck")]
+        {
+            let site = crate::pmcheck::Site::here(std::panic::Location::caller());
+            let redundant = self.pm.on_pwb(first, last, site, |line| {
+                let word = (line / 64) as usize;
+                let bit = 1u64 << (line % 64);
+                self.dirty[word].load(Ordering::Relaxed) & bit != 0
+            });
+            if redundant > 0 {
+                self.stats.redundant_pwb_lines.fetch_add(redundant, Ordering::Relaxed);
+            }
+        }
         PENDING_FLUSHES.with(|p| {
             let mut map = p.borrow_mut();
             let queue = map.entry(self.id).or_default();
@@ -223,6 +249,8 @@ impl NvDimm {
     /// Store fence: drains this thread's pending `pwb`s to durable media and
     /// orders them before subsequent stores (`sfence`).
     pub fn pfence(&self, clock: &ActorClock) {
+        #[cfg(feature = "pmcheck")]
+        self.pm_fence_hook();
         self.stats.fences.fetch_add(1, Ordering::Relaxed);
         self.drain_pending(clock);
         clock.advance(self.profile.fence_latency);
@@ -231,12 +259,87 @@ impl NvDimm {
     /// Like [`pfence`](NvDimm::pfence) but additionally waits for the media
     /// drain; required for durable linearizability (paper Algorithm 1, l.27).
     pub fn psync(&self, clock: &ActorClock) {
+        #[cfg(feature = "pmcheck")]
+        self.pm_fence_hook();
         self.stats.drains.fetch_add(1, Ordering::Relaxed);
         self.drain_pending(clock);
         clock.advance(self.profile.fence_latency + self.profile.drain_latency);
     }
 
+    /// Shadow-state transition for any fence flavour: flags fences that had
+    /// nothing queued (pure latency) and advances this thread's epoch.
+    #[cfg(feature = "pmcheck")]
+    fn pm_fence_hook(&self) {
+        let empty = PENDING_FLUSHES.with(|p| p.borrow().get(&self.id).is_none_or(|q| q.is_empty()));
+        if empty {
+            self.stats.redundant_fences.fetch_add(1, Ordering::Relaxed);
+        }
+        self.pm.on_fence();
+    }
+
+    /// Checked [`pfence`](NvDimm::pfence): asserts (under `pmcheck`) that
+    /// every store this thread made has already been `pwb`'d, i.e. the fence
+    /// really covers the payload it is ordering. Use at protocol points
+    /// whose contract is "all prior stores are write-back-queued"; plain
+    /// `pfence` remains available for fences without that contract.
+    #[cfg_attr(feature = "pmcheck", track_caller)]
+    pub fn persist_fence(&self, clock: &ActorClock) {
+        #[cfg(feature = "pmcheck")]
+        {
+            let site = crate::pmcheck::Site::here(std::panic::Location::caller());
+            if let Some(msg) = self.pm.check_barrier(self.id, "persist_fence", site) {
+                panic!("{msg}");
+            }
+        }
+        self.pfence(clock);
+    }
+
+    /// Checked [`psync`](NvDimm::psync); same contract as
+    /// [`persist_fence`](NvDimm::persist_fence).
+    #[cfg_attr(feature = "pmcheck", track_caller)]
+    pub fn persist_barrier(&self, clock: &ActorClock) {
+        #[cfg(feature = "pmcheck")]
+        {
+            let site = crate::pmcheck::Site::here(std::panic::Location::caller());
+            if let Some(msg) = self.pm.check_barrier(self.id, "persist_barrier", site) {
+                panic!("{msg}");
+            }
+        }
+        self.psync(clock);
+    }
+
+    /// Publishes an 8-byte little-endian commit word: store + `pwb` of its
+    /// line. Under `pmcheck` this is the annotated *publish* point of the
+    /// durability protocol (paper Algorithm 1: pwb payload, fence, then
+    /// commit) and asserts that on this thread nothing is still Dirty and no
+    /// `pwb` is un-fenced — otherwise the commit word is being published
+    /// before the fence covering its payload.
+    #[cfg_attr(feature = "pmcheck", track_caller)]
+    pub fn commit_store(&self, off: u64, value: u64, clock: &ActorClock) {
+        #[cfg(feature = "pmcheck")]
+        let site = crate::pmcheck::Site::here(std::panic::Location::caller());
+        #[cfg(feature = "pmcheck")]
+        if let Some(msg) = self.pm.check_commit(self.id, off, off / CACHE_LINE, site) {
+            panic!("{msg}");
+        }
+        self.write(off, &value.to_le_bytes(), clock);
+        self.pwb(off, 8);
+        self.stats.commit_stores.fetch_add(1, Ordering::Relaxed);
+        #[cfg(feature = "pmcheck")]
+        self.pm.register_commit(off / CACHE_LINE, site);
+    }
+
+    /// Violations recorded by the `pmcheck` shadow checker on this DIMM.
+    ///
+    /// Violations also panic at the offending call site; this registry is
+    /// for end-of-test auditing (and for tests that catch the panic).
+    #[cfg(feature = "pmcheck")]
+    pub fn pm_violations(&self) -> Vec<String> {
+        self.pm.violations()
+    }
+
     /// Convenience: `write` + `pwb` over the same range.
+    #[cfg_attr(feature = "pmcheck", track_caller)]
     pub fn write_and_pwb(&self, off: u64, data: &[u8], clock: &ActorClock) {
         self.write(off, data, clock);
         self.pwb(off, data.len());
@@ -250,6 +353,13 @@ impl NvDimm {
     ///
     /// Panics if the profile disabled durability tracking.
     pub fn crash_image(&self, seed: u64) -> Vec<u8> {
+        #[cfg(feature = "pmcheck")]
+        {
+            let found = self.pm.check_crash(self.id);
+            if !found.is_empty() {
+                panic!("{}", found.join("\n"));
+            }
+        }
         let durable = self
             .durable
             .as_ref()
@@ -472,5 +582,194 @@ mod tests {
     fn crash_without_tracking_panics() {
         let d = NvDimm::new(64, NvmmProfile::instant().without_durability_tracking());
         let _ = d.crash_and_restart();
+    }
+}
+
+#[cfg(all(test, feature = "pmcheck"))]
+mod pmcheck_tests {
+    use super::*;
+
+    fn setup() -> (ActorClock, NvDimm) {
+        (ActorClock::new(), NvDimm::new(4096, NvmmProfile::instant()))
+    }
+
+    /// Runs `f` on a fresh thread so this thread's pending pwb queue and
+    /// shadow attributions can't leak between tests.
+    fn isolated(f: impl FnOnce() + Send + 'static) {
+        std::thread::spawn(f).join().unwrap();
+    }
+
+    #[test]
+    fn protocol_in_order_is_clean() {
+        isolated(|| {
+            let (c, d) = setup();
+            d.write(0, &[7u8; 128], &c);
+            d.pwb(0, 128);
+            d.persist_fence(&c);
+            d.commit_store(256, 1, &c);
+            d.persist_barrier(&c);
+            assert!(d.pm_violations().is_empty());
+            let _ = d.crash_image(0);
+        });
+    }
+
+    #[test]
+    fn group_commit_publishing_several_words_is_clean() {
+        // The multi-leader doorbell path (`commit_batch`) publishes one
+        // commit word per group between a single fence and the trailing
+        // barrier. The sibling commit words' own queued `pwb`s are not
+        // unfenced payload and must not be flagged.
+        isolated(|| {
+            let (c, d) = setup();
+            d.write(0, &[7u8; 128], &c);
+            d.pwb(0, 128);
+            d.persist_fence(&c);
+            d.commit_store(256, 1, &c);
+            d.commit_store(512, 2, &c);
+            d.commit_store(768, 3, &c);
+            d.persist_barrier(&c);
+            assert!(d.pm_violations().is_empty());
+        });
+    }
+
+    #[test]
+    fn payload_pwb_on_former_commit_line_still_flags() {
+        // The commit-origin exemption is per queued entry, not per line: a
+        // later *payload* flush over a line that once held a commit word is
+        // ordinary unfenced payload again.
+        isolated(|| {
+            let (c, d) = setup();
+            d.commit_store(256, 1, &c);
+            d.persist_barrier(&c);
+            d.write(256, &[4u8; 8], &c);
+            d.pwb(256, 8); // plain payload pwb overwrites the commit flag
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                d.commit_store(512, 2, &c);
+            }))
+            .unwrap_err();
+            let msg = err.downcast_ref::<String>().unwrap();
+            assert!(msg.contains("stored before the fence"), "{msg}");
+        });
+    }
+
+    #[test]
+    fn commit_before_fence_is_flagged() {
+        isolated(|| {
+            let (c, d) = setup();
+            d.write(0, &[7u8; 64], &c);
+            d.pwb(0, 64);
+            // No fence: the payload write-back is still queued.
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                d.commit_store(256, 1, &c);
+            }))
+            .unwrap_err();
+            let msg = err.downcast_ref::<String>().unwrap();
+            assert!(msg.contains("commit_store"), "{msg}");
+            assert!(msg.contains("stored before the fence"), "{msg}");
+            assert!(msg.contains("line 0x0"), "{msg}");
+            assert_eq!(d.pm_violations().len(), 1);
+        });
+    }
+
+    #[test]
+    fn commit_with_unflushed_payload_is_flagged() {
+        isolated(|| {
+            let (c, d) = setup();
+            d.write(128, &[9u8; 64], &c); // no pwb at all
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                d.commit_store(256, 1, &c);
+            }))
+            .unwrap_err();
+            let msg = err.downcast_ref::<String>().unwrap();
+            assert!(msg.contains("still Dirty"), "{msg}");
+            assert!(msg.contains("line 0x2"), "{msg}");
+        });
+    }
+
+    #[test]
+    fn barrier_with_dirty_store_is_flagged() {
+        isolated(|| {
+            let (c, d) = setup();
+            d.write(0, &[1u8; 8], &c);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                d.persist_fence(&c);
+            }))
+            .unwrap_err();
+            let msg = err.downcast_ref::<String>().unwrap();
+            assert!(msg.contains("persist_fence"), "{msg}");
+            assert!(msg.contains("skipped pwb"), "{msg}");
+        });
+    }
+
+    #[test]
+    fn dirty_tracking_is_per_thread() {
+        // Another thread's un-flushed store must not trip this thread's
+        // barrier: the fence contract is per-thread, like the hardware.
+        let (_c, d) = setup();
+        let d = std::sync::Arc::new(d);
+        let d2 = std::sync::Arc::clone(&d);
+        std::thread::spawn(move || {
+            let c2 = ActorClock::new();
+            d2.write(512, &[3u8; 16], &c2);
+        })
+        .join()
+        .unwrap();
+        std::thread::spawn(move || {
+            let c2 = ActorClock::new();
+            d.write(0, &[1u8; 8], &c2);
+            d.pwb(0, 8);
+            d.persist_fence(&c2); // must not flag line 512/64
+            d.commit_store(64, 1, &c2);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn redundant_pwb_and_fence_are_counted() {
+        isolated(|| {
+            let (c, d) = setup();
+            d.write(0, &[5u8; 8], &c);
+            d.pwb(0, 8);
+            d.pwb(0, 8); // same line, no new store: redundant
+            assert_eq!(d.stats().redundant_pwb_lines.load(Ordering::Relaxed), 1);
+            d.pfence(&c);
+            d.pfence(&c); // nothing queued: redundant
+            assert_eq!(d.stats().redundant_fences.load(Ordering::Relaxed), 1);
+            d.pwb(64, 8); // clean line never stored: redundant
+            assert_eq!(d.stats().redundant_pwb_lines.load(Ordering::Relaxed), 2);
+            assert!(d.pm_violations().is_empty());
+        });
+    }
+
+    #[test]
+    fn rewrite_after_pwb_is_not_redundant() {
+        isolated(|| {
+            let (c, d) = setup();
+            d.write(0, &[5u8; 8], &c);
+            d.pwb(0, 8);
+            d.write(0, &[6u8; 8], &c); // line re-dirtied
+            d.pwb(0, 8); // needed on real hardware: not redundant
+            assert_eq!(d.stats().redundant_pwb_lines.load(Ordering::Relaxed), 0);
+        });
+    }
+
+    #[test]
+    fn crash_with_redirtied_commit_word_is_flagged() {
+        isolated(|| {
+            let (c, d) = setup();
+            d.commit_store(0, 1, &c);
+            d.persist_barrier(&c);
+            d.commit_store(0, 2, &c);
+            // Rewrite the published word with a plain store, no pwb, then
+            // crash: eviction could persist the publish without its payload.
+            d.write(0, &[9u8; 8], &c);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = d.crash_image(0);
+            }))
+            .unwrap_err();
+            let msg = err.downcast_ref::<String>().unwrap();
+            assert!(msg.contains("crash with commit word"), "{msg}");
+        });
     }
 }

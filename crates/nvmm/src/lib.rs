@@ -42,6 +42,8 @@
 
 mod dimm;
 mod ints;
+#[cfg(feature = "pmcheck")]
+mod pmcheck;
 mod profile;
 mod region;
 mod stats;

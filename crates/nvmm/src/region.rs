@@ -100,6 +100,7 @@ impl NvRegion {
     }
 
     /// See [`NvDimm::write`].
+    #[cfg_attr(feature = "pmcheck", track_caller)]
     pub fn write(&self, off: u64, data: &[u8], clock: &ActorClock) {
         self.dimm.write(self.abs(off, data.len()), data, clock);
     }
@@ -115,6 +116,7 @@ impl NvRegion {
     }
 
     /// See [`NvDimm::pwb`].
+    #[cfg_attr(feature = "pmcheck", track_caller)]
     pub fn pwb(&self, off: u64, len: usize) {
         self.dimm.pwb(self.abs(off, len), len);
     }
@@ -130,8 +132,37 @@ impl NvRegion {
     }
 
     /// See [`NvDimm::write_and_pwb`].
+    #[cfg_attr(feature = "pmcheck", track_caller)]
     pub fn write_and_pwb(&self, off: u64, data: &[u8], clock: &ActorClock) {
         self.dimm.write_and_pwb(self.abs(off, data.len()), data, clock);
+    }
+
+    /// See [`NvDimm::persist_fence`] — a checked [`pfence`](NvRegion::pfence)
+    /// asserting (under `pmcheck`) that every store this thread made has
+    /// already been `pwb`'d.
+    #[cfg_attr(feature = "pmcheck", track_caller)]
+    pub fn persist_fence(&self, clock: &ActorClock) {
+        self.dimm.persist_fence(clock);
+    }
+
+    /// See [`NvDimm::persist_barrier`] — a checked [`psync`](NvRegion::psync)
+    /// with the same contract as [`persist_fence`](NvRegion::persist_fence).
+    #[cfg_attr(feature = "pmcheck", track_caller)]
+    pub fn persist_barrier(&self, clock: &ActorClock) {
+        self.dimm.persist_barrier(clock);
+    }
+
+    /// See [`NvDimm::commit_store`] — the annotated publish point of the
+    /// durability protocol (8-byte little-endian store + `pwb`).
+    #[cfg_attr(feature = "pmcheck", track_caller)]
+    pub fn commit_store(&self, off: u64, value: u64, clock: &ActorClock) {
+        self.dimm.commit_store(self.abs(off, 8), value, clock);
+    }
+
+    /// Every persistency violation recorded against this region's DIMM.
+    #[cfg(feature = "pmcheck")]
+    pub fn pm_violations(&self) -> Vec<String> {
+        self.dimm.pm_violations()
     }
 }
 

@@ -15,6 +15,14 @@ pub struct NvmmStats {
     pub fences: AtomicU64,
     /// `psync` count.
     pub drains: AtomicU64,
+    /// Commit-word publishes via [`commit_store`](crate::NvDimm::commit_store).
+    pub commit_stores: AtomicU64,
+    /// Redundant `pwb` lines (already queued by this thread, or clean);
+    /// counted only with the `pmcheck` feature, otherwise stays 0.
+    pub redundant_pwb_lines: AtomicU64,
+    /// Fences issued with an empty write-back queue (pure latency);
+    /// counted only with the `pmcheck` feature, otherwise stays 0.
+    pub redundant_fences: AtomicU64,
 }
 
 impl NvmmStats {
@@ -26,6 +34,9 @@ impl NvmmStats {
             lines_flushed: self.lines_flushed.load(Ordering::Relaxed),
             fences: self.fences.load(Ordering::Relaxed),
             drains: self.drains.load(Ordering::Relaxed),
+            commit_stores: self.commit_stores.load(Ordering::Relaxed),
+            redundant_pwb_lines: self.redundant_pwb_lines.load(Ordering::Relaxed),
+            redundant_fences: self.redundant_fences.load(Ordering::Relaxed),
         }
     }
 }
@@ -43,6 +54,12 @@ pub struct NvmmStatsSnapshot {
     pub fences: u64,
     /// `psync` count.
     pub drains: u64,
+    /// Commit-word publishes via [`commit_store`](crate::NvDimm::commit_store).
+    pub commit_stores: u64,
+    /// Redundant `pwb` lines (counted only under `pmcheck`).
+    pub redundant_pwb_lines: u64,
+    /// Fences issued with nothing queued (counted only under `pmcheck`).
+    pub redundant_fences: u64,
 }
 
 #[cfg(test)]

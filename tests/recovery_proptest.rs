@@ -105,7 +105,13 @@ fn run_crash_scenario(
         }
     }
 
-    // Crash + recover.
+    // Crash + recover. Under `pmcheck`, first audit the run's post-mortem
+    // registries: every random op sequence must leave both checkers silent.
+    #[cfg(feature = "pmcheck")]
+    {
+        assert!(cache.pm_violations().is_empty(), "{:?}", cache.pm_violations());
+        assert!(cache.lock_order_violations().is_empty(), "{:?}", cache.lock_order_violations());
+    }
     cache.abort();
     drop(cache);
     let crashed = Arc::new(dimm.crash_and_restart_seeded(crash_seed));
@@ -129,6 +135,8 @@ fn run_crash_scenario(
         recovered.pread(fd, &mut buf, 0, &clock).expect("pread");
         contents.insert(*f, buf);
     }
+    #[cfg(feature = "pmcheck")]
+    assert!(recovered.pm_violations().is_empty(), "{:?}", recovered.pm_violations());
     recovered.shutdown(&clock);
     contents
 }

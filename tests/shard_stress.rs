@@ -10,6 +10,18 @@ use nvcache_repro::nvmm::{NvDimm, NvRegion, NvmmProfile};
 use nvcache_repro::simclock::ActorClock;
 use nvcache_repro::vfs::{FileSystem, MemFs, OpenFlags};
 
+/// Under `pmcheck`, audit the mount's post-mortem registries: violations
+/// panic at the offending site already, but an end-of-run sweep also
+/// catches reports raised (and caught) on worker threads.
+#[cfg(feature = "pmcheck")]
+fn assert_checkers_clean(cache: &NvCache) {
+    assert!(cache.pm_violations().is_empty(), "{:?}", cache.pm_violations());
+    assert!(cache.lock_order_violations().is_empty(), "{:?}", cache.lock_order_violations());
+    assert!(cache.lock_order_edges() > 0, "lock-order recorder saw no acquisitions");
+}
+#[cfg(not(feature = "pmcheck"))]
+fn assert_checkers_clean(_cache: &NvCache) {}
+
 fn setup(shards: usize) -> (ActorClock, Arc<dyn FileSystem>, Arc<NvCache>) {
     let clock = ActorClock::new();
     let cfg = NvCacheConfig {
@@ -75,6 +87,7 @@ fn hammer_overlapping_ranges(shards: usize, threads: u8, rounds: u64) {
             cache_view[pos], inner_view[pos]
         );
     }
+    assert_checkers_clean(&cache);
     cache.shutdown(&clock);
 }
 
@@ -134,5 +147,6 @@ fn disjoint_writers_use_multiple_stripes() {
             assert_eq!(buf[0], (t + 1) as u8, "inner page {page}");
         }
     }
+    assert_checkers_clean(&cache);
     cache.shutdown(&clock);
 }

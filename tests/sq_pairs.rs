@@ -26,6 +26,18 @@ fn mount(cfg: NvCacheConfig) -> (ActorClock, Arc<dyn FileSystem>, Arc<NvCache>) 
     (clock, inner, cache)
 }
 
+/// Under `pmcheck`, audit the mount's post-mortem registries: violations
+/// panic at the offending site already, but an end-of-run sweep also
+/// catches reports raised (and caught) on worker threads, and checks the
+/// lock-order recorder actually observed acquisitions.
+#[cfg(feature = "pmcheck")]
+fn assert_checkers_clean(cache: &NvCache) {
+    assert!(cache.pm_violations().is_empty(), "{:?}", cache.pm_violations());
+    assert!(cache.lock_order_violations().is_empty(), "{:?}", cache.lock_order_violations());
+}
+#[cfg(not(feature = "pmcheck"))]
+fn assert_checkers_clean(_cache: &NvCache) {}
+
 fn small_cfg(shards: usize, sq_pairs: usize) -> NvCacheConfig {
     NvCacheConfig {
         nb_entries: 1024,
@@ -129,6 +141,7 @@ fn queued_writes_match_the_synchronous_oracle() {
     // empty SQ, which is free and uncounted.
     assert_eq!(snap.per_queue[0].sq_doorbells, 8);
     assert_eq!(snap.writes, writes.len() as u64);
+    assert_checkers_clean(&cache);
     cache.shutdown(&clock);
 }
 
@@ -234,6 +247,11 @@ fn concurrent_submitters_keep_per_page_order() {
     let snap = cache.stats().snapshot();
     assert_eq!(snap.per_queue.iter().map(|q| q.sq_submitted).sum::<u64>(), 4 * 96);
     assert!(snap.per_queue.iter().all(|q| q.sq_doorbells >= 16));
+    assert_checkers_clean(&cache);
+    // Multi-page writes over four queues guarantee nested acquisitions: the
+    // lock-order recorder must have seen real edges, not an empty graph.
+    #[cfg(feature = "pmcheck")]
+    assert!(cache.lock_order_edges() > 0, "lock-order recorder saw no acquisitions");
     cache.shutdown(&clock);
 }
 
@@ -397,6 +415,7 @@ fn run_sq_crash_scenario(
     }
 
     // Crash with everything still in the log, then recover.
+    assert_checkers_clean(&cache);
     cache.abort();
     drop(cache);
     let crashed = Arc::new(dimm.crash_and_restart_seeded(crash_seed));
@@ -418,6 +437,7 @@ fn run_sq_crash_scenario(
         recovered.pread(fd, &mut buf, 0, &clock).expect("pread");
         assert_eq!(&buf, expect, "file {f} content wrong after crash (sq_pairs={sq_pairs})");
     }
+    assert_checkers_clean(&recovered);
     recovered.shutdown(&clock);
 }
 
