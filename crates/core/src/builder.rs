@@ -268,23 +268,36 @@ impl NvCacheBuilder {
             Mount::Recover | Mount::RecoverRepair => {
                 check_geometry(&region, &cfg)?;
                 // Misplacement (and the repair pass's target) is judged by
-                // the mount's placement policy; recovered files carry no
-                // temperature, so the policy's cold placement applies.
+                // the mount's placement policy; recovered files carry only
+                // whatever temperature summary a heat-format image persisted
+                // (nothing otherwise), so the policy's cold placement
+                // applies to everything below the retain threshold.
                 let placement: Arc<dyn PlacementPolicy> =
                     cfg.placement.clone().unwrap_or_else(|| Arc::new(RouterPlacement));
-                // Recovery stamps the (possibly migrated) backend count
-                // itself — before its repair pass, whose journal slots need
-                // the v3 header to be parseable after a crash mid-repair.
-                let (report, misplaced) = crate::recovery::recover(
+                // Recovery stamps the (possibly migrated) backend count and
+                // heat-format epoch itself — before its repair pass, whose
+                // journal slots need the v3 header to be parseable after a
+                // crash mid-repair.
+                let (report, misplaced, heat_seeds) = crate::recovery::recover(
                     &region,
                     &backends,
                     router.as_ref(),
                     placement.as_ref(),
                     cfg.backends,
+                    cfg.persist_heat,
                     mode == Mount::RecoverRepair,
                     clock,
                 )?;
-                Ok(NvCache::start(region, backends, router, cfg, Some(report), misplaced))
+                let cache = NvCache::start(region, backends, router, cfg, Some(report), misplaced);
+                // Re-seed the heat catalog from the image's persisted
+                // summaries: the next sweep re-promotes the recovered hot
+                // set without a single file being re-touched. Only when the
+                // policy actually reads temperature — seeding a
+                // router-placed mount would grow the catalog for nothing.
+                if cache.shared.track_heat && !heat_seeds.is_empty() {
+                    cache.shared.migrator.seed_heat(heat_seeds, clock.now(), &cache.shared.stats);
+                }
+                Ok(cache)
             }
         }
     }
@@ -325,6 +338,13 @@ fn format_region(region: &NvRegion, cfg: &NvCacheConfig, clock: &ActorClock) -> 
     // v1/v2 formats), so a one-backend builder mount stays seed-identical.
     let backends_word = if cfg.backends > 1 { cfg.backends as u64 } else { 0 };
     region.write_u64(layout::OFF_BACKENDS, backends_word, clock);
+    // And for the heat-format epoch: 0 = no heat words in the fd slots.
+    // Written (and flushed on its own line, away from the prefix below)
+    // even when 0, so reformatting a region that previously persisted heat
+    // clears the stale epoch.
+    let heat_word = if lay.heat_slots() { layout::HEAT_EPOCH } else { 0 };
+    region.write_u64(layout::OFF_HEAT_EPOCH, heat_word, clock);
+    region.pwb(layout::OFF_HEAT_EPOCH, 8);
     // Flush only the written header prefix, not all of `HEADER_BYTES`: the
     // rest of the header area is never-stored padding, and flushing those
     // clean lines is pure overhead (flagged by the pmcheck redundant-pwb
@@ -370,6 +390,17 @@ fn check_geometry(region: &NvRegion, cfg: &NvCacheConfig) -> IoResult<()> {
         return Err(IoError::InvalidArgument(format!(
             "region references {image_backends} backends but the mount provides only {}",
             cfg.backends
+        )));
+    }
+    // The heat epoch may change across a recovery (recovery clears every fd
+    // slot before restamping it), but an epoch this build does not know how
+    // to parse means slots whose partitioning we would guess wrong.
+    let image_heat = region.read_u64(layout::OFF_HEAT_EPOCH);
+    if image_heat != 0 && image_heat != layout::HEAT_EPOCH {
+        return Err(IoError::InvalidArgument(format!(
+            "region uses heat-summary format epoch {image_heat}, but this build \
+             only understands {} (and 0 = none)",
+            layout::HEAT_EPOCH
         )));
     }
     Ok(())

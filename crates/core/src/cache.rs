@@ -21,7 +21,7 @@ use crate::lockcheck::{Class, Recorder};
 use crate::log::Log;
 use crate::migrate::{MigrationPolicy, Migrator, RebalanceReport};
 use crate::pagedesc::PageDescriptor;
-use crate::placement::{PlacementPolicy, RouterPlacement};
+use crate::placement::{quantize_heat, PlacementPolicy, RouterPlacement};
 use crate::readcache::ReadCache;
 use crate::recovery::RecoveryReport;
 use crate::router::Router;
@@ -311,6 +311,7 @@ impl Shared {
                     opened.file.writes.load(Ordering::Relaxed),
                     opened.file.size.load(Ordering::Relaxed),
                     *opened.file.temperature.lock(),
+                    &self.stats,
                 );
                 self.migrator_notify();
             }
@@ -700,6 +701,13 @@ impl NvCache {
         let heat_half_life = placement.half_life();
         let log = Log::new(region, lay, 0);
         let lockcheck = log.lockcheck.clone();
+        let migrator = Migrator::new(
+            lockcheck.clone(),
+            cfg.catalog_capacity,
+            Arc::clone(&placement),
+            Arc::clone(&router),
+            backends.len(),
+        );
         let shared = Arc::new(Shared {
             pool: ReadCache::new(cfg.read_cache_pages),
             log,
@@ -720,7 +728,7 @@ impl NvCache {
             cleanup_clocks: cleanup_clocks.into_boxed_slice(),
             next_file_id: AtomicU64::new(1),
             in_flight: in_flight.into_boxed_slice(),
-            migrator: Migrator::new(lockcheck.clone()),
+            migrator,
             placement,
             track_heat,
             heat_half_life,
@@ -730,7 +738,7 @@ impl NvCache {
         if shared.migration_enabled() {
             // Recovery's misplaced files become migration candidates: a
             // rebalance sweep (or the background worker) re-homes them.
-            shared.migrator.seed(misplaced);
+            shared.migrator.seed(misplaced, &shared.stats);
         }
         let name = if shared.backends.len() == 1 {
             format!("nvcache+{}", shared.backends[0].name())
@@ -933,6 +941,15 @@ impl NvCache {
         (free, open, zombie)
     }
 
+    /// Files currently resident in the migrator's closed-file catalog —
+    /// bounded by [`NvCacheConfig::catalog_capacity`] (plus any pinned
+    /// overflow the bound is not allowed to drop: misplaced or
+    /// above-threshold entries survive until acted on). Unbounded mounts
+    /// report the full catalog size.
+    pub fn catalog_resident(&self) -> usize {
+        self.shared.migrator.resident()
+    }
+
     /// Blocks until every entry currently in any stripe has been propagated
     /// and fsync'ed by its cleanup worker (the flush barrier drains *all*
     /// stripes). If a stripe is poisoned the barrier returns early — its
@@ -1092,6 +1109,25 @@ impl Drop for InFlightGuard<'_> {
 }
 
 impl NvCache {
+    /// Persists `file`'s decayed temperature into its fd slot's spare word
+    /// (heat-format layouts with a temperature-reading policy only): one
+    /// `commit_store` + fence, so a crash hands the next mount this file's
+    /// heat instead of a cold start. A no-op on every other mount — the
+    /// default configuration pays nothing, not even a branch on NVMM.
+    fn stamp_heat(&self, file: &FileState, slot: u32, clock: &ActorClock) {
+        if !self.shared.log.layout.heat_slots() || !self.shared.track_heat {
+            return;
+        }
+        let heat = file.temperature.lock().decayed(clock.now(), self.shared.heat_half_life);
+        PersistentFdTable::set_heat(
+            &self.shared.log.region,
+            &self.shared.log.layout,
+            slot,
+            quantize_heat(heat),
+            clock,
+        );
+    }
+
     fn enter(&self, fd: Fd) -> IoResult<(Arc<OpenedFile>, InFlightGuard<'_>)> {
         let opened = self.opened(fd)?;
         let counter = &self.shared.in_flight[opened.slot as usize];
@@ -1239,6 +1275,23 @@ impl NvCache {
             backend_idx as u32,
             clock,
         );
+        // A reopen inherits the catalog's accumulated temperature; persist
+        // it right away so a crash before the first fsync does not forget a
+        // known-warm file. Cold opens (the common case) skip the stamp —
+        // the slot's zeroed heat word already reads as cold.
+        if self.shared.log.layout.heat_slots() && self.shared.track_heat {
+            let heat = file.temperature.lock().decayed(clock.now(), self.shared.heat_half_life);
+            let q = quantize_heat(heat);
+            if q > 0 {
+                PersistentFdTable::set_heat(
+                    &self.shared.log.region,
+                    &self.shared.log.layout,
+                    slot,
+                    q,
+                    clock,
+                );
+            }
+        }
         let opened = Arc::new(OpenedFile {
             slot,
             flags,
@@ -1292,7 +1345,7 @@ impl NvCache {
                     self.shared.migrator.forget(from);
                     self.shared.migrator.forget(to);
                 } else {
-                    self.shared.migrator.rename_entry(from, to, src as u32);
+                    self.shared.migrator.rename_entry(from, to, src as u32, &self.shared.stats);
                 }
             }
             return Ok(());
@@ -1359,7 +1412,7 @@ impl NvCache {
                     // The destination name is replaced mount-wide: drop any
                     // stale copy of `to` on tiers other than `dst`.
                     self.scrub_other_copies(to, dst, clock)?;
-                    shared.migrator.rename_entry(from, to, dst as u32);
+                    shared.migrator.rename_entry(from, to, dst as u32, &shared.stats);
                     shared.stats.files_migrated.fetch_add(1, Ordering::Relaxed);
                     shared.stats.migration_bytes.fetch_add(bytes, Ordering::Relaxed);
                     // A cross-tier rename is a migration like any other:
@@ -1430,6 +1483,10 @@ impl FileSystem for NvCache {
             std::thread::yield_now();
         }
         self.shared.kernel_flush_file(&opened, clock);
+        // Final temperature summary while the slot is still valid: a crash
+        // during the zombie drain window hands the next mount this file's
+        // heat (a clean finish clears the slot, heat word included).
+        self.stamp_heat(&opened.file, slot, clock);
         // The persistent fd slot must outlive the entries that reference it
         // (recovery resolves paths through it); defer the actual teardown to
         // the cleanup workers if entries are still in flight anywhere.
@@ -1458,9 +1515,12 @@ impl FileSystem for NvCache {
 
     fn fsync(&self, fd: Fd, clock: &ActorClock) -> IoResult<()> {
         // Paper Table III: no operation — the write call already made the
-        // data durable in NVMM.
+        // data durable in NVMM. A heat-persisting mount piggybacks its
+        // temperature summary on the application's own durability points.
         clock.advance(self.shared.cfg.libc_overhead);
-        self.opened(fd).map(|_| ())
+        let opened = self.opened(fd)?;
+        self.stamp_heat(&opened.file, opened.slot, clock);
+        Ok(())
     }
 
     fn ftruncate(&self, fd: Fd, len: u64, clock: &ActorClock) -> IoResult<()> {

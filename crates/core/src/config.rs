@@ -124,6 +124,33 @@ pub struct NvCacheConfig {
     /// budget. Set via
     /// [`with_placement`](NvCacheConfig::with_placement).
     pub placement: Option<Arc<dyn PlacementPolicy>>,
+    /// Upper bound on resident entries in the migrator's closed-file
+    /// catalog. `None` (the default) keeps the catalog unbounded — every
+    /// path ever closed stays tracked, the seed behavior, byte- and
+    /// virtual-time-identical. `Some(n)` caps the resident set at `n`
+    /// entries with a clock (second-chance) eviction policy that only
+    /// evicts *correctly-placed cold* files: an entry that is misplaced
+    /// (its recorded tier disagrees with
+    /// [`PlacementPolicy::place_cold`](crate::PlacementPolicy::place_cold))
+    /// or whose decayed heat sits at or above the policy's promote
+    /// threshold is pinned until a sweep acts on it, so a bounded catalog
+    /// never loses work the migrator still owes. When the pinned
+    /// population alone exceeds `n` the catalog grows past the cap rather
+    /// than drop pinned entries (evictions and readmissions are counted in
+    /// [`NvCacheStatsSnapshot`](crate::NvCacheStatsSnapshot)). This is the
+    /// knob that keeps sweep time and catalog memory O(hot files) instead
+    /// of O(total files) on million-file namespaces.
+    pub catalog_capacity: Option<usize>,
+    /// Whether each fd slot additionally persists a compact per-file
+    /// temperature summary (quantized decayed heat + a format epoch) in
+    /// the slot bytes past the path field. `false` (the default) keeps
+    /// the v3 slot layout and NVMM image byte-identical to the seed.
+    /// `true` (tiered mounts only) shortens the on-slot path budget from
+    /// `PATH_MAX_V3` (240) to `PATH_MAX_HEAT` (232) bytes and stamps the
+    /// summary at close time, so a crash + [`Mount::Recover`](crate::Mount::Recover) remount
+    /// re-seeds [`HeatPolicy`](crate::HeatPolicy) promotions instead of
+    /// starting every file cold.
+    pub persist_heat: bool,
     /// User-space bookkeeping cost charged per intercepted call (NVCache
     /// replaces the syscall with this — the design's core bet).
     pub libc_overhead: SimTime,
@@ -151,6 +178,8 @@ impl Default for NvCacheConfig {
             migration: MigrationPolicy::Disabled,
             cross_tier_rename: false,
             placement: None,
+            catalog_capacity: None,
+            persist_heat: false,
             libc_overhead: SimTime::from_nanos(1_500),
             copy_bandwidth: Bandwidth::gib_per_sec(8.0),
         }
@@ -280,6 +309,30 @@ impl NvCacheConfig {
         self
     }
 
+    /// Caps the migrator's closed-file catalog at `n` resident entries
+    /// (see [`NvCacheConfig::catalog_capacity`]); without this call the
+    /// catalog is unbounded, the seed behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero — a catalog that can hold nothing would
+    /// silently disable heat accumulation and misplacement tracking.
+    pub fn with_catalog_capacity(mut self, n: usize) -> Self {
+        assert!(n >= 1, "catalog_capacity must be at least 1");
+        self.catalog_capacity = Some(n);
+        self
+    }
+
+    /// Persists a compact per-file temperature summary in each fd slot
+    /// (see [`NvCacheConfig::persist_heat`]). Tiered mounts only —
+    /// [`validate`](NvCacheConfig::validate) rejects the flag on a
+    /// single-backend configuration, where there is no placement decision
+    /// for the summary to survive into.
+    pub fn with_persist_heat(mut self, persist: bool) -> Self {
+        self.persist_heat = persist;
+        self
+    }
+
     /// Sets the cleanup workers' submission-ring queue depth (`1` =
     /// synchronous drain, the paper's behavior).
     ///
@@ -367,6 +420,14 @@ impl NvCacheConfig {
             "backends must be in 1..={}",
             crate::layout::MAX_BACKENDS
         );
+        if let Some(capacity) = self.catalog_capacity {
+            assert!(capacity >= 1, "catalog_capacity must be at least 1");
+        }
+        assert!(
+            !self.persist_heat || self.backends > 1,
+            "persist_heat requires a tiered mount (backends > 1): a single-backend \
+             slot layout has no spare bytes and no placement to re-seed"
+        );
         if let Some(fast) = self.placement.as_ref().and_then(|p| p.fast_tier()) {
             assert!(
                 fast < self.backends,
@@ -441,6 +502,32 @@ mod tests {
             .with_backends(2)
             .with_placement(Arc::new(policy))
             .validate();
+    }
+
+    #[test]
+    fn default_catalog_is_unbounded_and_heat_volatile() {
+        let cfg = NvCacheConfig::default();
+        assert_eq!(cfg.catalog_capacity, None);
+        assert!(!cfg.persist_heat);
+        let cfg = NvCacheConfig::tiny()
+            .with_backends(2)
+            .with_catalog_capacity(128)
+            .with_persist_heat(true);
+        assert_eq!(cfg.catalog_capacity, Some(128));
+        assert!(cfg.persist_heat);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "catalog_capacity must be at least 1")]
+    fn zero_catalog_capacity_panics() {
+        NvCacheConfig::tiny().with_catalog_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "persist_heat requires a tiered mount")]
+    fn persist_heat_on_single_backend_panics() {
+        NvCacheConfig::tiny().with_persist_heat(true).validate();
     }
 
     #[test]

@@ -11,7 +11,10 @@ use nvmm::{NvRegion, PmemInts};
 use parking_lot::Mutex;
 use simclock::{ActorClock, SimTime};
 
-use crate::layout::{Layout, FD_BACKEND_OFF, FD_SLOT_BYTES, FD_VALID_MIGRATION, FD_VALID_OPEN};
+use crate::layout::{
+    heat_word, parse_heat_word, Layout, FD_BACKEND_OFF, FD_HEAT_OFF, FD_SLOT_BYTES,
+    FD_VALID_MIGRATION, FD_VALID_OPEN,
+};
 use crate::placement::Temperature;
 use crate::Radix;
 
@@ -216,6 +219,12 @@ impl PersistentFdTable {
             assert_eq!(backend, 0, "legacy fd slots cannot record a backend index");
         }
         region.write(base + layout.fd_path_off(), &buf, clock);
+        if layout.heat_slots() {
+            // Part of the payload phase: a reused slot must not leak the
+            // previous occupant's temperature to this file. The pwb below
+            // already spans the slot's last word.
+            region.write_u64(base + FD_HEAT_OFF, 0, clock);
+        }
         region.pwb(base + FD_BACKEND_OFF, FD_SLOT_BYTES as usize - FD_BACKEND_OFF as usize);
         region.persist_fence(clock);
         region.commit_store(base, FD_VALID_OPEN, clock);
@@ -247,6 +256,11 @@ impl PersistentFdTable {
         buf[..bytes.len()].copy_from_slice(bytes);
         region.write_u64(base + FD_BACKEND_OFF, backend as u64, clock);
         region.write(base + layout.fd_path_off(), &buf, clock);
+        if layout.heat_slots() {
+            // Journal slots carry no temperature; zero the word so a slot
+            // later reused for an open file starts from a clean payload.
+            region.write_u64(base + FD_HEAT_OFF, 0, clock);
+        }
         region.pwb(base + FD_BACKEND_OFF, FD_SLOT_BYTES as usize - FD_BACKEND_OFF as usize);
         region.persist_fence(clock);
         region.commit_store(base, FD_VALID_MIGRATION, clock);
@@ -295,6 +309,37 @@ impl PersistentFdTable {
         region.read(base + layout.fd_path_off(), &mut buf, clock);
         let end = buf.iter().position(|&b| b == 0).unwrap_or(layout.path_max());
         Some((String::from_utf8_lossy(&buf[..end]).into_owned(), backend))
+    }
+
+    /// Stamps the packed temperature summary of an open slot (heat layouts
+    /// only): one aligned 8-byte [`commit_store`](NvRegion::commit_store)
+    /// plus fence into the slot's last word. Crash-atomic on its own — the
+    /// summary is advisory (recovery treats a missing or half-stale word as
+    /// cold), so it needs no two-phase protocol, just the guarantee that a
+    /// torn write can never be parsed (the packed epoch provides it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout does not carry heat words.
+    pub fn set_heat(region: &NvRegion, layout: &Layout, slot: u32, qheat: u16, clock: &ActorClock) {
+        assert!(layout.heat_slots(), "heat stamps need the heat-format slot layout");
+        let base = layout.fd_slot(slot);
+        region.commit_store(base + FD_HEAT_OFF, heat_word(qheat), clock);
+        region.persist_fence(clock);
+    }
+
+    /// Reads the quantized temperature summary of `slot`, or `None` when
+    /// the layout carries no heat words, the word was never stamped, or it
+    /// carries a foreign epoch. Charged reads, like
+    /// [`PersistentFdTable::get`].
+    pub fn heat(region: &NvRegion, layout: &Layout, slot: u32, clock: &ActorClock) -> Option<u16> {
+        if !layout.heat_slots() {
+            return None;
+        }
+        let base = layout.fd_slot(slot);
+        let mut w = [0u8; 8];
+        region.read(base + FD_HEAT_OFF, &mut w, clock);
+        parse_heat_word(u64::from_le_bytes(w))
     }
 
     /// Invalidates `slot` (close path — only after the log has been drained,
@@ -380,6 +425,52 @@ mod tests {
         let crashed = region.dimm().crash_and_restart();
         let region2 = NvRegion::whole(Arc::new(crashed));
         assert_eq!(PersistentFdTable::get(&region2, &layout, 0, &c), Some(("/survivor".into(), 0)));
+    }
+
+    #[test]
+    fn heat_word_round_trips_and_resets_on_slot_reuse() {
+        let cfg = NvCacheConfig::tiny().with_backends(2).with_persist_heat(true);
+        let (c, region, layout) = setup_with(cfg);
+        assert!(layout.heat_slots());
+        PersistentFdTable::set(&region, &layout, 1, "/hot/a", 1, &c);
+        // Unstamped slot: no summary, not a zero-heat one.
+        assert_eq!(PersistentFdTable::heat(&region, &layout, 1, &c), None);
+        PersistentFdTable::set_heat(&region, &layout, 1, 777, &c);
+        assert_eq!(PersistentFdTable::heat(&region, &layout, 1, &c), Some(777));
+        // The path bytes are untouched by the stamp.
+        assert_eq!(PersistentFdTable::get(&region, &layout, 1, &c), Some(("/hot/a".into(), 1)));
+        // Reusing the slot for another file must not inherit the summary.
+        PersistentFdTable::clear(&region, &layout, 1, &c);
+        PersistentFdTable::set(&region, &layout, 1, "/bulk/b", 0, &c);
+        assert_eq!(PersistentFdTable::heat(&region, &layout, 1, &c), None);
+    }
+
+    #[test]
+    fn heat_word_survives_crash() {
+        let cfg = NvCacheConfig::tiny().with_backends(2).with_persist_heat(true);
+        let (c, region, layout) = setup_with(cfg);
+        PersistentFdTable::set(&region, &layout, 0, "/hot/wal", 1, &c);
+        PersistentFdTable::set_heat(&region, &layout, 0, 4321, &c);
+        let crashed = region.dimm().crash_and_restart();
+        let region2 = NvRegion::whole(Arc::new(crashed));
+        assert_eq!(PersistentFdTable::heat(&region2, &layout, 0, &c), Some(4321));
+        assert_eq!(PersistentFdTable::get(&region2, &layout, 0, &c), Some(("/hot/wal".into(), 1)));
+    }
+
+    #[test]
+    fn heat_layout_shrinks_the_path_budget() {
+        let cfg = NvCacheConfig::tiny().with_backends(2).with_persist_heat(true);
+        let (c, region, layout) = setup_with(cfg);
+        let fits = format!("/{}", "x".repeat(layout.path_max() - 1));
+        PersistentFdTable::set(&region, &layout, 0, &fits, 0, &c);
+        assert_eq!(PersistentFdTable::get(&region, &layout, 0, &c).map(|(p, _)| p), Some(fits));
+    }
+
+    #[test]
+    #[should_panic(expected = "heat-format slot layout")]
+    fn heat_stamp_on_plain_tiered_layout_panics() {
+        let (c, region, layout) = setup_with(NvCacheConfig::tiny().with_backends(2));
+        PersistentFdTable::set_heat(&region, &layout, 0, 1, &c);
     }
 
     #[test]

@@ -423,3 +423,171 @@ fn recover_repair_demotes_a_previously_promoted_file() {
     cache.close(fd, &clock).unwrap();
     cache.shutdown(&clock);
 }
+
+/// The persisted-heat remount oracle: with `persist_heat` on, the compact
+/// per-slot summaries stamped at `fsync` survive a crash, recovery seeds
+/// them back into the catalog, and the next sweep re-promotes the hot set
+/// **without a single post-recovery read or write** — placement quality
+/// survives the remount on persisted temperature alone.
+#[test]
+fn recovery_reseeds_persisted_heat_and_repromotes_without_retouching() {
+    let policy = || Arc::new(HeatPolicy::new(1, 4.0, 1.0, SimTime::from_secs(3600)));
+    let cfg = parked_cfg().with_placement(policy()).with_persist_heat(true);
+    let clock = ActorClock::new();
+    let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let tiers = two_memfs();
+    let cache = mount(cfg.clone(), cold_everything(), &tiers, &dimm, Mount::Format, &clock);
+
+    // Two files open at crash time: one read-hot, one written once and
+    // left alone. fsync is the app's durability point, so it is also the
+    // moment the temperature summary is stamped into the fd slot.
+    let hot = cache.open("/wal/hot", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    cache.pwrite(hot, &[1; 300], 0, &clock).unwrap();
+    let cold = cache.open("/wal/cold", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    cache.pwrite(cold, &[2; 300], 0, &clock).unwrap();
+    cache.flush_log(&clock);
+    let mut buf = [0u8; 64];
+    for _ in 0..8 {
+        cache.pread(hot, &mut buf, 0, &clock).unwrap();
+    }
+    cache.fsync(hot, &clock).unwrap();
+    cache.fsync(cold, &clock).unwrap();
+    cache.abort();
+    drop(cache);
+
+    let cache = mount(
+        cfg,
+        cold_everything(),
+        &tiers,
+        &Arc::new(dimm.crash_and_restart()),
+        Mount::Recover,
+        &clock,
+    );
+    // No opens, reads or writes since the crash: the sweep decides purely
+    // on the summaries recovery harvested from the fd slots.
+    let report = cache.rebalance(&clock).expect("post-recovery sweep");
+    assert_eq!(
+        (report.files_promoted, report.files_demoted),
+        (1, 0),
+        "the persisted hot set is re-promoted from quantized heat alone"
+    );
+    assert!(on_tier(&tiers.1, "/wal/hot", &clock), "hot file back on the fast tier");
+    assert!(on_tier(&tiers.0, "/wal/cold", &clock), "cold file stays on the baseline");
+    cache.shutdown(&clock);
+}
+
+/// Forward compatibility with pre-heat images: a tiered v3 image whose
+/// spare slot bytes are all zero (written by a mount without
+/// `persist_heat`) recovers every file as cold — a zero word parses as "no
+/// summary", never as garbage heat. The recovery mount then stamps the
+/// heat epoch, upgrading the image in place: from that remount on,
+/// summaries persist across crashes.
+#[test]
+fn pre_heat_images_recover_cold_and_upgrade_in_place() {
+    let policy = || Arc::new(HeatPolicy::new(1, 4.0, 1.0, SimTime::from_secs(3600)));
+    let clock = ActorClock::new();
+    let volatile_cfg = parked_cfg().with_placement(policy());
+    let dimm = Arc::new(NvDimm::new(volatile_cfg.required_nvmm_bytes(), NvmmProfile::instant()));
+    let tiers = two_memfs();
+
+    // Old world: heat tracked but volatile — the image carries no epoch
+    // word and every spare slot byte stays zero.
+    let cache = mount(volatile_cfg, cold_everything(), &tiers, &dimm, Mount::Format, &clock);
+    let fd = cache.open("/wal", OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+    cache.pwrite(fd, &[5; 200], 0, &clock).unwrap();
+    cache.flush_log(&clock);
+    let mut buf = [0u8; 64];
+    for _ in 0..8 {
+        cache.pread(fd, &mut buf, 0, &clock).unwrap();
+    }
+    cache.fsync(fd, &clock).unwrap();
+    cache.abort();
+    drop(cache);
+
+    // New world: `persist_heat` on. The pre-crash temperature is gone —
+    // the zeroed spare bytes must read back as "cold", not as heat.
+    let heat_cfg = parked_cfg().with_placement(policy()).with_persist_heat(true);
+    let dimm = Arc::new(dimm.crash_and_restart());
+    let cache = mount(heat_cfg.clone(), cold_everything(), &tiers, &dimm, Mount::Recover, &clock);
+    let report = cache.rebalance(&clock).expect("sweep on the upgraded mount");
+    assert_eq!(report.files_promoted, 0, "a pre-heat image recovers cold");
+    assert!(on_tier(&tiers.0, "/wal", &clock), "nothing promoted without a summary");
+
+    // The recovery mount stamped the heat epoch: heat earned now survives
+    // the *next* crash.
+    let fd = cache.open("/wal", OpenFlags::RDONLY, &clock).unwrap();
+    for _ in 0..8 {
+        cache.pread(fd, &mut buf, 0, &clock).unwrap();
+    }
+    cache.fsync(fd, &clock).unwrap();
+    cache.abort();
+    drop(cache);
+
+    let cache = mount(
+        heat_cfg,
+        cold_everything(),
+        &tiers,
+        &Arc::new(dimm.crash_and_restart()),
+        Mount::Recover,
+        &clock,
+    );
+    let report = cache.rebalance(&clock).expect("post-upgrade sweep");
+    assert_eq!(report.files_promoted, 1, "the upgraded image persists heat");
+    assert!(on_tier(&tiers.1, "/wal", &clock));
+    cache.shutdown(&clock);
+}
+
+/// The bounded-catalog identity oracle: a capacity the workload never
+/// reaches must change nothing — the run is byte- and
+/// virtual-time-identical to the default unbounded mount, sweep reports
+/// and stats included, and the eviction counters stay at zero.
+#[test]
+fn an_unreached_catalog_capacity_is_byte_and_time_identical_to_unbounded() {
+    let run = |cfg: NvCacheConfig| {
+        let clock = ActorClock::new();
+        let dimm = Arc::new(NvDimm::new(cfg.required_nvmm_bytes(), NvmmProfile::optane()));
+        let tiers = two_memfs();
+        let router = Arc::new(PathPrefixRouter::new(vec![("/hot".into(), 1)], 0));
+        let cache = mount(cfg, router, &tiers, &dimm, Mount::Format, &clock);
+        let mut fds = Vec::new();
+        for (path, byte) in [("/hot/a", 1u8), ("/cold/b", 2), ("/cold/c", 3)] {
+            let fd = cache.open(path, OpenFlags::RDWR | OpenFlags::CREATE, &clock).unwrap();
+            cache.pwrite(fd, &[byte; 700], 0, &clock).unwrap();
+            fds.push(fd);
+        }
+        cache.flush_log(&clock);
+        for fd in fds {
+            cache.close(fd, &clock).unwrap();
+        }
+        heat_up(&cache, "/cold/c", 5, &clock);
+        let moved = cache.migrate("/cold/c", 1, &clock).unwrap();
+        assert_eq!(moved, 700);
+        let report = cache.rebalance(&clock).expect("sweep");
+        cache.flush_log(&clock);
+        let snap = cache.stats().snapshot();
+        cache.shutdown(&clock);
+        let stats = (
+            snap.writes,
+            snap.reads,
+            snap.bytes_logged,
+            snap.entries_logged,
+            snap.entries_propagated,
+            snap.files_migrated,
+            snap.migration_bytes,
+            snap.catalog_evictions,
+            snap.catalog_readmissions,
+        );
+        (region_bytes(&dimm), clock.now(), report, stats)
+    };
+
+    let (bytes_unbounded, time_unbounded, report_unbounded, stats_unbounded) = run(parked_cfg());
+    let (bytes_bounded, time_bounded, report_bounded, stats_bounded) =
+        run(parked_cfg().with_catalog_capacity(1 << 20));
+
+    assert_eq!(bytes_unbounded, bytes_bounded, "persistent images must be byte-identical");
+    assert_eq!(time_unbounded, time_bounded, "virtual timelines must be identical");
+    assert_eq!(report_unbounded, report_bounded, "sweep reports must agree");
+    assert_eq!(stats_unbounded, stats_bounded, "stats must agree");
+    let (.., evictions, readmissions) = stats_bounded;
+    assert_eq!((evictions, readmissions), (0, 0), "an unreached bound never evicts");
+}

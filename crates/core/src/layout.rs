@@ -73,8 +73,15 @@ pub const PATH_MAX: usize = (FD_SLOT_BYTES - 8) as usize;
 /// Maximum stored path length in a v3 (tiered) slot: the backend word takes
 /// eight bytes off the front of the path area.
 pub const PATH_MAX_V3: usize = (FD_SLOT_BYTES - 16) as usize;
+/// Maximum stored path length in a v3 slot that also persists a heat
+/// summary ([`NvCacheConfig::persist_heat`](crate::NvCacheConfig)): the
+/// heat word takes eight bytes off the *tail* of the path area.
+pub const PATH_MAX_HEAT: usize = (FD_SLOT_BYTES - 24) as usize;
 /// Offset (within a v3 fd slot) of the backend-index word.
 pub const FD_BACKEND_OFF: u64 = 8;
+/// Offset (within a heat-format v3 fd slot) of the packed heat-summary
+/// word — the last eight bytes of the slot, after the shortened path.
+pub const FD_HEAT_OFF: u64 = FD_SLOT_BYTES - 8;
 /// Offset (within an fd slot) of the path bytes, v1/v2 layout.
 pub const FD_PATH_OFF: u64 = 8;
 /// Offset (within an fd slot) of the path bytes, v3 layout.
@@ -106,6 +113,18 @@ pub const OFF_BACKENDS: u64 = 56;
 /// Base of the per-stripe persistent tail array (v2 format only; stripe `s`
 /// persists its tail at `OFF_STRIPE_TAILS + 8 * s`).
 pub const OFF_STRIPE_TAILS: u64 = 64;
+/// Heat-summary format epoch of the image; `0` (every format that predates
+/// heat persistence — the word is simply never written) means the fd
+/// slots carry **no** heat word and their full v3 path area is path
+/// bytes. `HEAT_EPOCH` marks a heat-format image: each slot's last eight
+/// bytes are a packed summary ([`heat_word`]). Placed after the stripe
+/// tail array so no existing field moves.
+pub const OFF_HEAT_EPOCH: u64 = OFF_STRIPE_TAILS + 8 * MAX_LOG_SHARDS as u64;
+/// The current heat-summary format epoch (the only non-zero one so far).
+/// Also packed into every slot's heat word, so a summary is only believed
+/// when both the header *and* the slot agree on the format — stale path
+/// bytes from a pre-heat image can never be misread as temperature.
+pub const HEAT_EPOCH: u64 = 1;
 
 /// Upper bound on `log_shards` (the per-stripe tail array must fit in the
 /// 4 KiB header with room to spare).
@@ -137,6 +156,11 @@ pub struct Layout {
     /// Inner backends of the mount (1 = v1/v2 single-backend fd slots,
     /// `B > 1` = v3 slots carrying a backend word).
     pub backends: u64,
+    /// Whether fd slots carry the persisted heat summary
+    /// ([`OFF_HEAT_EPOCH`] non-zero in the header): the path area shrinks
+    /// to [`PATH_MAX_HEAT`] and the slot's last word ([`FD_HEAT_OFF`])
+    /// holds a packed [`heat_word`]. Only meaningful on tiered layouts.
+    pub heat: bool,
 }
 
 impl Layout {
@@ -148,12 +172,18 @@ impl Layout {
             fd_slots: cfg.fd_slots as u64,
             log_shards: cfg.log_shards as u64,
             backends: cfg.backends as u64,
+            heat: cfg.persist_heat && cfg.backends > 1,
         }
     }
 
     /// Whether fd slots use the v3 (tiered) partitioning.
     pub fn tiered(&self) -> bool {
         self.backends > 1
+    }
+
+    /// Whether fd slots carry the heat-summary word.
+    pub fn heat_slots(&self) -> bool {
+        self.tiered() && self.heat
     }
 
     /// Offset of the path bytes within an fd slot.
@@ -167,7 +197,9 @@ impl Layout {
 
     /// Maximum storable path length for this layout's fd slots.
     pub fn path_max(&self) -> usize {
-        if self.tiered() {
+        if self.heat_slots() {
+            PATH_MAX_HEAT
+        } else if self.tiered() {
             PATH_MAX_V3
         } else {
             PATH_MAX
@@ -279,12 +311,38 @@ pub fn parse_commit_word(w: u64) -> CommitWord {
     }
 }
 
+/// Packs a quantized heat summary into a slot heat word: the current
+/// [`HEAT_EPOCH`] in bits 16..32 and the quantized heat in bits 0..16. A
+/// packed word is therefore never `0` even for stone-cold files, which is
+/// how a written summary is told apart from a never-written (zeroed) one.
+pub fn heat_word(qheat: u16) -> u64 {
+    (HEAT_EPOCH & 0xFFFF) << 16 | qheat as u64
+}
+
+/// Unpacks a slot heat word written by [`heat_word`]. Returns `None` when
+/// the word was never written (`0`) or carries an unknown epoch — both mean
+/// "no usable summary, treat as cold".
+pub fn parse_heat_word(w: u64) -> Option<u16> {
+    if (w >> 16) & 0xFFFF == HEAT_EPOCH {
+        Some((w & 0xFFFF) as u16)
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn layout() -> Layout {
-        Layout { nb_entries: 8, entry_size: 128, fd_slots: 4, log_shards: 1, backends: 1 }
+        Layout {
+            nb_entries: 8,
+            entry_size: 128,
+            fd_slots: 4,
+            log_shards: 1,
+            backends: 1,
+            heat: false,
+        }
     }
 
     #[test]
@@ -364,6 +422,35 @@ mod tests {
         assert_eq!(legacy.path_max(), PATH_MAX);
         assert_eq!(tiered.path_max(), PATH_MAX_V3);
         assert_eq!(tiered.fd_path_off() + tiered.path_max() as u64, FD_SLOT_BYTES);
+    }
+
+    #[test]
+    fn heat_slots_give_up_path_tail_bytes_only_when_tiered() {
+        let tiered = Layout { backends: 3, heat: true, ..layout() };
+        assert!(tiered.heat_slots());
+        assert_eq!(tiered.path_max(), PATH_MAX_HEAT);
+        // Backend word + path + heat word exactly tile the slot.
+        assert_eq!(tiered.fd_path_off() + tiered.path_max() as u64 + 8, FD_SLOT_BYTES);
+        assert_eq!(tiered.fd_path_off() + tiered.path_max() as u64, FD_HEAT_OFF);
+        // A single-backend layout has no spare bytes: the flag is inert.
+        let flat = Layout { heat: true, ..layout() };
+        assert!(!flat.heat_slots());
+        assert_eq!(flat.path_max(), PATH_MAX);
+        // The epoch word sits after the stripe-tail array, inside the header.
+        const { assert!(OFF_HEAT_EPOCH == 576) }
+        const { assert!(OFF_HEAT_EPOCH + 8 <= HEADER_BYTES) }
+    }
+
+    #[test]
+    fn heat_word_round_trips_and_rejects_foreign_epochs() {
+        assert_eq!(parse_heat_word(heat_word(0)), Some(0));
+        assert_eq!(parse_heat_word(heat_word(12345)), Some(12345));
+        assert_eq!(parse_heat_word(heat_word(u16::MAX)), Some(u16::MAX));
+        // A written summary is never the all-zero word, even when cold.
+        assert_ne!(heat_word(0), 0);
+        // Never-written slots and unknown epochs both read as "no summary".
+        assert_eq!(parse_heat_word(0), None);
+        assert_eq!(parse_heat_word((HEAT_EPOCH + 1) << 16 | 7), None);
     }
 
     #[test]

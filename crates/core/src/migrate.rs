@@ -55,7 +55,8 @@
 //! [`MigrationPolicy::Background`] a dedicated worker thread runs sweeps on
 //! its own virtual clock whenever closes or cleanup batches complete.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
@@ -69,7 +70,9 @@ use crate::cache::Shared;
 use crate::files::PersistentFdTable;
 use crate::layout::Layout;
 use crate::lockcheck::{Class, Recorder};
-use crate::placement::{FileTemperature, Temperature};
+use crate::placement::{FileTemperature, PlacementPolicy, Temperature};
+use crate::router::Router;
+use crate::stats::NvCacheStats;
 
 /// How (and whether) the tier migrator may move files between backends.
 ///
@@ -213,6 +216,70 @@ pub(crate) struct FileHeat {
     pub temp: Temperature,
 }
 
+/// One resident catalog entry: the heat record plus the clock-eviction
+/// bookkeeping of a capacity-bounded catalog (see [`Catalog`]).
+#[derive(Debug, Clone)]
+struct CatalogEntry {
+    heat: FileHeat,
+    /// Second-chance bit: set on every touch (close, rename, seed), cleared
+    /// by one pass of the eviction hand. An entry is only evicted after a
+    /// full hand revolution without a touch.
+    referenced: bool,
+    /// Admission sequence number; a ring occurrence is live only while its
+    /// recorded sequence matches (removal + readmission makes the old ring
+    /// occurrence a tombstone instead of a duplicate).
+    seq: u64,
+}
+
+/// The closed-file catalog: `path → CatalogEntry`, plus — only when a
+/// [`catalog_capacity`](crate::NvCacheConfig::catalog_capacity) bound is
+/// set — the clock-eviction ring and the recently-evicted filter behind
+/// the readmission counter. Unbounded catalogs (the default) never touch
+/// `ring`/`evicted`, so the seed's memory and timing are unchanged.
+#[derive(Default)]
+struct Catalog {
+    map: HashMap<String, CatalogEntry>,
+    /// Clock ring in admission order: `(seq, path)`. Occurrences whose
+    /// `seq` no longer matches the map entry are tombstones, dropped when
+    /// the hand reaches them (or by [`Catalog::maybe_compact`]).
+    ring: VecDeque<(u64, String)>,
+    next_seq: u64,
+    /// Hashes of recently evicted paths (bounded; cleared wholesale when
+    /// it outgrows its budget). A newly admitted path found here counts a
+    /// readmission — the thrash signal behind `catalog_readmissions`.
+    evicted: HashSet<u64>,
+}
+
+impl Catalog {
+    fn path_hash(path: &str) -> u64 {
+        // DefaultHasher::new() uses fixed keys: deterministic per run.
+        let mut h = DefaultHasher::new();
+        path.hash(&mut h);
+        h.finish()
+    }
+
+    /// Remembers an evicted path for readmission detection, keeping the
+    /// filter's memory bounded by the catalog capacity.
+    fn note_evicted(&mut self, path: &str, capacity: usize) {
+        if self.evicted.len() >= capacity.saturating_mul(8).max(1024) {
+            // The filter is allowed to forget (a missed readmission only
+            // under-counts a diagnostic); unbounded growth is not.
+            self.evicted.clear();
+        }
+        self.evicted.insert(Self::path_hash(path));
+    }
+
+    /// Drops tombstoned ring occurrences once they dominate the ring, so
+    /// under-capacity churn (open/close of one path leaves a tombstone per
+    /// cycle) cannot grow the ring without bound.
+    fn maybe_compact(&mut self) {
+        if self.ring.len() > 2 * self.map.len() + 64 {
+            let map = &self.map;
+            self.ring.retain(|(seq, path)| map.get(path).is_some_and(|e| e.seq == *seq));
+        }
+    }
+}
+
 /// The migrator's shared state: the catalog of migratable (closed) files,
 /// the [`MigrationGate`], the background worker's wakeup channel and its
 /// virtual clock.
@@ -224,7 +291,19 @@ pub(crate) struct Migrator {
     /// path → placement + heat for files the mount has seen close (or
     /// recovery reported misplaced). Volatile by design: after a remount
     /// the catalog refills from recovery's misplaced list and new closes.
-    catalog: Mutex<HashMap<String, FileHeat>>,
+    catalog: Mutex<Catalog>,
+    /// Resident-set bound ([`catalog_capacity`]); `None` = unbounded, the
+    /// seed behavior.
+    ///
+    /// [`catalog_capacity`]: crate::NvCacheConfig::catalog_capacity
+    capacity: Option<usize>,
+    /// The mount's placement policy — the eviction pin judgement
+    /// (misplaced? promote-worthy?) must agree with the sweeps it guards.
+    placement: Arc<dyn PlacementPolicy>,
+    /// The mount's router, feeding the policy's `place_cold` baseline.
+    router: Arc<dyn Router>,
+    /// Backend count of the mount (validates `place_cold` inputs).
+    backends: usize,
     /// Set by [`Migrator::notify`]; the background worker only runs a
     /// (catalog-cloning, sorting) sweep after taking it, so an idle mount
     /// pays a flag check per condvar timeout instead of a full sweep.
@@ -243,11 +322,21 @@ pub(crate) struct Migrator {
 }
 
 impl Migrator {
-    pub fn new(lockcheck: Recorder) -> Migrator {
+    pub fn new(
+        lockcheck: Recorder,
+        capacity: Option<usize>,
+        placement: Arc<dyn PlacementPolicy>,
+        router: Arc<dyn Router>,
+        backends: usize,
+    ) -> Migrator {
         Migrator {
             clock: Arc::new(ActorClock::new()),
             gate: MigrationGate::default(),
-            catalog: Mutex::new(HashMap::new()),
+            catalog: Mutex::new(Catalog::default()),
+            capacity,
+            placement,
+            router,
+            backends,
             // Starts pending so a worker sweeps once on mount (recovery may
             // have seeded misplaced files with no close to signal them).
             work_pending: std::sync::atomic::AtomicBool::new(true),
@@ -294,10 +383,107 @@ impl Migrator {
         self.work_cv.wait_for(&mut g, timeout);
     }
 
+    /// Whether a catalogued entry is **pinned** — never evictable from a
+    /// bounded catalog. Pinned means the migrator still owes work on it:
+    /// the file is misplaced (its recorded tier disagrees with the
+    /// policy's cold placement), or its decayed heat sits at or above the
+    /// policy's [`retain_heat_threshold`](PlacementPolicy) (a promotion
+    /// the next sweep will execute). Entries recording an out-of-range
+    /// backend are pinned too — they are inconsistencies the sweep's
+    /// NotFound handling must resolve, not eviction.
+    fn pinned(&self, path: &str, heat: &FileHeat) -> bool {
+        let backend = heat.backend as usize;
+        if backend >= self.backends {
+            return true;
+        }
+        if self.backends > 1
+            && self.placement.place_cold(path, backend, self.router.as_ref()) != backend
+        {
+            return true;
+        }
+        if let Some(threshold) = self.placement.retain_heat_threshold() {
+            let now = self.observed_time();
+            if heat.temp.decayed(now, self.placement.half_life()) >= threshold {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advances the clock hand until one unpinned, unreferenced resident is
+    /// evicted. Returns `false` when a bounded number of steps found no
+    /// victim (every resident pinned or just touched — the catalog may
+    /// then exceed its capacity rather than drop owed work). Each step
+    /// either retires a tombstone (paid for by the removal that left it),
+    /// spends a second-chance bit (paid for by the touch that set it), or
+    /// skips a pinned entry, so the amortized cost per admission is O(1)
+    /// plus the pinned population.
+    fn make_room(&self, catalog: &mut Catalog, stats: &NvCacheStats) -> bool {
+        let mut steps = 2 * catalog.ring.len();
+        while steps > 0 {
+            steps -= 1;
+            let Some((seq, path)) = catalog.ring.pop_front() else {
+                return false;
+            };
+            match catalog.map.get_mut(&path) {
+                Some(e) if e.seq == seq => {
+                    if e.referenced {
+                        e.referenced = false;
+                        catalog.ring.push_back((seq, path));
+                    } else if self.pinned(&path, &e.heat) {
+                        catalog.ring.push_back((seq, path));
+                    } else {
+                        catalog.map.remove(&path);
+                        if let Some(capacity) = self.capacity {
+                            catalog.note_evicted(&path, capacity);
+                        }
+                        stats.catalog_evictions.fetch_add(1, Ordering::Relaxed);
+                        return true;
+                    }
+                }
+                _ => {} // tombstone: the live occurrence is elsewhere
+            }
+        }
+        false
+    }
+
+    /// Admits a path the catalog does not currently hold, enforcing the
+    /// capacity bound: at capacity a correctly-placed cold resident is
+    /// evicted first; when every resident is pinned, a pinned newcomer is
+    /// admitted past the bound (owed work is never dropped) while a cold
+    /// newcomer is rejected — which counts as an eviction of itself.
+    fn admit_new(&self, catalog: &mut Catalog, path: String, heat: FileHeat, stats: &NvCacheStats) {
+        let Some(capacity) = self.capacity else {
+            // Unbounded (the default): a plain map insert, no ring, no
+            // filter — byte-identical bookkeeping to the seed.
+            catalog.map.insert(path, CatalogEntry { heat, referenced: false, seq: 0 });
+            return;
+        };
+        // Evict until back under the bound — more than once when pinned
+        // overflow from earlier admissions has since cooled below the
+        // retain threshold and become evictable again.
+        while catalog.map.len() >= capacity && self.make_room(catalog, stats) {}
+        if catalog.map.len() >= capacity && !self.pinned(&path, &heat) {
+            stats.catalog_evictions.fetch_add(1, Ordering::Relaxed);
+            catalog.note_evicted(&path, capacity);
+            return;
+        }
+        if catalog.evicted.remove(&Catalog::path_hash(&path)) {
+            stats.catalog_readmissions.fetch_add(1, Ordering::Relaxed);
+        }
+        let seq = catalog.next_seq;
+        catalog.next_seq += 1;
+        catalog.ring.push_back((seq, path.clone()));
+        catalog.map.insert(path, CatalogEntry { heat, referenced: false, seq });
+        catalog.maybe_compact();
+    }
+
     /// Records a file that just fully closed (it is now migratable),
     /// accumulating the raw counters across open generations; the size and
     /// temperature of the latest close win (the [`FileState`](crate::files)
     /// temperature already folded the catalogued heat back in at open).
+    /// New paths go through the capacity-bounded admission path.
+    #[allow(clippy::too_many_arguments)] // mirrors the FileState counters
     pub fn record_closed(
         &self,
         path: &str,
@@ -306,15 +492,21 @@ impl Migrator {
         writes: u64,
         bytes: u64,
         temp: Temperature,
+        stats: &NvCacheStats,
     ) {
         let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         let mut catalog = self.catalog.lock();
-        let heat = catalog.entry(path.to_string()).or_default();
-        heat.backend = backend;
-        heat.reads += reads;
-        heat.writes += writes;
-        heat.bytes = bytes;
-        heat.temp = temp;
+        if let Some(e) = catalog.map.get_mut(path) {
+            e.heat.backend = backend;
+            e.heat.reads += reads;
+            e.heat.writes += writes;
+            e.heat.bytes = bytes;
+            e.heat.temp = temp;
+            e.referenced = true;
+        } else {
+            let heat = FileHeat { backend, reads, writes, bytes, temp };
+            self.admit_new(&mut catalog, path.to_string(), heat, stats);
+        }
     }
 
     /// Removes and returns the catalog entry for a path being reopened (its
@@ -325,8 +517,8 @@ impl Migrator {
     pub fn take_if_on(&self, path: &str, backend: u32) -> Option<FileHeat> {
         let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         let mut catalog = self.catalog.lock();
-        match catalog.get(path) {
-            Some(h) if h.backend == backend => catalog.remove(path),
+        match catalog.map.get(path) {
+            Some(e) if e.heat.backend == backend => catalog.map.remove(path).map(|e| e.heat),
             _ => None,
         }
     }
@@ -334,44 +526,123 @@ impl Migrator {
     /// Drops a path from the catalog (unlinked, or found stale).
     pub fn forget(&self, path: &str) {
         let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
-        self.catalog.lock().remove(path);
+        self.catalog.lock().map.remove(path);
     }
 
-    /// Renames a catalog entry, stamping the backend the file now lives on.
-    pub fn rename_entry(&self, from: &str, to: &str, backend: u32) {
+    /// Renames a catalog entry, stamping the backend the file now lives
+    /// on. The destination goes through the same admission path as a
+    /// close: a resident source just changes key (a rename never grows
+    /// the catalog), but stamping a brand-new destination at capacity
+    /// must evict or be rejected like any other admission — the
+    /// unconditional insert this used to do could grow the catalog past
+    /// its bound one rename at a time.
+    pub fn rename_entry(&self, from: &str, to: &str, backend: u32, stats: &NvCacheStats) {
         let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         let mut catalog = self.catalog.lock();
-        let heat = catalog.remove(from).unwrap_or_default();
-        catalog.insert(to.to_string(), FileHeat { backend, ..heat });
+        let moved = catalog.map.remove(from);
+        let resident_source = moved.is_some();
+        let heat = FileHeat { backend, ..moved.map(|e| e.heat).unwrap_or_default() };
+        if let Some(e) = catalog.map.get_mut(to) {
+            // The destination name was already catalogued: rename replaces
+            // it (the old destination file is gone), keeping its ring seat.
+            e.heat = heat;
+            e.referenced = true;
+        } else if resident_source || self.capacity.is_none() {
+            // Net resident count is unchanged (one key out, one key in):
+            // no eviction needed, just a fresh ring seat for the new key.
+            let seq = catalog.next_seq;
+            catalog.next_seq += 1;
+            if self.capacity.is_some() {
+                catalog.ring.push_back((seq, to.to_string()));
+            }
+            catalog
+                .map
+                .insert(to.to_string(), CatalogEntry { heat, referenced: false, seq });
+            catalog.maybe_compact();
+        } else {
+            self.admit_new(&mut catalog, to.to_string(), heat, stats);
+        }
     }
 
     /// The catalogued backend of a closed file, if known.
     pub fn backend_of(&self, path: &str) -> Option<u32> {
         let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
-        self.catalog.lock().get(path).map(|h| h.backend)
+        self.catalog.lock().map.get(path).map(|e| e.heat.backend)
     }
 
     /// Updates a catalog entry's backend after a successful migration.
-    pub fn set_backend(&self, path: &str, backend: u32) {
+    ///
+    /// A path the clock hand has already evicted (correctly placed and
+    /// cold at the time) re-enters through the admission path: dropping
+    /// the stamp instead would strand a file just moved *off* its routed
+    /// tier — no catalog record of the misplacement, so no sweep would
+    /// ever bring it home.
+    pub fn set_backend(&self, path: &str, backend: u32, stats: &NvCacheStats) {
         let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
-        if let Some(h) = self.catalog.lock().get_mut(path) {
-            h.backend = backend;
+        let mut catalog = self.catalog.lock();
+        if let Some(e) = catalog.map.get_mut(path) {
+            e.heat.backend = backend;
+        } else {
+            let heat = FileHeat { backend, ..FileHeat::default() };
+            self.admit_new(&mut catalog, path.to_string(), heat, stats);
         }
     }
 
-    /// Seeds the catalog (recovery's misplaced-file list).
-    pub fn seed(&self, entries: impl IntoIterator<Item = (String, u32)>) {
+    /// Seeds the catalog (recovery's misplaced-file list). Misplaced
+    /// entries are pinned, so even a bounded catalog admits every one.
+    pub fn seed(&self, entries: impl IntoIterator<Item = (String, u32)>, stats: &NvCacheStats) {
         let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         let mut catalog = self.catalog.lock();
         for (path, backend) in entries {
-            catalog.entry(path).or_default().backend = backend;
+            if let Some(e) = catalog.map.get_mut(&path) {
+                e.heat.backend = backend;
+            } else {
+                let heat = FileHeat { backend, ..FileHeat::default() };
+                self.admit_new(&mut catalog, path, heat, stats);
+            }
         }
+    }
+
+    /// Seeds the catalog with temperatures recovered from persisted heat
+    /// summaries ([`persist_heat`](crate::NvCacheConfig::persist_heat)):
+    /// each file re-enters the catalog on its recorded backend with its
+    /// dequantized heat stamped at `now`, so the first sweep judges it
+    /// exactly as hot as the crashed mount last persisted it — promotions
+    /// re-earn themselves without a single application touch.
+    pub fn seed_heat(
+        &self,
+        entries: impl IntoIterator<Item = (String, u32, f64)>,
+        now: simclock::SimTime,
+        stats: &NvCacheStats,
+    ) {
+        self.observe_time(now);
+        let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
+        let mut catalog = self.catalog.lock();
+        for (path, backend, heat) in entries {
+            let temp = Temperature { heat, stamp: now };
+            if let Some(e) = catalog.map.get_mut(&path) {
+                e.heat.backend = backend;
+                e.heat.temp = temp;
+            } else {
+                let heat = FileHeat { backend, temp, ..FileHeat::default() };
+                self.admit_new(&mut catalog, path, heat, stats);
+            }
+        }
+    }
+
+    /// Number of resident catalog entries — the population sweeps clone
+    /// and sort, the quantity [`catalog_capacity`] bounds.
+    ///
+    /// [`catalog_capacity`]: crate::NvCacheConfig::catalog_capacity
+    pub fn resident(&self) -> usize {
+        let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
+        self.catalog.lock().map.len()
     }
 
     /// Snapshot of the catalog (sweep input).
     fn entries(&self) -> Vec<(String, FileHeat)> {
         let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
-        self.catalog.lock().iter().map(|(p, h)| (p.clone(), *h)).collect()
+        self.catalog.lock().map.iter().map(|(p, e)| (p.clone(), e.heat)).collect()
     }
 
     /// Catalogued payload bytes currently on backend `fast` — the
@@ -381,9 +652,10 @@ impl Migrator {
         let _lk = self.lockcheck.acquire(Class::MigratorCatalog, 0);
         self.catalog
             .lock()
+            .map
             .values()
-            .filter(|h| h.backend == fast)
-            .map(|h| h.bytes)
+            .filter(|e| e.heat.backend == fast)
+            .map(|e| e.heat.bytes)
             .sum()
     }
 }
@@ -621,7 +893,7 @@ pub(crate) fn migrate_path(
             // Publish the new placement *before* releasing the claim: a
             // concurrent sweep reading a stale catalog backend would probe
             // the old tier, get NotFound and drop the entry entirely.
-            shared.migrator.set_backend(path, to as u32);
+            shared.migrator.set_backend(path, to as u32, &shared.stats);
             shared.stats.files_migrated.fetch_add(1, Ordering::Relaxed);
             shared.stats.migration_bytes.fetch_add(bytes, Ordering::Relaxed);
             if let Some(fast) = shared.placement.fast_tier() {
@@ -865,7 +1137,42 @@ pub(crate) fn run_migrator(shared: Arc<Shared>) {
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+    use simclock::SimTime;
+
     use super::*;
+    use crate::placement::{HeatPolicy, RouterPlacement};
+    use crate::router::{PathPrefixRouter, SingleBackend};
+
+    /// An unbounded migrator over a single-backend router (every entry
+    /// correctly placed, nothing pinned) — the seed-faithful default.
+    fn unbounded() -> (Migrator, NvCacheStats) {
+        let m = Migrator::new(
+            Recorder::default(),
+            None,
+            Arc::new(RouterPlacement),
+            Arc::new(SingleBackend),
+            1,
+        );
+        (m, NvCacheStats::default())
+    }
+
+    /// A capacity-bounded migrator on a two-tier mount: `/hot/**` routes
+    /// to tier 1, everything else to tier 0, promote-threshold 4 heat.
+    fn bounded(capacity: usize) -> (Migrator, NvCacheStats) {
+        let m = Migrator::new(
+            Recorder::default(),
+            Some(capacity),
+            Arc::new(HeatPolicy::new(1, 4.0, 1.0, SimTime::from_secs(60))),
+            Arc::new(PathPrefixRouter::new(vec![("/hot".into(), 1)], 0)),
+            2,
+        );
+        (m, NvCacheStats::default())
+    }
+
+    fn close_cold(m: &Migrator, stats: &NvCacheStats, path: &str, backend: u32) {
+        m.record_closed(path, backend, 0, 0, 10, Temperature::default(), stats);
+    }
 
     #[test]
     fn gate_leases_and_claims_exclude_each_other() {
@@ -886,13 +1193,12 @@ mod tests {
 
     #[test]
     fn catalog_accumulates_heat_across_generations() {
-        use simclock::SimTime;
-        let m = Migrator::new(Recorder::default());
+        let (m, stats) = unbounded();
         let mut temp = Temperature::default();
         temp.touch(SimTime::from_secs(1), None);
-        m.record_closed("/f", 1, 10, 4, 100, temp);
+        m.record_closed("/f", 1, 10, 4, 100, temp, &stats);
         temp.touch(SimTime::from_secs(2), None);
-        m.record_closed("/f", 0, 5, 1, 300, temp);
+        m.record_closed("/f", 0, 5, 1, 300, temp, &stats);
         assert!(m.take_if_on("/f", 1).is_none(), "a mismatched tier must not steal the entry");
         let heat = m.take_if_on("/f", 0).expect("catalogued");
         assert_eq!(heat.backend, 0, "latest close wins the placement");
@@ -900,23 +1206,312 @@ mod tests {
         assert_eq!(heat.bytes, 300, "latest close wins the size");
         assert_eq!(heat.temp, temp, "latest close wins the temperature snapshot");
         assert!(m.take_if_on("/f", 0).is_none(), "take removes the entry");
-        m.seed([("/g".to_string(), 2u32)]);
+        m.seed([("/g".to_string(), 2u32)], &stats);
         assert_eq!(m.backend_of("/g"), Some(2));
-        m.rename_entry("/g", "/h", 1);
+        m.rename_entry("/g", "/h", 1, &stats);
         assert_eq!(m.backend_of("/g"), None);
         assert_eq!(m.backend_of("/h"), Some(1));
         m.forget("/h");
         assert_eq!(m.backend_of("/h"), None);
+        assert_eq!(stats.catalog_evictions.load(Ordering::Relaxed), 0);
+        assert_eq!(stats.catalog_readmissions.load(Ordering::Relaxed), 0);
     }
 
     #[test]
     fn fast_tier_occupancy_sums_catalogued_bytes() {
-        let m = Migrator::new(Recorder::default());
-        m.record_closed("/a", 1, 0, 0, 100, Temperature::default());
-        m.record_closed("/b", 1, 0, 0, 50, Temperature::default());
-        m.record_closed("/c", 0, 0, 0, 999, Temperature::default());
+        let (m, stats) = unbounded();
+        m.record_closed("/a", 1, 0, 0, 100, Temperature::default(), &stats);
+        m.record_closed("/b", 1, 0, 0, 50, Temperature::default(), &stats);
+        m.record_closed("/c", 0, 0, 0, 999, Temperature::default(), &stats);
         assert_eq!(m.fast_tier_occupancy(1), 150);
         assert_eq!(m.fast_tier_occupancy(0), 999);
         assert_eq!(m.fast_tier_occupancy(7), 0);
+    }
+
+    #[test]
+    fn bounded_catalog_evicts_only_correctly_placed_cold_entries() {
+        let (m, stats) = bounded(3);
+        // A misplaced file (routes to /hot yet sits on tier 0) and a hot
+        // file (heat 8 ≥ promote threshold 4) are pinned; two cold,
+        // correctly-placed files fill the rest.
+        close_cold(&m, &stats, "/hot/misplaced", 0);
+        let mut hot = Temperature::default();
+        for _ in 0..8 {
+            hot.touch(SimTime::from_secs(1), None);
+        }
+        m.record_closed("/bulk/hot", 0, 8, 0, 10, hot, &stats);
+        close_cold(&m, &stats, "/bulk/cold-a", 0);
+        assert_eq!(m.resident(), 3);
+        // Admitting a fourth entry must evict one of the colds — never the
+        // misplaced or the hot entry.
+        close_cold(&m, &stats, "/bulk/cold-b", 0);
+        assert_eq!(m.resident(), 3, "capacity holds");
+        assert_eq!(stats.catalog_evictions.load(Ordering::Relaxed), 1);
+        assert_eq!(m.backend_of("/hot/misplaced"), Some(0), "misplaced entry pinned");
+        assert_eq!(m.backend_of("/bulk/hot"), Some(0), "hot entry pinned");
+        // Re-closing the evicted cold file counts a readmission (it may in
+        // turn evict the other cold — the clock hand decides).
+        close_cold(&m, &stats, "/bulk/cold-a", 0);
+        close_cold(&m, &stats, "/bulk/cold-b", 0);
+        assert!(stats.catalog_readmissions.load(Ordering::Relaxed) >= 1);
+        assert!(m.resident() <= 3);
+    }
+
+    #[test]
+    fn pinned_overflow_grows_past_capacity_rather_than_dropping_work() {
+        let (m, stats) = bounded(2);
+        // Three misplaced files: all pinned, capacity 2.
+        close_cold(&m, &stats, "/hot/a", 0);
+        close_cold(&m, &stats, "/hot/b", 0);
+        close_cold(&m, &stats, "/hot/c", 0);
+        assert_eq!(m.resident(), 3, "pinned entries are never dropped");
+        assert_eq!(stats.catalog_evictions.load(Ordering::Relaxed), 0);
+        // A cold newcomer is rejected while the pinned population holds
+        // every seat (its rejection counts as an eviction of itself)...
+        close_cold(&m, &stats, "/bulk/cold", 0);
+        assert_eq!(m.backend_of("/bulk/cold"), None);
+        assert_eq!(stats.catalog_evictions.load(Ordering::Relaxed), 1);
+        // ...and once the pinned files are re-homed (set_backend after a
+        // migration), they become evictable colds again.
+        m.set_backend("/hot/a", 1, &stats);
+        m.set_backend("/hot/b", 1, &stats);
+        m.set_backend("/hot/c", 1, &stats);
+        close_cold(&m, &stats, "/bulk/cold", 0);
+        assert_eq!(m.backend_of("/bulk/cold"), Some(0));
+        assert!(m.resident() <= 3);
+        assert_eq!(stats.catalog_readmissions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn rename_at_capacity_goes_through_admission() {
+        let (m, stats) = bounded(2);
+        close_cold(&m, &stats, "/hot/a", 0); // pinned (misplaced)
+        close_cold(&m, &stats, "/hot/b", 0); // pinned (misplaced)
+        assert_eq!(m.resident(), 2);
+        // Stamping a brand-new cold destination at capacity must not grow
+        // the catalog (the pre-fix code inserted unconditionally).
+        m.rename_entry("/bulk/unknown", "/bulk/fresh", 0, &stats);
+        assert_eq!(m.resident(), 2, "rename must not grow a full catalog");
+        assert_eq!(m.backend_of("/bulk/fresh"), None);
+        // A resident source just changes key — never blocked, never grows.
+        m.rename_entry("/hot/a", "/hot/a2", 0, &stats);
+        assert_eq!(m.resident(), 2);
+        assert_eq!(m.backend_of("/hot/a"), None);
+        assert_eq!(m.backend_of("/hot/a2"), Some(0));
+        // A pinned destination is admitted even at capacity.
+        m.rename_entry("/bulk/unknown", "/hot/pinned-dst", 0, &stats);
+        assert_eq!(m.backend_of("/hot/pinned-dst"), Some(0));
+    }
+
+    #[test]
+    fn under_capacity_churn_keeps_the_ring_bounded() {
+        let (m, stats) = bounded(64);
+        // Open/close churn of few paths leaves one ring tombstone per
+        // take_if_on; compaction must keep the ring near the resident set.
+        for round in 0..1_000 {
+            let path = format!("/bulk/{}", round % 4);
+            close_cold(&m, &stats, &path, 0);
+            assert!(m.take_if_on(&path, 0).is_some());
+        }
+        assert_eq!(m.resident(), 0);
+        let catalog = m.catalog.lock();
+        // Compaction fires once tombstones pass 2·residents + 64; with ≤ 4
+        // residents the ring can never coast past ~73 occurrences.
+        assert!(
+            catalog.ring.len() <= 128,
+            "ring grew to {} with {} residents",
+            catalog.ring.len(),
+            catalog.map.len()
+        );
+    }
+
+    /// One step of the model interleaving: the same mutation is applied to
+    /// a bounded migrator and to an unbounded model map.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Full close of path `p` on tier `backend`, with `touches` heat
+        /// touches folded in at virtual second `at`.
+        Close { p: u8, backend: u32, touches: u8, at: u16 },
+        /// Reopen (take_if_on) of path `p` against the tier the model says.
+        Open { p: u8 },
+        /// Unlink of path `p`.
+        Unlink { p: u8 },
+        /// Rename `p` → `q` stamping tier `backend`.
+        Rename { p: u8, q: u8, backend: u32 },
+        /// A migration landed: stamp `p`'s entry onto `backend`.
+        SetBackend { p: u8, backend: u32 },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..24, 0u32..2, 0u8..10, 0u16..600)
+                .prop_map(|(p, backend, touches, at)| Op::Close { p, backend, touches, at }),
+            (0u8..24).prop_map(|p| Op::Open { p }),
+            (0u8..24).prop_map(|p| Op::Unlink { p }),
+            (0u8..24, 0u8..24, 0u32..2).prop_map(|(p, q, backend)| Op::Rename { p, q, backend }),
+            (0u8..24, 0u32..2).prop_map(|(p, backend)| Op::SetBackend { p, backend }),
+        ]
+    }
+
+    fn model_path(p: u8) -> String {
+        // Half the namespace routes to the fast tier (/hot), half to the
+        // slow baseline — so misplacement and pinning both occur.
+        if p.is_multiple_of(2) {
+            format!("/hot/f{p}")
+        } else {
+            format!("/bulk/f{p}")
+        }
+    }
+
+    proptest! {
+        /// Model test: under arbitrary close/open/unlink/rename/migrate
+        /// interleavings a bounded catalog (a) never exceeds
+        /// `max(capacity, pinned entries)`, (b) never evicts a misplaced
+        /// or promote-worthy entry — every such model entry survives with
+        /// identical heat — and (c) agrees with the unbounded model on
+        /// the sweep targets of every retained entry.
+        #[test]
+        fn bounded_catalog_matches_the_unbounded_model(
+            ops in proptest::collection::vec(op_strategy(), 1..120),
+            capacity in 1usize..12,
+        ) {
+            let (m, stats) = bounded(capacity);
+            let policy = HeatPolicy::new(1, 4.0, 1.0, SimTime::from_secs(60));
+            let router = PathPrefixRouter::new(vec![("/hot".into(), 1)], 0);
+            let mut model: HashMap<String, FileHeat> = HashMap::new();
+            let mut now = SimTime::ZERO;
+            let mut pinned_high = 0usize;
+            for op in ops {
+                match op {
+                    Op::Close { p, backend, touches, at } => {
+                        let path = model_path(p);
+                        now = now.max(SimTime::from_secs(at as u64));
+                        m.observe_time(now);
+                        let mut temp = model
+                            .get(&path)
+                            .filter(|h| h.backend == backend)
+                            .map(|h| h.temp)
+                            .unwrap_or_default();
+                        for _ in 0..touches {
+                            temp.touch(now, policy.half_life());
+                        }
+                        m.record_closed(&path, backend, 1, 0, 10, temp, &stats);
+                        let e = model.entry(path).or_default();
+                        e.backend = backend;
+                        e.reads += 1;
+                        e.bytes = 10;
+                        e.temp = temp;
+                    }
+                    Op::Open { p } => {
+                        let path = model_path(p);
+                        if let Some(h) = model.get(&path).copied() {
+                            let taken = m.take_if_on(&path, h.backend);
+                            if taken.is_some() {
+                                model.remove(&path);
+                            }
+                        }
+                    }
+                    Op::Unlink { p } => {
+                        let path = model_path(p);
+                        m.forget(&path);
+                        model.remove(&path);
+                    }
+                    Op::Rename { p, q, backend } => {
+                        let (from, to) = (model_path(p), model_path(q));
+                        // Heat travels with a rename only while the source is
+                        // still catalogued: an entry evicted as
+                        // correctly-placed-cold has already forgotten its
+                        // temperature, so the destination starts cold.
+                        let resident = m.backend_of(&from).is_some();
+                        m.rename_entry(&from, &to, backend, &stats);
+                        let heat = model
+                            .remove(&from)
+                            .filter(|_| resident)
+                            .unwrap_or_default();
+                        model.insert(to, FileHeat { backend, ..heat });
+                    }
+                    Op::SetBackend { p, backend } => {
+                        // A sweep-driven migration only lands on catalogued
+                        // entries, so the model mirrors the stamp only when
+                        // the bounded catalog still holds the path (an entry
+                        // evicted as correctly-placed-cold cannot later be
+                        // flipped misplaced by a migration it can't start).
+                        let path = model_path(p);
+                        if m.backend_of(&path).is_some() {
+                            m.set_backend(&path, backend, &stats);
+                            if let Some(h) = model.get_mut(&path) {
+                                h.backend = backend;
+                            }
+                        }
+                    }
+                }
+                let decay_now = m.observed_time();
+                let pinned = model
+                    .iter()
+                    .filter(|(path, h)| {
+                        let cold = RouterPlacement.place_cold(path, h.backend as usize, &router);
+                        cold != h.backend as usize
+                            || h.temp.decayed(decay_now, policy.half_life()) >= 4.0
+                    })
+                    .count();
+                // Resident only grows at admission, where the bound
+                // max(capacity, pinned-at-that-moment) holds; entries that
+                // were pinned when admitted past cap may cool afterwards
+                // and linger until the next admission drains them, so the
+                // running bound is the pinned high-water mark.
+                pinned_high = pinned_high.max(pinned);
+                prop_assert!(
+                    m.resident() <= capacity.max(pinned_high),
+                    "{} resident > max(capacity {capacity}, pinned high-water {pinned_high})",
+                    m.resident()
+                );
+            }
+            // Every pinned model entry must have survived, bit for bit.
+            let decay_now = m.observed_time();
+            let retained: HashMap<String, FileHeat> = m.entries().into_iter().collect();
+            for (path, h) in &model {
+                let cold = RouterPlacement.place_cold(path, h.backend as usize, &router);
+                let is_pinned = cold != h.backend as usize
+                    || h.temp.decayed(decay_now, policy.half_life()) >= 4.0;
+                if is_pinned {
+                    let kept = retained.get(path);
+                    prop_assert!(kept.is_some(), "pinned entry {path} was evicted");
+                    if let Some(kept) = kept {
+                        prop_assert_eq!(kept.backend, h.backend);
+                        prop_assert_eq!(kept.temp, h.temp, "heat of {} diverged", path);
+                    }
+                }
+            }
+            // On the retained set, sweep targets equal the unbounded
+            // model's assignment for the same files.
+            let mut views: Vec<FileTemperature> = retained
+                .iter()
+                .map(|(path, h)| FileTemperature {
+                    path: path.clone(),
+                    backend: h.backend as usize,
+                    bytes: h.bytes,
+                    heat: h.temp.decayed(decay_now, policy.half_life()),
+                    reads: h.reads,
+                    writes: h.writes,
+                })
+                .collect();
+            views.sort_by(|a, b| a.path.cmp(&b.path));
+            let bounded_targets = policy.assign(&views, &router, 2);
+            let model_views: Vec<FileTemperature> = views
+                .iter()
+                .map(|v| {
+                    let h = &model[&v.path];
+                    FileTemperature {
+                        path: v.path.clone(),
+                        backend: h.backend as usize,
+                        bytes: h.bytes,
+                        heat: h.temp.decayed(decay_now, policy.half_life()),
+                        reads: h.reads,
+                        writes: h.writes,
+                    }
+                })
+                .collect();
+            prop_assert_eq!(bounded_targets, policy.assign(&model_views, &router, 2));
+        }
     }
 }

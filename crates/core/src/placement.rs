@@ -29,9 +29,14 @@
 //! stored heat is first decayed to the touching call's **virtual** clock
 //! (`heat ← heat · 2^(−Δt / half_life)`, no wall clock anywhere), then
 //! incremented by one. Temperature survives close → reopen through the
-//! migrator catalog, exactly like the raw read/write counters; it does
-//! **not** survive a remount (the catalog is volatile by design), so a
+//! migrator catalog, exactly like the raw read/write counters; by default
+//! it does **not** survive a remount (the catalog is volatile), so a
 //! freshly recovered file is judged by [`PlacementPolicy::place_cold`].
+//! [`NvCacheConfig::persist_heat`](crate::NvCacheConfig::persist_heat)
+//! relaxes that: each fd slot then carries a quantized summary
+//! ([`quantize_heat`]/[`dequantize_heat`]) that recovery feeds back into
+//! the catalog, so promotions re-earn themselves from the persisted heat
+//! instead of from scratch.
 
 use simclock::SimTime;
 
@@ -66,6 +71,36 @@ impl Temperature {
     pub fn touch(&mut self, now: SimTime, half_life: Option<SimTime>) {
         self.heat = self.decayed(now, half_life) + 1.0;
         self.stamp = self.stamp.max(now);
+    }
+}
+
+/// Quantizes a decayed heat value into the 16-bit summary persisted in an
+/// fd slot's heat bytes: `min(65535, round(256 · log2(1 + heat)))`. The
+/// log keeps the full dynamic range (heat ~10^74 still fits) at a relative
+/// precision of ~0.3 %, and the mapping is monotone nondecreasing — a
+/// hotter file never persists a colder summary.
+pub(crate) fn quantize_heat(heat: f64) -> u16 {
+    if heat.is_nan() || heat <= 0.0 {
+        // Negative and NaN inputs cannot occur (heat is a sum of decayed
+        // positive touches) but must still map to "cold", not wrap.
+        return 0;
+    }
+    let q = (256.0 * (1.0 + heat).log2()).round();
+    if q >= u16::MAX as f64 {
+        u16::MAX
+    } else {
+        q as u16
+    }
+}
+
+/// Inverse of [`quantize_heat`], up to quantization error:
+/// `2^(q / 256) − 1`. Monotone nondecreasing in `q`, and `0` maps back to
+/// exactly `0.0` — a zeroed (pre-heat-format) slot reads as stone cold.
+pub(crate) fn dequantize_heat(q: u16) -> f64 {
+    if q == 0 {
+        0.0
+    } else {
+        f64::exp2(q as f64 / 256.0) - 1.0
     }
 }
 
@@ -148,6 +183,17 @@ pub trait PlacementPolicy: Send + Sync + std::fmt::Debug {
     /// the default tiered mount pays nothing on the read/write path.
     fn uses_temperature(&self) -> bool {
         self.half_life().is_some() || self.fast_tier().is_some()
+    }
+
+    /// Decayed heat at or above which a catalogued entry must **never** be
+    /// evicted from a capacity-bounded migrator catalog
+    /// ([`NvCacheConfig::catalog_capacity`](crate::NvCacheConfig::catalog_capacity)):
+    /// such an entry is promotion work the next sweep still owes, and
+    /// dropping it would silently cancel the promotion. `None` (the
+    /// default) pins nothing by heat — entries are then only pinned while
+    /// misplaced.
+    fn retain_heat_threshold(&self) -> Option<f64> {
+        None
     }
 
     /// The backend this policy promotes hot files onto, if any. Drives the
@@ -351,6 +397,12 @@ impl PlacementPolicy for HeatPolicy {
         Some(self.half_life)
     }
 
+    fn retain_heat_threshold(&self) -> Option<f64> {
+        // An entry at or above the promote threshold is a promotion the
+        // sweep has not executed yet — a bounded catalog must keep it.
+        Some(self.promote_threshold)
+    }
+
     fn fast_tier(&self) -> Option<usize> {
         Some(self.fast_tier)
     }
@@ -473,6 +525,33 @@ mod tests {
     }
 
     #[test]
+    fn heat_quantization_is_monotone_and_cold_preserving() {
+        assert_eq!(quantize_heat(0.0), 0);
+        assert_eq!(quantize_heat(-1.0), 0);
+        assert_eq!(quantize_heat(f64::NAN), 0);
+        assert_eq!(dequantize_heat(0), 0.0);
+        // Saturates instead of wrapping at the top of the range.
+        assert_eq!(quantize_heat(f64::INFINITY), u16::MAX);
+        assert_eq!(quantize_heat(1e300), u16::MAX);
+        // Round trip stays within the ~0.3 % relative quantization error.
+        for &h in &[0.5, 1.0, 4.0, 123.456, 1e6, 1e12] {
+            let rt = dequantize_heat(quantize_heat(h));
+            assert!((rt - h).abs() / h < 0.01, "heat {h} round-tripped to {rt}");
+        }
+        // Dequantization is strictly monotone over the whole code space.
+        for q in 0..u16::MAX {
+            assert!(dequantize_heat(q) < dequantize_heat(q + 1));
+        }
+    }
+
+    #[test]
+    fn retain_threshold_follows_the_promote_threshold() {
+        assert_eq!(RouterPlacement.retain_heat_threshold(), None);
+        let p = HeatPolicy::new(1, 4.0, 1.0, SimTime::from_secs(60));
+        assert_eq!(p.retain_heat_threshold(), Some(4.0));
+    }
+
+    #[test]
     #[should_panic(expected = "hysteresis band")]
     fn inverted_thresholds_panic() {
         HeatPolicy::new(1, 1.0, 4.0, SimTime::from_secs(1));
@@ -510,6 +589,17 @@ mod tests {
     }
 
     proptest! {
+        /// Persisted-heat contract: hotter in ⇒ not-colder out, for any
+        /// pair of heats the accumulator can produce.
+        #[test]
+        fn quantization_is_monotone(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(quantize_heat(lo) <= quantize_heat(hi));
+            prop_assert!(
+                dequantize_heat(quantize_heat(lo)) <= dequantize_heat(quantize_heat(hi))
+            );
+        }
+
         /// The hysteresis contract: under ANY access sequence, a file
         /// changes tier at most once per threshold crossing — every
         /// promotion happens at a step whose decayed heat is above the

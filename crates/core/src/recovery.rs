@@ -113,23 +113,47 @@ struct CommittedGroup {
 /// `files_misplaced == 0`. Leftover migration journals from a crash inside
 /// the protocol are repaired on *every* recovery, repair mode or not.
 ///
-/// Returns the report plus the `(path, backend)` pairs still misplaced
-/// after recovery (empty in repair mode) — the mount seeds the migrator's
-/// catalog with them so a later [`rebalance`](crate::NvCache::rebalance)
-/// can find the files.
+/// **Persisted heat** ([`NvCacheConfig::persist_heat`](crate::NvCacheConfig)):
+/// a heat-format image ([`layout::OFF_HEAT_EPOCH`] = [`layout::HEAT_EPOCH`])
+/// carries a quantized temperature summary in each open slot's last word.
+/// Recovery dequantizes the summaries and returns them so the mount can
+/// re-seed the migrator's heat catalog — a crashed
+/// [`HeatPolicy`](crate::HeatPolicy) mount re-promotes its hot set on the
+/// next sweep without the files being re-touched. A slot whose summary
+/// clears the policy's
+/// [`retain_heat_threshold`](crate::PlacementPolicy::retain_heat_threshold)
+/// is *not* judged misplaced by the cold-placement check (and not demoted
+/// by a repair pass): the persisted temperature says it is exactly where
+/// promotion put it.
+///
+/// Returns the report, the `(path, backend)` pairs still misplaced after
+/// recovery (empty in repair mode) — the mount seeds the migrator's catalog
+/// with them so a later [`rebalance`](crate::NvCache::rebalance) can find
+/// the files — and the `(path, backend, heat)` summaries recovered from a
+/// heat-format image (empty otherwise).
 ///
 /// Idempotent: crashing *during* recovery and running it again converges to
 /// the same state, because replay only overwrites with logged data and the
 /// log is emptied only after the final `sync`.
+/// `(path, backend, dequantized heat)` summaries harvested from a
+/// heat-format image's fd slots, ready to seed the migrator's catalog.
+pub(crate) type HeatSeeds = Vec<(String, u32, f64)>;
+
+/// What [`recover`] hands the mount: the report, the `(path, backend)`
+/// pairs still misplaced after recovery, and the recovered heat seeds.
+pub(crate) type Recovered = (RecoveryReport, Vec<(String, u32)>, HeatSeeds);
+
+#[allow(clippy::too_many_arguments)] // one slot per mount-configuration axis
 pub(crate) fn recover(
     region: &NvRegion,
     backends: &[Arc<dyn FileSystem>],
     router: &dyn Router,
     placement: &dyn PlacementPolicy,
     target_backends: usize,
+    target_heat: bool,
     repair: bool,
     clock: &ActorClock,
-) -> IoResult<(RecoveryReport, Vec<(String, u32)>)> {
+) -> IoResult<Recovered> {
     // Read the layout back from the header (charged reads: cold caches).
     let mut header = [0u8; 64];
     region.read(0, &mut header, clock);
@@ -151,7 +175,21 @@ pub(crate) fn recover(
             backends.len()
         )));
     }
-    let lay = Layout { nb_entries, entry_size, fd_slots, log_shards, backends: image_backends };
+    // 0 = pre-heat header (never written): the fd slots carry no heat word
+    // and their full v3 path area is path bytes. Only the current epoch is
+    // understood; an unknown epoch is treated as absent (the slots are
+    // cleared during recovery anyway, so nothing stale survives).
+    let mut epoch_word = [0u8; 8];
+    region.read(layout::OFF_HEAT_EPOCH, &mut epoch_word, clock);
+    let image_heat_epoch = u64::from_le_bytes(epoch_word);
+    let lay = Layout {
+        nb_entries,
+        entry_size,
+        fd_slots,
+        log_shards,
+        backends: image_backends,
+        heat: image_heat_epoch == layout::HEAT_EPOCH,
+    };
 
     // Repair interrupted migrations first (journal slots are invisible to
     // the open-file scan below, but their non-authoritative copies must be
@@ -165,6 +203,9 @@ pub(crate) fn recover(
     // Reopen the files referenced by the fd table, each on its backend.
     let mut fds: HashMap<u32, (usize, vfs::Fd)> = HashMap::new();
     let mut misplaced: Vec<(String, u32)> = Vec::new();
+    // path → (backend, heat): one entry per path (a file open through
+    // several descriptors stamps one summary per slot; keep the hottest).
+    let mut heat_seeds: HashMap<String, (u32, f64)> = HashMap::new();
     for slot in 0..fd_slots as u32 {
         if let Some((path, stored)) =
             crate::files::PersistentFdTable::get(region, &lay, slot, clock)
@@ -214,12 +255,35 @@ pub(crate) fn recover(
             }
             // Replay lands on `resolved`; path operations keep reaching
             // the file there (recorded-backend probing), but it sits on
-            // the wrong tier — as judged by the placement policy, with no
-            // temperature to go on — until a repair pass, a rebalance
-            // sweep, or the operator moves it. Count it so the mismatch
-            // is visible instead of silent.
+            // the wrong tier — as judged by the placement policy, with the
+            // slot's persisted temperature summary (if any) to go on —
+            // until a repair pass, a rebalance sweep, or the operator moves
+            // it. Count it so the mismatch is visible instead of silent.
             if let Some(backend) = resolved {
-                if backends.len() > 1 && backend != placement.place_cold(&path, backend, router) {
+                let heat = if lay.heat_slots() {
+                    crate::files::PersistentFdTable::heat(region, &lay, slot, clock)
+                        .map(crate::placement::dequantize_heat)
+                } else {
+                    None
+                };
+                if let Some(h) = heat {
+                    if h > 0.0 {
+                        let seed = heat_seeds.entry(path.clone()).or_insert((backend as u32, 0.0));
+                        seed.0 = backend as u32;
+                        seed.1 = seed.1.max(h);
+                    }
+                }
+                // A summary clearing the retain threshold says promotion
+                // put the file here on purpose — not a misplacement, even
+                // though cold placement would route the path elsewhere.
+                let retained_hot = match (heat, placement.retain_heat_threshold()) {
+                    (Some(h), Some(t)) => h >= t,
+                    _ => false,
+                };
+                if backends.len() > 1
+                    && !retained_hot
+                    && backend != placement.place_cold(&path, backend, router)
+                {
                     misplaced.push((path.clone(), backend as u32));
                 }
             }
@@ -360,6 +424,15 @@ pub(crate) fn recover(
     // a crash mid-repair must find a v3 header on the next mount.
     let backends_word = if target_backends > 1 { target_backends as u64 } else { 0 };
     region.commit_store(layout::OFF_BACKENDS, backends_word, clock);
+    // Stamp the heat-format epoch the *mount* will write slots under. Safe
+    // at this point for the same reason as the backends word: every fd slot
+    // was cleared above, so no slot written under the old partitioning can
+    // be re-parsed under the new one. Written only on a change so images
+    // that never touch heat persistence stay byte-for-byte unchanged.
+    let heat_word_target = if target_heat && target_backends > 1 { layout::HEAT_EPOCH } else { 0 };
+    if heat_word_target != image_heat_epoch {
+        region.commit_store(layout::OFF_HEAT_EPOCH, heat_word_target, clock);
+    }
     region.persist_fence(clock);
 
     // Repair mode: re-home every misplaced file to the placement policy's
@@ -402,6 +475,11 @@ pub(crate) fn recover(
                 Ok(_) => {
                     report.files_repaired += 1;
                     report.files_misplaced -= 1;
+                    // A (below-threshold) temperature summary follows the
+                    // re-homed file to its new tier.
+                    if let Some(seed) = heat_seeds.get_mut(&path) {
+                        seed.0 = to as u32;
+                    }
                 }
                 // A legacy path longer than the v3 journal slot capacity
                 // cannot be journaled: leave it counted misplaced instead
@@ -421,5 +499,12 @@ pub(crate) fn recover(
     // protocol each end fenced), so the barrier the seed inherited from the
     // paper's recovery sketch covered nothing — the pmcheck redundant-fence
     // counter confirmed an always-empty flush queue here.
-    Ok((report, misplaced))
+    let mut heat_seeds: Vec<(String, u32, f64)> = heat_seeds
+        .into_iter()
+        .map(|(path, (backend, heat))| (path, backend, heat))
+        .collect();
+    // HashMap iteration order is not deterministic; catalog admission order
+    // must be (the virtual-time oracle replays mounts byte for byte).
+    heat_seeds.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok((report, misplaced, heat_seeds))
 }

@@ -382,8 +382,7 @@ impl QueuePair {
         keys.sort_by_key(|&(k, _)| k);
         let desc_of: HashMap<(u64, u64), usize> =
             keys.iter().enumerate().map(|(i, &(k, _))| (k, i)).collect();
-        let descs: Vec<Arc<PageDescriptor>> =
-            keys.iter().map(|(_, d)| Arc::clone(d)).collect();
+        let descs: Vec<Arc<PageDescriptor>> = keys.iter().map(|(_, d)| Arc::clone(d)).collect();
         let mut guards = Vec::with_capacity(descs.len());
         let mut _lock_order = Vec::with_capacity(descs.len());
         for (i, d) in descs.iter().enumerate() {

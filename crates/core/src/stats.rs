@@ -195,6 +195,18 @@ pub struct NvCacheStats {
     /// migration and rebalance sweep; the occupancy the
     /// [`HeatPolicy`](crate::HeatPolicy) budget is enforced against.
     pub fast_tier_bytes: AtomicU64,
+    /// Entries a capacity-bounded migrator catalog
+    /// ([`catalog_capacity`](crate::NvCacheConfig::catalog_capacity))
+    /// dropped to stay within its bound — always correctly-placed cold
+    /// files (misplaced or promote-worthy entries are pinned). Always `0`
+    /// on an unbounded catalog. A high rate relative to closes means the
+    /// capacity is too small for the working set.
+    pub catalog_evictions: AtomicU64,
+    /// Closes that re-admitted a path the bounded catalog had previously
+    /// evicted — each one restarted heat accumulation from the file's
+    /// open-time state, so a rising rate means the catalog is thrashing
+    /// (capacity below the *recurring* working set).
+    pub catalog_readmissions: AtomicU64,
     /// Per-stripe breakdown of the log counters (one entry per
     /// [`log_shards`](crate::NvCacheConfig::log_shards)).
     pub per_shard: Box<[ShardStats]>,
@@ -254,6 +266,8 @@ impl NvCacheStats {
             files_promoted: AtomicU64::new(0),
             files_demoted: AtomicU64::new(0),
             fast_tier_bytes: AtomicU64::new(0),
+            catalog_evictions: AtomicU64::new(0),
+            catalog_readmissions: AtomicU64::new(0),
             per_shard: per_shard.into_boxed_slice(),
             per_queue: per_queue.into_boxed_slice(),
             per_backend_propagated: per_backend.into_boxed_slice(),
@@ -285,6 +299,8 @@ impl NvCacheStats {
             files_promoted: self.files_promoted.load(Ordering::Relaxed),
             files_demoted: self.files_demoted.load(Ordering::Relaxed),
             fast_tier_bytes: self.fast_tier_bytes.load(Ordering::Relaxed),
+            catalog_evictions: self.catalog_evictions.load(Ordering::Relaxed),
+            catalog_readmissions: self.catalog_readmissions.load(Ordering::Relaxed),
             per_shard: self.per_shard.iter().map(ShardStats::snapshot).collect(),
             per_queue: self.per_queue.iter().map(QueueStats::snapshot).collect(),
             per_backend_propagated: self
@@ -349,6 +365,10 @@ pub struct NvCacheStatsSnapshot {
     pub files_demoted: u64,
     /// Catalogued payload bytes currently on the fast tier (gauge).
     pub fast_tier_bytes: u64,
+    /// Entries evicted from a capacity-bounded migrator catalog.
+    pub catalog_evictions: u64,
+    /// Closes that re-admitted a previously evicted path (thrash signal).
+    pub catalog_readmissions: u64,
     /// Per-stripe breakdown of the log counters.
     pub per_shard: Vec<ShardStatsSnapshot>,
     /// Per-queue-pair front-end counters (empty without `sq_pairs`).

@@ -49,6 +49,11 @@ struct MemFd {
 pub struct MemFs {
     costs: KernelCosts,
     files: RwLock<HashMap<String, Arc<MemInode>>>,
+    /// Implicit-directory index: each ancestor directory of a live file,
+    /// with the number of files beneath it. Keeps `stat` on a missing path
+    /// O(depth) instead of scanning the whole namespace — at a million
+    /// files the linear scan turned every create-open quadratic.
+    dirs: RwLock<HashMap<String, u64>>,
     fds: FdTable<MemFd>,
     next_ino: AtomicU64,
     dev_id: u64,
@@ -77,6 +82,7 @@ impl MemFs {
         MemFs {
             costs,
             files: RwLock::new(HashMap::new()),
+            dirs: RwLock::new(HashMap::new()),
             fds: FdTable::new(),
             next_ino: AtomicU64::new(1),
             dev_id: 0xEE,
@@ -88,11 +94,32 @@ impl MemFs {
     }
 
     fn is_dir(&self, path: &str) -> bool {
-        if path == "/" {
-            return true;
+        path == "/" || self.dirs.read().contains_key(path)
+    }
+
+    /// Counts `path`'s ancestors into the directory index (file created).
+    fn index_ancestors(&self, path: &str) {
+        let mut dirs = self.dirs.write();
+        let mut dir = parent_of(path);
+        while dir != "/" {
+            *dirs.entry(dir.to_string()).or_insert(0) += 1;
+            dir = parent_of(dir);
         }
-        let prefix = format!("{path}/");
-        self.files.read().keys().any(|k| k.starts_with(&prefix))
+    }
+
+    /// Uncounts `path`'s ancestors (file removed or renamed away).
+    fn unindex_ancestors(&self, path: &str) {
+        let mut dirs = self.dirs.write();
+        let mut dir = parent_of(path);
+        while dir != "/" {
+            if let Some(n) = dirs.get_mut(dir) {
+                *n -= 1;
+                if *n == 0 {
+                    dirs.remove(dir);
+                }
+            }
+            dir = parent_of(dir);
+        }
     }
 }
 
@@ -122,7 +149,10 @@ impl FileSystem for MemFs {
                     ino: self.next_ino.fetch_add(1, Ordering::Relaxed),
                     data: RwLock::new(Vec::new()),
                 });
-                self.files.write().insert(path, Arc::clone(&inode));
+                let replaced = self.files.write().insert(path.clone(), Arc::clone(&inode));
+                if replaced.is_none() {
+                    self.index_ancestors(&path);
+                }
                 inode
             }
         };
@@ -209,16 +239,26 @@ impl FileSystem for MemFs {
     fn unlink(&self, path: &str, clock: &ActorClock) -> IoResult<()> {
         clock.advance(self.costs.syscall + self.costs.fs_overhead);
         let path = normalize_path(path);
-        self.files.write().remove(&path).map(|_| ()).ok_or(IoError::NotFound(path))
+        if self.files.write().remove(&path).is_none() {
+            return Err(IoError::NotFound(path));
+        }
+        self.unindex_ancestors(&path);
+        Ok(())
     }
 
     fn rename(&self, from: &str, to: &str, clock: &ActorClock) -> IoResult<()> {
         clock.advance(self.costs.syscall + self.costs.fs_overhead);
         let from = normalize_path(from);
         let to = normalize_path(to);
-        let mut files = self.files.write();
-        let inode = files.remove(&from).ok_or(IoError::NotFound(from))?;
-        files.insert(to, inode);
+        let replaced = {
+            let mut files = self.files.write();
+            let inode = files.remove(&from).ok_or(IoError::NotFound(from.clone()))?;
+            files.insert(to.clone(), inode)
+        };
+        self.unindex_ancestors(&from);
+        if replaced.is_none() {
+            self.index_ancestors(&to);
+        }
         Ok(())
     }
 
@@ -238,6 +278,7 @@ impl FileSystem for MemFs {
 
     fn simulate_power_failure(&self) {
         self.files.write().clear();
+        self.dirs.write().clear();
     }
 
     fn synchronous_durability(&self) -> bool {

@@ -58,10 +58,7 @@ fn violation_message(arm: fn()) -> String {
             .cloned()
             .unwrap_or_else(|| "non-string panic payload".to_string());
         // The violation must also be recorded for post-mortem auditing.
-        assert!(
-            dimm.pm_violations().contains(&msg),
-            "panic message not in pm_violations(): {msg}"
-        );
+        assert!(dimm.pm_violations().contains(&msg), "panic message not in pm_violations(): {msg}");
         cache.abort();
         msg
     })
